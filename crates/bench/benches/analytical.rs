@@ -1,0 +1,67 @@
+//! Benchmarks of the analytical RCM kernels: routability evaluation for every
+//! geometry (the computation behind Fig. 6's analytical curves and the
+//! scalability table), at the paper's `N = 2^16` operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht_rcm_core::{classify, routability, Geometry, RoutingGeometry, SystemSize};
+use std::hint::black_box;
+
+fn bench_routability(c: &mut Criterion) {
+    let size = SystemSize::power_of_two(16).expect("valid size");
+    let mut group = c.benchmark_group("routability_n_2_16");
+    for geometry in Geometry::all_with_default_parameters() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(geometry.name()),
+            &geometry,
+            |b, geometry| {
+                b.iter(|| {
+                    routability(black_box(geometry), black_box(size), black_box(0.3))
+                        .expect("valid operating point")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scalability_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_classification");
+    group.sample_size(20);
+    for geometry in Geometry::all_with_default_parameters() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(geometry.name()),
+            &geometry,
+            |b, geometry| {
+                b.iter(|| classify(black_box(geometry), black_box(0.1)).expect("valid q"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_failure_sweep(c: &mut Criterion) {
+    // The full analytical grid of Fig. 6(a): 19 points x 3 geometries.
+    let size = SystemSize::power_of_two(16).expect("valid size");
+    let grid = dht_mathkit::percent_grid(90, 5);
+    c.bench_function("fig6a_analytical_grid", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for geometry in [Geometry::tree(), Geometry::hypercube(), Geometry::xor()] {
+                for &q in &grid {
+                    if let Ok(report) = routability(&geometry, size, q) {
+                        total += report.failed_path_percent;
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_routability,
+    bench_scalability_classification,
+    bench_failure_sweep
+);
+criterion_main!(benches);

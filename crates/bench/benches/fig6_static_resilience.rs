@@ -1,0 +1,82 @@
+//! Benchmarks of the Fig. 6 reproduction pipeline: overlay construction and
+//! static-resilience measurement for the four simulated geometries
+//! (experiments E3/E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht_overlay::{
+    CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay, Overlay, PlaxtonOverlay,
+};
+use dht_sim::{StaticResilienceConfig, StaticResilienceExperiment};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const BITS: u32 = 12;
+
+fn bench_overlay_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_construction_2_12");
+    group.sample_size(20);
+    group.bench_function("hypercube", |b| {
+        b.iter(|| CanOverlay::build(black_box(BITS)).expect("valid size"))
+    });
+    group.bench_function("tree", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            PlaxtonOverlay::build(black_box(BITS), &mut rng).expect("valid size")
+        })
+    });
+    group.bench_function("xor", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            KademliaOverlay::build(black_box(BITS), &mut rng).expect("valid size")
+        })
+    });
+    group.bench_function("ring", |b| {
+        b.iter(|| {
+            ChordOverlay::build(black_box(BITS), ChordVariant::Deterministic).expect("valid size")
+        })
+    });
+    group.finish();
+}
+
+fn bench_static_resilience_measurement(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let overlays: Vec<(&str, Box<dyn Overlay + Sync>)> = vec![
+        (
+            "tree",
+            Box::new(PlaxtonOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+        ("hypercube", Box::new(CanOverlay::build(BITS).unwrap())),
+        (
+            "xor",
+            Box::new(KademliaOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+        (
+            "ring",
+            Box::new(ChordOverlay::build(BITS, ChordVariant::Deterministic).unwrap()),
+        ),
+    ];
+    let config = StaticResilienceConfig::new(0.3)
+        .expect("valid q")
+        .with_pairs(2_000)
+        .with_seed(11);
+    let mut group = c.benchmark_group("fig6_measurement_q30_2000_pairs");
+    group.sample_size(10);
+    for (name, overlay) in &overlays {
+        group.bench_with_input(BenchmarkId::from_parameter(name), overlay, |b, overlay| {
+            b.iter(|| {
+                StaticResilienceExperiment::new(config)
+                    .run(black_box(overlay.as_ref()))
+                    .routability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_overlay_construction,
+    bench_static_resilience_measurement
+);
+criterion_main!(benches);

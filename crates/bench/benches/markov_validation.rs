@@ -1,0 +1,52 @@
+//! Benchmarks of the Markov-chain substrate (experiments E2/E8): chain
+//! construction plus absorption solving for each routing geometry, and the
+//! full closed-form validation harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht_experiments::markov_validation;
+use dht_markov::chains::{hypercube_chain, ring_chain, symphony_chain, tree_chain, xor_chain};
+use std::hint::black_box;
+
+fn bench_chain_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_success_probability_h16_q30");
+    let h = 16u32;
+    let q = 0.3f64;
+    group.bench_function(BenchmarkId::from_parameter("tree"), |b| {
+        b.iter(|| tree_chain(black_box(h), black_box(q)).unwrap().success_probability().unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("hypercube"), |b| {
+        b.iter(|| {
+            hypercube_chain(black_box(h), black_box(q))
+                .unwrap()
+                .success_probability()
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("xor"), |b| {
+        b.iter(|| xor_chain(black_box(h), black_box(q)).unwrap().success_probability().unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("ring"), |b| {
+        b.iter(|| ring_chain(black_box(h), black_box(q)).unwrap().success_probability().unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("symphony"), |b| {
+        b.iter(|| {
+            symphony_chain(black_box(h), black_box(q), 1, 1, 16)
+                .unwrap()
+                .success_probability()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_validation_harness");
+    group.sample_size(10);
+    group.bench_function("h12_three_q_points", |b| {
+        b.iter(|| markov_validation::run(black_box(12), black_box(&[0.1, 0.5, 0.9])).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_solve, bench_full_validation);
+criterion_main!(benches);

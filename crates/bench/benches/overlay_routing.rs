@@ -1,0 +1,66 @@
+//! Micro-benchmarks of single-message greedy routing on each overlay, with
+//! and without failures — the inner loop of every simulated figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht_overlay::{
+    route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, KademliaOverlay, Overlay,
+    PlaxtonOverlay, SymphonyOverlay,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const BITS: u32 = 14;
+
+fn overlays() -> Vec<(&'static str, Box<dyn Overlay>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    vec![
+        (
+            "tree",
+            Box::new(PlaxtonOverlay::build(BITS, &mut rng).unwrap()) as Box<dyn Overlay>,
+        ),
+        ("hypercube", Box::new(CanOverlay::build(BITS).unwrap())),
+        (
+            "xor",
+            Box::new(KademliaOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+        (
+            "ring",
+            Box::new(ChordOverlay::build(BITS, ChordVariant::Deterministic).unwrap()),
+        ),
+        (
+            "symphony",
+            Box::new(SymphonyOverlay::build(BITS, 1, 1, &mut rng).unwrap()),
+        ),
+    ]
+}
+
+fn bench_routing(c: &mut Criterion, group_name: &str, q: f64) {
+    let overlays = overlays();
+    let mut group = c.benchmark_group(group_name);
+    for (name, overlay) in &overlays {
+        let space = overlay.key_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mask = FailureMask::sample(space, q, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(name), overlay, |b, overlay| {
+            let mut pair_rng = ChaCha8Rng::seed_from_u64(13);
+            b.iter(|| {
+                let source = space.wrap(pair_rng.gen::<u64>());
+                let target = space.wrap(pair_rng.gen::<u64>());
+                black_box(route(overlay.as_ref(), source, target, &mask))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_intact(c: &mut Criterion) {
+    bench_routing(c, "route_one_message_intact_2_14", 0.0);
+}
+
+fn bench_routing_under_failure(c: &mut Criterion) {
+    bench_routing(c, "route_one_message_q30_2_14", 0.3);
+}
+
+criterion_group!(benches, bench_routing_intact, bench_routing_under_failure);
+criterion_main!(benches);

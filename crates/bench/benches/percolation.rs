@@ -1,0 +1,66 @@
+//! Benchmarks of the connectivity substrate (experiment E9): connected
+//! components, reachable components and percolation-threshold estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht_overlay::{CanOverlay, FailureMask, KademliaOverlay, Overlay, PlaxtonOverlay};
+use dht_percolation::{connected_components, percolation_threshold, reachable_component};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const BITS: u32 = 12;
+
+fn bench_connected_components(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let overlays: Vec<(&str, Box<dyn Overlay>)> = vec![
+        ("hypercube", Box::new(CanOverlay::build(BITS).unwrap())),
+        (
+            "xor",
+            Box::new(KademliaOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+        (
+            "tree",
+            Box::new(PlaxtonOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+    ];
+    let mut group = c.benchmark_group("connected_components_q30_2_12");
+    for (name, overlay) in &overlays {
+        let mut mask_rng = ChaCha8Rng::seed_from_u64(5);
+        let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut mask_rng);
+        group.bench_with_input(BenchmarkId::from_parameter(name), overlay, |b, overlay| {
+            b.iter(|| connected_components(black_box(overlay.as_ref()), black_box(&mask)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachable_component(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let overlay = KademliaOverlay::build(10, &mut rng).unwrap();
+    let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut rng);
+    let root = mask.alive_nodes().next().expect("someone survives");
+    let mut group = c.benchmark_group("reachable_component_2_10");
+    group.sample_size(20);
+    group.bench_function("xor_q30", |b| {
+        b.iter(|| reachable_component(black_box(&overlay), black_box(root), black_box(&mask)))
+    });
+    group.finish();
+}
+
+fn bench_threshold_estimation(c: &mut Criterion) {
+    let overlay = CanOverlay::build(10).unwrap();
+    let mut group = c.benchmark_group("percolation_threshold_2_10");
+    group.sample_size(10);
+    group.bench_function("hypercube_8_iterations", |b| {
+        b.iter(|| percolation_threshold(black_box(&overlay), 0.5, 8, 1, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_connected_components,
+    bench_reachable_component,
+    bench_threshold_estimation
+);
+criterion_main!(benches);

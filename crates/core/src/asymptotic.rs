@@ -1,0 +1,242 @@
+//! Parameter sweeps for the asymptotic figures of the paper.
+//!
+//! Fig. 7(a) evaluates the analytical routability expressions at `N = 2^100`
+//! across the failure-probability axis; Fig. 7(b) fixes `q = 0.1` and sweeps
+//! the system size from thousands to billions of nodes. Both sweeps are thin
+//! wrappers around [`crate::routability`] that return tabular data ready for
+//! the experiment harnesses and benches.
+
+use crate::error::RcmError;
+use crate::geometry::{RoutingGeometry, SystemSize};
+use crate::routability::{routability, RoutabilityReport};
+use serde::{Deserialize, Serialize};
+
+/// One point of a failure-probability sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSweepPoint {
+    /// Failure probability of this point.
+    pub failure_probability: f64,
+    /// Full routability report at this point.
+    pub report: RoutabilityReport,
+}
+
+/// One point of a system-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeSweepPoint {
+    /// System size of this point.
+    pub size: SystemSize,
+    /// Full routability report at this point.
+    pub report: RoutabilityReport,
+}
+
+/// Sweeps the failure probability at a fixed system size (the x-axis of
+/// Fig. 6 and Fig. 7a).
+///
+/// Grid points at which the system degenerates (fewer than two expected
+/// survivors) are skipped rather than reported as errors, mirroring how the
+/// paper's plots simply end where the expression stops being meaningful.
+///
+/// # Errors
+///
+/// Returns the first non-degeneracy error encountered (invalid geometry
+/// parameters).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::asymptotic::sweep_failure_probability;
+/// use dht_rcm_core::{SystemSize, XorGeometry};
+///
+/// let grid = [0.0, 0.1, 0.2, 0.3];
+/// let points = sweep_failure_probability(&XorGeometry::new(), SystemSize::power_of_two(16)?, &grid)?;
+/// assert_eq!(points.len(), 4);
+/// assert!(points.windows(2).all(|w| w[1].report.routability <= w[0].report.routability));
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+pub fn sweep_failure_probability<G>(
+    geometry: &G,
+    size: SystemSize,
+    grid: &[f64],
+) -> Result<Vec<FailureSweepPoint>, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    let mut points = Vec::with_capacity(grid.len());
+    for &q in grid {
+        match routability(geometry, size, q) {
+            Ok(report) => points.push(FailureSweepPoint {
+                failure_probability: q,
+                report,
+            }),
+            Err(RcmError::DegenerateSystem { .. }) => continue,
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(points)
+}
+
+/// Sweeps the system size at a fixed failure probability (the x-axis of
+/// Fig. 7b).
+///
+/// # Errors
+///
+/// Same policy as [`sweep_failure_probability`].
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::asymptotic::sweep_system_size;
+/// use dht_rcm_core::{SymphonyGeometry, SystemSize};
+///
+/// let sizes: Vec<SystemSize> = (10..=30)
+///     .step_by(4)
+///     .map(SystemSize::power_of_two)
+///     .collect::<Result<_, _>>()?;
+/// let points = sweep_system_size(&SymphonyGeometry::new(1, 1)?, 0.1, &sizes)?;
+/// // Fig. 7(b): Symphony's routability decays monotonically with N.
+/// assert!(points.windows(2).all(|w| w[1].report.routability <= w[0].report.routability + 1e-12));
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+pub fn sweep_system_size<G>(
+    geometry: &G,
+    q: f64,
+    sizes: &[SystemSize],
+) -> Result<Vec<SizeSweepPoint>, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    let mut points = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        match routability(geometry, size, q) {
+            Ok(report) => points.push(SizeSweepPoint { size, report }),
+            Err(RcmError::DegenerateSystem { .. }) => continue,
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(points)
+}
+
+/// Numerically probes the large-`N` limit of routability at failure
+/// probability `q` by evaluating it at successively larger identifier lengths
+/// and reporting the final value.
+///
+/// This is the quantity Definition 2 is about; scalable geometries plateau at
+/// a positive value while unscalable ones head to zero.
+///
+/// # Errors
+///
+/// Same policy as [`sweep_failure_probability`]; if every probed size is
+/// degenerate an [`RcmError::DegenerateSystem`] is returned.
+pub fn limiting_routability<G>(geometry: &G, q: f64, max_bits: u32) -> Result<f64, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    let mut bits = 8u32;
+    let mut last: Option<f64> = None;
+    while bits <= max_bits.min(SystemSize::MAX_BITS) {
+        match routability(geometry, SystemSize::power_of_two(bits)?, q) {
+            Ok(report) => last = Some(report.routability),
+            Err(RcmError::DegenerateSystem { .. }) => {}
+            Err(other) => return Err(other),
+        }
+        bits = bits.saturating_mul(2);
+    }
+    last.ok_or(RcmError::DegenerateSystem {
+        bits: max_bits,
+        q,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::{
+        HypercubeGeometry, RingGeometry, SymphonyGeometry, TreeGeometry, XorGeometry,
+    };
+
+    #[test]
+    fn figure_7a_ordering_at_asymptotic_scale() {
+        // At N = 2^100 and q = 30%, the scalable geometries keep most paths
+        // alive while tree and Symphony lose essentially all of them.
+        let size = SystemSize::power_of_two(100).unwrap();
+        let q = 0.3;
+        let cube = routability(&HypercubeGeometry::new(), size, q).unwrap();
+        let xor = routability(&XorGeometry::new(), size, q).unwrap();
+        let ring = routability(&RingGeometry::new(), size, q).unwrap();
+        let tree = routability(&TreeGeometry::new(), size, q).unwrap();
+        let symphony =
+            routability(&SymphonyGeometry::new(1, 1).unwrap(), size, q).unwrap();
+        assert!(cube.failed_path_percent < 50.0);
+        assert!(xor.failed_path_percent < 50.0);
+        assert!(ring.failed_path_percent < 50.0);
+        assert!(tree.failed_path_percent > 99.9);
+        assert!(symphony.failed_path_percent > 99.9);
+    }
+
+    #[test]
+    fn figure_7b_monotone_decay_for_unscalable_geometries() {
+        let sizes: Vec<SystemSize> = (10..=34)
+            .step_by(4)
+            .map(|b| SystemSize::power_of_two(b).unwrap())
+            .collect();
+        for geometry in [
+            Box::new(TreeGeometry::new()) as Box<dyn RoutingGeometry>,
+            Box::new(SymphonyGeometry::new(1, 1).unwrap()),
+        ] {
+            let points = sweep_system_size(geometry.as_ref(), 0.1, &sizes).unwrap();
+            assert_eq!(points.len(), sizes.len());
+            assert!(
+                points
+                    .windows(2)
+                    .all(|w| w[1].report.routability <= w[0].report.routability + 1e-12),
+                "{} should decay monotonically",
+                geometry.name()
+            );
+            let first = points.first().unwrap().report.routability;
+            let last = points.last().unwrap().report.routability;
+            assert!(last < first * 0.5, "{}: {first} -> {last}", geometry.name());
+        }
+    }
+
+    #[test]
+    fn figure_7b_flat_curves_for_scalable_geometries() {
+        let sizes: Vec<SystemSize> = (16..=34)
+            .step_by(6)
+            .map(|b| SystemSize::power_of_two(b).unwrap())
+            .collect();
+        for geometry in [
+            Box::new(HypercubeGeometry::new()) as Box<dyn RoutingGeometry>,
+            Box::new(XorGeometry::new()),
+            Box::new(RingGeometry::new()),
+        ] {
+            let points = sweep_system_size(geometry.as_ref(), 0.1, &sizes).unwrap();
+            let first = points.first().unwrap().report.routability;
+            let last = points.last().unwrap().report.routability;
+            assert!(
+                (first - last).abs() < 0.02,
+                "{}: routability moved from {first} to {last}",
+                geometry.name()
+            );
+            assert!(last > 0.9, "{} stays highly routable", geometry.name());
+        }
+    }
+
+    #[test]
+    fn failure_sweep_skips_degenerate_points() {
+        // At d = 4 the expected survivor count drops below one past q ≈ 0.94.
+        let grid = [0.0, 0.5, 0.95, 0.99];
+        let points =
+            sweep_failure_probability(&TreeGeometry::new(), SystemSize::power_of_two(4).unwrap(), &grid)
+                .unwrap();
+        assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn limiting_routability_separates_the_two_classes() {
+        let q = 0.1;
+        let xor_limit = limiting_routability(&XorGeometry::new(), q, 1024).unwrap();
+        let tree_limit = limiting_routability(&TreeGeometry::new(), q, 1024).unwrap();
+        assert!(xor_limit > 0.9);
+        assert!(tree_limit < 1e-6);
+    }
+}

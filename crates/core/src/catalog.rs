@@ -1,0 +1,226 @@
+//! A convenience catalogue of the five paper geometries behind one enum.
+//!
+//! The [`Geometry`] enum lets callers sweep "all systems the paper analyses"
+//! without naming each concrete type, which is what the experiment harnesses
+//! and examples do. Library users who implement their own
+//! [`RoutingGeometry`] are not restricted to this catalogue — every framework
+//! function accepts any implementor.
+
+use crate::closed_form::{
+    HypercubeGeometry, RingGeometry, SymphonyGeometry, TreeGeometry, XorGeometry,
+};
+use crate::error::RcmError;
+use crate::geometry::{RoutingGeometry, ScalabilityClass, SystemSize};
+use crate::routability::{routability, RoutabilityReport};
+use crate::scalability::{classify, ScalabilityReport};
+use serde::{Deserialize, Serialize};
+
+/// One of the five DHT routing geometries analysed by the paper.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::{Geometry, SystemSize};
+///
+/// let size = SystemSize::power_of_two(16)?;
+/// for geometry in Geometry::all_with_default_parameters() {
+///     let report = geometry.routability(size, 0.1)?;
+///     assert!(report.routability > 0.0 && report.routability <= 1.0);
+/// }
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Geometry {
+    /// Tree / Plaxton prefix routing.
+    Tree(TreeGeometry),
+    /// Hypercube / CAN routing.
+    Hypercube(HypercubeGeometry),
+    /// XOR / Kademlia routing.
+    Xor(XorGeometry),
+    /// Ring / Chord routing.
+    Ring(RingGeometry),
+    /// Small-world / Symphony routing.
+    Symphony(SymphonyGeometry),
+}
+
+impl Geometry {
+    /// The tree (Plaxton) geometry.
+    #[must_use]
+    pub fn tree() -> Self {
+        Geometry::Tree(TreeGeometry::new())
+    }
+
+    /// The hypercube (CAN) geometry.
+    #[must_use]
+    pub fn hypercube() -> Self {
+        Geometry::Hypercube(HypercubeGeometry::new())
+    }
+
+    /// The XOR (Kademlia) geometry.
+    #[must_use]
+    pub fn xor() -> Self {
+        Geometry::Xor(XorGeometry::new())
+    }
+
+    /// The ring (Chord) geometry.
+    #[must_use]
+    pub fn ring() -> Self {
+        Geometry::Ring(RingGeometry::new())
+    }
+
+    /// The small-world (Symphony) geometry with `k_n` near neighbours and
+    /// `k_s` shortcuts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcmError::InvalidParameter`] if either count is zero.
+    pub fn symphony(near_neighbors: u32, shortcuts: u32) -> Result<Self, RcmError> {
+        Ok(Geometry::Symphony(SymphonyGeometry::new(
+            near_neighbors,
+            shortcuts,
+        )?))
+    }
+
+    /// All five geometries with the parameters used in the paper's figures
+    /// (Symphony with `k_n = k_s = 1`).
+    #[must_use]
+    pub fn all_with_default_parameters() -> Vec<Geometry> {
+        vec![
+            Geometry::tree(),
+            Geometry::hypercube(),
+            Geometry::xor(),
+            Geometry::ring(),
+            Geometry::Symphony(
+                SymphonyGeometry::new(1, 1).expect("k_n = k_s = 1 is always valid"),
+            ),
+        ]
+    }
+
+    /// Borrows the underlying geometry as a trait object.
+    #[must_use]
+    pub fn as_routing_geometry(&self) -> &dyn RoutingGeometry {
+        match self {
+            Geometry::Tree(g) => g,
+            Geometry::Hypercube(g) => g,
+            Geometry::Xor(g) => g,
+            Geometry::Ring(g) => g,
+            Geometry::Symphony(g) => g,
+        }
+    }
+
+    /// Evaluates the RCM routability at `size` and failure probability `q`.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::routability`].
+    pub fn routability(&self, size: SystemSize, q: f64) -> Result<RoutabilityReport, RcmError> {
+        routability(self.as_routing_geometry(), size, q)
+    }
+
+    /// Runs the §5 scalability classification at failure probability `q`.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::scalability::classify`].
+    pub fn scalability(&self, q: f64) -> Result<ScalabilityReport, RcmError> {
+        classify(self.as_routing_geometry(), q)
+    }
+}
+
+impl RoutingGeometry for Geometry {
+    fn name(&self) -> &'static str {
+        self.as_routing_geometry().name()
+    }
+
+    fn system(&self) -> &'static str {
+        self.as_routing_geometry().system()
+    }
+
+    fn max_distance(&self, d: u32) -> u32 {
+        self.as_routing_geometry().max_distance(d)
+    }
+
+    fn ln_nodes_at_distance(&self, d: u32, h: u32) -> f64 {
+        self.as_routing_geometry().ln_nodes_at_distance(d, h)
+    }
+
+    fn phase_failure_probability(&self, m: u32, q: f64, d: u32) -> f64 {
+        self.as_routing_geometry().phase_failure_probability(m, q, d)
+    }
+
+    fn analytic_scalability(&self) -> ScalabilityClass {
+        self.as_routing_geometry().analytic_scalability()
+    }
+}
+
+impl std::fmt::Display for Geometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name(), self.system())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_contains_all_five_systems() {
+        let all = Geometry::all_with_default_parameters();
+        assert_eq!(all.len(), 5);
+        let names: Vec<&str> = all.iter().map(|g| g.name()).collect();
+        assert_eq!(names, vec!["tree", "hypercube", "xor", "ring", "symphony"]);
+        let systems: Vec<&str> = all.iter().map(|g| g.system()).collect();
+        assert_eq!(
+            systems,
+            vec!["Plaxton", "CAN", "Kademlia", "Chord", "Symphony"]
+        );
+    }
+
+    #[test]
+    fn display_includes_both_names() {
+        assert_eq!(Geometry::xor().to_string(), "xor (Kademlia)");
+        assert_eq!(Geometry::ring().to_string(), "ring (Chord)");
+    }
+
+    #[test]
+    fn enum_delegates_to_concrete_geometry() {
+        let direct = XorGeometry::new();
+        let via_enum = Geometry::xor();
+        let size = SystemSize::power_of_two(16).unwrap();
+        let a = routability(&direct, size, 0.25).unwrap();
+        let b = via_enum.routability(size, 0.25).unwrap();
+        assert!((a.routability - b.routability).abs() < 1e-15);
+        assert_eq!(
+            via_enum.phase_failure_probability(3, 0.25, 16),
+            direct.phase_failure_probability(3, 0.25, 16)
+        );
+    }
+
+    #[test]
+    fn scalability_verdicts_match_the_paper_table() {
+        let verdicts: Vec<(String, ScalabilityClass)> = Geometry::all_with_default_parameters()
+            .iter()
+            .map(|g| (g.name().to_owned(), g.analytic_scalability()))
+            .collect();
+        assert_eq!(verdicts[0].1, ScalabilityClass::Unscalable); // tree
+        assert_eq!(verdicts[1].1, ScalabilityClass::Scalable); // hypercube
+        assert_eq!(verdicts[2].1, ScalabilityClass::Scalable); // xor
+        assert_eq!(verdicts[3].1, ScalabilityClass::Scalable); // ring
+        assert_eq!(verdicts[4].1, ScalabilityClass::Unscalable); // symphony
+    }
+
+    #[test]
+    fn symphony_constructor_validates() {
+        assert!(Geometry::symphony(0, 1).is_err());
+        assert!(Geometry::symphony(2, 2).is_ok());
+    }
+
+    #[test]
+    fn geometries_round_trip_through_serde() {
+        for geometry in Geometry::all_with_default_parameters() {
+            let json = serde_json::to_string(&geometry).unwrap();
+            let back: Geometry = serde_json::from_str(&json).unwrap();
+            assert_eq!(geometry, back);
+        }
+    }
+}

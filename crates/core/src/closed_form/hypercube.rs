@@ -1,0 +1,134 @@
+//! The hypercube (CAN) geometry, §3.2 / §4.2 of the paper.
+
+use super::ln_binomial_distance_count;
+use crate::geometry::{RoutingGeometry, ScalabilityClass};
+use serde::{Deserialize, Serialize};
+
+/// Hypercube routing as used by CAN with binary dimensions.
+///
+/// Distance is the Hamming distance; any differing bit may be corrected at
+/// each hop, so with `m` bits left to correct the hop fails only if all `m`
+/// corresponding neighbours are down: `Q(m) = q^m` and
+/// `p(h, q) = ∏_{m=1}^{h} (1 − q^m)` (Eq. 2).
+///
+/// `Σ q^m` converges for every `q < 1`, so the geometry is **scalable**
+/// (§5.2).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::{routability, HypercubeGeometry, SystemSize};
+///
+/// // Fig. 7(b): at q = 0.1 the hypercube stays highly routable even at
+/// // billions of nodes.
+/// let r = routability(&HypercubeGeometry::new(), SystemSize::power_of_two(34)?, 0.1)?;
+/// assert!(r.routability > 0.95);
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HypercubeGeometry;
+
+impl HypercubeGeometry {
+    /// Creates the hypercube geometry.
+    #[must_use]
+    pub fn new() -> Self {
+        HypercubeGeometry
+    }
+
+    /// The worked example of Fig. 1–3: success probability of routing across
+    /// `h` Hamming bits, `p(h, q) = ∏_{m=1}^{h} (1 − q^m)`.
+    #[must_use]
+    pub fn hop_success_probability(&self, h: u32, q: f64) -> f64 {
+        (1..=h).map(|m| 1.0 - q.powi(m as i32)).product()
+    }
+}
+
+impl RoutingGeometry for HypercubeGeometry {
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+
+    fn system(&self) -> &'static str {
+        "CAN"
+    }
+
+    fn ln_nodes_at_distance(&self, d: u32, h: u32) -> f64 {
+        ln_binomial_distance_count(d, h)
+    }
+
+    fn phase_failure_probability(&self, m: u32, q: f64, _d: u32) -> f64 {
+        q.powi(m as i32)
+    }
+
+    fn analytic_scalability(&self) -> ScalabilityClass {
+        ScalabilityClass::Scalable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::success_probability;
+    use crate::routability::routability;
+    use crate::SystemSize;
+    use dht_markov::chains::hypercube_chain;
+
+    #[test]
+    fn phase_success_matches_markov_chain() {
+        let geometry = HypercubeGeometry::new();
+        for h in 1..=16u32 {
+            for &q in &[0.05, 0.3, 0.6, 0.9] {
+                let analytical = success_probability(&geometry, 16, h, q).unwrap();
+                let chain = hypercube_chain(h, q).unwrap().success_probability().unwrap();
+                assert!(
+                    (analytical - chain).abs() < 1e-10,
+                    "h={h} q={q}: {analytical} vs {chain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worked_example_of_figure_three() {
+        // Fig. 3: d = 3, routing from 011 to 100, p(3, q) = (1−q^3)(1−q^2)(1−q).
+        let geometry = HypercubeGeometry::new();
+        let q = 0.25f64;
+        let expected = (1.0 - q.powi(3)) * (1.0 - q.powi(2)) * (1.0 - q);
+        assert!((geometry.hop_success_probability(3, q) - expected).abs() < 1e-12);
+        assert!((success_probability(&geometry, 3, 3, q).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eight_node_hypercube_routability_by_enumeration() {
+        // For d = 3 the RCM expression can be written out by hand:
+        // E[S] = Σ_h C(3,h) ∏_{m=1}^h (1−q^m), r = E[S] / ((1−q)·8 − 1).
+        let geometry = HypercubeGeometry::new();
+        let q = 0.5;
+        let p = |h: u32| geometry.hop_success_probability(h, q);
+        let expected_reachable = 3.0 * p(1) + 3.0 * p(2) + p(3);
+        let expected = expected_reachable / ((1.0 - q) * 8.0 - 1.0);
+        let got = routability(&geometry, SystemSize::power_of_two(3).unwrap(), q).unwrap();
+        assert!((got.routability - expected).abs() < 1e-9);
+        assert!((got.expected_reachable() - expected_reachable).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_robust_than_tree_at_every_operating_point() {
+        let cube = HypercubeGeometry::new();
+        let tree = super::super::TreeGeometry::new();
+        let size = SystemSize::power_of_two(16).unwrap();
+        for &q in &[0.1, 0.3, 0.5, 0.7] {
+            let rc = routability(&cube, size, q).unwrap().routability;
+            let rt = routability(&tree, size, q).unwrap().routability;
+            assert!(rc > rt, "q={q}: hypercube {rc} vs tree {rt}");
+        }
+    }
+
+    #[test]
+    fn metadata_is_stable() {
+        let geometry = HypercubeGeometry::new();
+        assert_eq!(geometry.name(), "hypercube");
+        assert_eq!(geometry.system(), "CAN");
+        assert_eq!(geometry.analytic_scalability(), ScalabilityClass::Scalable);
+    }
+}

@@ -1,0 +1,111 @@
+//! Closed-form `n(h)` and `Q(m)` expressions for the five paper geometries
+//! (§4.3), each implementing [`crate::RoutingGeometry`].
+//!
+//! | Module | Geometry | DHT | `n(h)` | Scalability (§5) |
+//! |--------|----------|-----|--------|------------------|
+//! | [`tree`] | prefix-correcting tree | Plaxton/Tapestry/Pastry-style | `C(d,h)` | unscalable |
+//! | [`hypercube`] | hypercube | CAN | `C(d,h)` | scalable |
+//! | [`xor`] | XOR | Kademlia (eDonkey/Kad) | `C(d,h)` | scalable |
+//! | [`ring`] | ring with fingers | Chord | `2^{h−1}` | scalable (lower bound) |
+//! | [`symphony`] | 1-D small world | Symphony | `2^{h−1}` | unscalable |
+//!
+//! Every module carries unit tests pinning the closed forms against the
+//! routing Markov chains of [`dht_markov`], i.e. against the model the
+//! formulas were derived from.
+
+mod hypercube;
+mod ring;
+mod symphony;
+mod tree;
+mod xor;
+
+pub use hypercube::HypercubeGeometry;
+pub use ring::RingGeometry;
+pub use symphony::SymphonyGeometry;
+pub use tree::TreeGeometry;
+pub use xor::XorGeometry;
+
+/// `ln n(h)` for the binomial distance distribution `n(h) = C(d, h)` shared by
+/// the tree, hypercube and XOR geometries.
+pub(crate) fn ln_binomial_distance_count(d: u32, h: u32) -> f64 {
+    dht_mathkit::binomial::ln_binomial(u64::from(d), u64::from(h))
+}
+
+/// `ln n(h)` for the doubling distance distribution `n(h) = 2^{h−1}` shared by
+/// the ring and Symphony geometries.
+pub(crate) fn ln_doubling_distance_count(d: u32, h: u32) -> f64 {
+    if h == 0 || h > d {
+        f64::NEG_INFINITY
+    } else {
+        f64::from(h - 1) * std::f64::consts::LN_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::RoutingGeometry;
+    use dht_mathkit::logsum::LogSumExp;
+
+    /// Step 2 sanity check: every geometry's distance distribution must cover
+    /// exactly the other `2^d − 1` nodes of the fully populated space.
+    #[test]
+    fn distance_distributions_cover_the_population() {
+        let geometries: Vec<Box<dyn RoutingGeometry>> = vec![
+            Box::new(TreeGeometry::new()),
+            Box::new(HypercubeGeometry::new()),
+            Box::new(XorGeometry::new()),
+            Box::new(RingGeometry::new()),
+            Box::new(SymphonyGeometry::new(1, 1).unwrap()),
+        ];
+        for d in [4u32, 8, 16, 32] {
+            for geometry in &geometries {
+                let mut total = LogSumExp::new();
+                for h in 1..=geometry.max_distance(d) {
+                    total.push(geometry.ln_nodes_at_distance(d, h));
+                }
+                let expected = (2f64.powi(d as i32) - 1.0).ln();
+                assert!(
+                    (total.sum() - expected).abs() < 1e-9,
+                    "{} at d={d}: coverage {} vs {}",
+                    geometry.name(),
+                    total.sum(),
+                    expected
+                );
+            }
+        }
+    }
+
+    /// Q(m) must be a probability for every geometry over a broad grid.
+    #[test]
+    fn phase_failure_probabilities_are_probabilities() {
+        let geometries: Vec<Box<dyn RoutingGeometry>> = vec![
+            Box::new(TreeGeometry::new()),
+            Box::new(HypercubeGeometry::new()),
+            Box::new(XorGeometry::new()),
+            Box::new(RingGeometry::new()),
+            Box::new(SymphonyGeometry::new(2, 3).unwrap()),
+        ];
+        for geometry in &geometries {
+            for m in 1..=64u32 {
+                for &q in &[0.0, 0.01, 0.1, 0.5, 0.9, 0.99] {
+                    let failure = geometry.phase_failure_probability(m, q, 64);
+                    assert!(
+                        (0.0..=1.0).contains(&failure),
+                        "{} Q({m}) at q={q}: {failure}",
+                        geometry.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_and_doubling_counts_match_direct_formulas() {
+        assert!((ln_binomial_distance_count(16, 8).exp() - 12870.0).abs() < 1e-6);
+        assert!((ln_doubling_distance_count(16, 1)).abs() < 1e-12);
+        assert!((ln_doubling_distance_count(16, 16) - 15.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(ln_doubling_distance_count(16, 17), f64::NEG_INFINITY);
+        assert_eq!(ln_doubling_distance_count(16, 0), f64::NEG_INFINITY);
+    }
+}

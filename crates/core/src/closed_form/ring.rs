@@ -1,0 +1,180 @@
+//! The ring (Chord) geometry, §3.4 / §4.3.3 of the paper.
+
+use super::ln_doubling_distance_count;
+use crate::geometry::{RoutingGeometry, ScalabilityClass};
+use serde::{Deserialize, Serialize};
+
+/// Ring routing with fingers as used by (randomised) Chord.
+///
+/// Nodes sit on a ring; the `i`-th finger covers numeric distance
+/// `[2^{d−i}, 2^{d−i+1})`, and routing is greedy clockwise. The distance
+/// distribution is `n(h) = 2^{h−1}` (half of all nodes are one phase away,
+/// a quarter two phases away, and so on).
+///
+/// The paper's chain (Fig. 8a) deliberately ignores the fact that suboptimal
+/// hops preserve their progress in later phases — accounting for it would
+/// blow up the state space — so the resulting
+///
+/// ```text
+/// Q_ring(m) = q^m · (1 − [q(1 − q^{m−1})]^{2^{m−1}}) / (1 − q(1 − q^{m−1}))
+/// ```
+///
+/// yields a **lower bound** on routability (an upper bound on failed paths,
+/// Fig. 6b), tight for `q ≲ 20%`. Since `Q_ring(m) ≥ Q_xor(m)` term-wise is
+/// false — it is the other way around — the XOR convergence argument carries
+/// over and the geometry is **scalable** (§5.4).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::{routability, RingGeometry, SystemSize};
+///
+/// let size = SystemSize::power_of_two(16)?;
+/// let r = routability(&RingGeometry::new(), size, 0.1)?;
+/// // Fig. 6(b): below 10% of paths fail at q = 10%.
+/// assert!(r.failed_path_percent < 10.0);
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RingGeometry;
+
+impl RingGeometry {
+    /// Creates the ring geometry.
+    #[must_use]
+    pub fn new() -> Self {
+        RingGeometry
+    }
+
+    /// Evaluates the §4.3.3 closed form for `Q_ring(m)`.
+    #[must_use]
+    pub fn phase_failure_exact(&self, m: u32, q: f64) -> f64 {
+        if q == 0.0 || m == 0 {
+            return 0.0;
+        }
+        let q_to_m = q.powi(m as i32);
+        if q_to_m == 0.0 {
+            return 0.0;
+        }
+        // r is the probability of taking a suboptimal hop.
+        let r = q * (1.0 - q.powi(m.saturating_sub(1) as i32));
+        if r == 0.0 {
+            // m = 1 (or q = 1): no detours possible, Q = q^m.
+            return q_to_m.min(1.0);
+        }
+        // r^(2^(m-1)) evaluated in log space; the exponent itself may exceed
+        // f64 range for large m, in which case the power underflows to zero.
+        let exponent = 2f64.powi(m as i32 - 1);
+        let tail = (exponent * r.ln()).exp();
+        (q_to_m * (1.0 - tail) / (1.0 - r)).clamp(0.0, 1.0)
+    }
+}
+
+impl RoutingGeometry for RingGeometry {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn system(&self) -> &'static str {
+        "Chord"
+    }
+
+    fn ln_nodes_at_distance(&self, d: u32, h: u32) -> f64 {
+        ln_doubling_distance_count(d, h)
+    }
+
+    fn phase_failure_probability(&self, m: u32, q: f64, _d: u32) -> f64 {
+        self.phase_failure_exact(m, q)
+    }
+
+    fn analytic_scalability(&self) -> ScalabilityClass {
+        ScalabilityClass::Scalable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::success_probability;
+    use crate::routability::routability;
+    use crate::SystemSize;
+    use dht_markov::chains::ring_chain;
+
+    #[test]
+    fn phase_success_matches_markov_chain() {
+        let geometry = RingGeometry::new();
+        for h in 1..=14u32 {
+            for &q in &[0.05, 0.3, 0.6, 0.9] {
+                let analytical = success_probability(&geometry, 14, h, q).unwrap();
+                let chain = ring_chain(h, q).unwrap().success_probability().unwrap();
+                assert!(
+                    (analytical - chain).abs() < 1e-9,
+                    "h={h} q={q}: {analytical} vs {chain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_phase_failure_is_q() {
+        let geometry = RingGeometry::new();
+        for &q in &[0.1, 0.5, 0.9] {
+            assert!((geometry.phase_failure_exact(1, q) - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q2_matches_hand_expansion() {
+        // Q_ring(2) = q^2 (1 + q(1 - q)).
+        let geometry = RingGeometry::new();
+        for &q in &[0.1, 0.4, 0.8] {
+            let expected = q * q * (1.0 + q * (1.0 - q));
+            assert!((geometry.phase_failure_exact(2, q) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_phase_failure_is_below_xor() {
+        // §5.4: ring detours keep all m finger choices alive, so per-phase
+        // failure is at most the XOR one; this makes ring scalable.
+        let ring = RingGeometry::new();
+        let xor = super::super::XorGeometry::new();
+        for m in 1..=20u32 {
+            for &q in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+                assert!(
+                    ring.phase_failure_exact(m, q) <= xor.phase_failure_exact(m, q) + 1e-12,
+                    "m={m} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_routability_exceeds_xor_routability() {
+        let ring = RingGeometry::new();
+        let xor = super::super::XorGeometry::new();
+        let size = SystemSize::power_of_two(16).unwrap();
+        for &q in &[0.1, 0.3, 0.5] {
+            let rr = routability(&ring, size, q).unwrap().routability;
+            let rx = routability(&xor, size, q).unwrap().routability;
+            assert!(rr >= rx - 1e-12, "q={q}: ring {rr} vs xor {rx}");
+        }
+    }
+
+    #[test]
+    fn large_phase_failure_underflows_gracefully() {
+        let geometry = RingGeometry::new();
+        let value = geometry.phase_failure_exact(500, 0.5);
+        assert!(value >= 0.0 && value < 1e-100);
+        // And stays a probability near q -> 1.
+        let value = geometry.phase_failure_exact(64, 0.999);
+        assert!((0.0..=1.0).contains(&value));
+    }
+
+    #[test]
+    fn metadata_is_stable() {
+        let geometry = RingGeometry::new();
+        assert_eq!(geometry.name(), "ring");
+        assert_eq!(geometry.system(), "Chord");
+        assert_eq!(geometry.analytic_scalability(), ScalabilityClass::Scalable);
+    }
+}

@@ -1,0 +1,214 @@
+//! The small-world (Symphony) geometry, §3.5 / §4.3.4 of the paper.
+
+use super::ln_doubling_distance_count;
+use crate::error::RcmError;
+use crate::geometry::{RoutingGeometry, ScalabilityClass};
+use serde::{Deserialize, Serialize};
+
+/// One-dimensional small-world routing as used by Symphony.
+///
+/// Each node keeps `k_n` near neighbours and `k_s` long-range shortcuts drawn
+/// from a harmonic (`1/d`) distance distribution, and routes greedily. A phase
+/// (halving the remaining ring distance) completes when a shortcut lands in
+/// the desired range, which happens with probability `x = k_s / d` per hop;
+/// the message is dropped when all `k_n + k_s` connections are dead
+/// (`y = q^{k_n + k_s}`); otherwise a suboptimal hop is taken, at most
+/// `⌈d/(1−q)⌉` times. Equation 7:
+///
+/// ```text
+/// Q_sym = q^{k_n+k_s} · Σ_{j=0}^{⌈d/(1−q)⌉} (1 − k_s/d − q^{k_n+k_s})^j
+/// ```
+///
+/// `Q_sym` does not depend on the phase index `m`, so `Σ_m Q_sym` diverges and
+/// the geometry is **unscalable** (§5.5). The paper's Fig. 7 uses
+/// `k_n = k_s = 1`; larger values are exactly the "more sequential neighbours"
+/// knob the paper notes a deployment can turn to buy routability at a fixed
+/// maximum size (see the `symphony_ablation` experiment).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::{routability, SymphonyGeometry, SystemSize};
+///
+/// let sparse = SymphonyGeometry::new(1, 1)?;
+/// let dense = SymphonyGeometry::new(4, 4)?;
+/// let size = SystemSize::power_of_two(16)?;
+/// let r_sparse = routability(&sparse, size, 0.2)?.routability;
+/// let r_dense = routability(&dense, size, 0.2)?.routability;
+/// assert!(r_dense > r_sparse);
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SymphonyGeometry {
+    near_neighbors: u32,
+    shortcuts: u32,
+}
+
+impl SymphonyGeometry {
+    /// Creates a Symphony geometry with `k_n` near neighbours and `k_s`
+    /// shortcuts per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcmError::InvalidParameter`] if either count is zero.
+    pub fn new(near_neighbors: u32, shortcuts: u32) -> Result<Self, RcmError> {
+        if near_neighbors == 0 || shortcuts == 0 {
+            return Err(RcmError::InvalidParameter {
+                message: format!(
+                    "Symphony needs at least one near neighbour and one shortcut, got k_n={near_neighbors}, k_s={shortcuts}"
+                ),
+            });
+        }
+        Ok(SymphonyGeometry {
+            near_neighbors,
+            shortcuts,
+        })
+    }
+
+    /// Number of near neighbours `k_n`.
+    #[must_use]
+    pub fn near_neighbors(&self) -> u32 {
+        self.near_neighbors
+    }
+
+    /// Number of shortcuts `k_s`.
+    #[must_use]
+    pub fn shortcuts(&self) -> u32 {
+        self.shortcuts
+    }
+
+    /// Evaluates Eq. 7 exactly (as a finite geometric sum) for identifier
+    /// length `d` and failure probability `q`.
+    #[must_use]
+    pub fn phase_failure_exact(&self, q: f64, d: u32) -> f64 {
+        if q <= 0.0 {
+            return 0.0;
+        }
+        let d_f = f64::from(d.max(1));
+        let x = (f64::from(self.shortcuts) / d_f).min(1.0);
+        let y = q.powi((self.near_neighbors + self.shortcuts) as i32);
+        let z = (1.0 - x - y).max(0.0);
+        // ⌈d / (1 − q)⌉ suboptimal hops at most; q < 1 is guaranteed upstream
+        // but guard the division anyway.
+        let max_hops = if q >= 1.0 {
+            f64::from(u32::MAX)
+        } else {
+            (d_f / (1.0 - q)).ceil()
+        };
+        if z == 0.0 {
+            return y.min(1.0);
+        }
+        // y · (1 − z^{J+1}) / (1 − z)
+        let tail = ((max_hops + 1.0) * z.ln()).exp();
+        (y * (1.0 - tail) / (1.0 - z)).clamp(0.0, 1.0)
+    }
+}
+
+impl RoutingGeometry for SymphonyGeometry {
+    fn name(&self) -> &'static str {
+        "symphony"
+    }
+
+    fn system(&self) -> &'static str {
+        "Symphony"
+    }
+
+    fn ln_nodes_at_distance(&self, d: u32, h: u32) -> f64 {
+        ln_doubling_distance_count(d, h)
+    }
+
+    fn phase_failure_probability(&self, _m: u32, q: f64, d: u32) -> f64 {
+        self.phase_failure_exact(q, d)
+    }
+
+    fn analytic_scalability(&self) -> ScalabilityClass {
+        ScalabilityClass::Unscalable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::success_probability;
+    use crate::routability::routability;
+    use crate::SystemSize;
+    use dht_markov::chains::symphony_chain;
+
+    #[test]
+    fn phase_success_matches_markov_chain() {
+        let geometry = SymphonyGeometry::new(1, 1).unwrap();
+        for h in 1..=12u32 {
+            for &q in &[0.05, 0.2, 0.4, 0.6] {
+                let analytical = success_probability(&geometry, 16, h, q).unwrap();
+                let chain = symphony_chain(h, q, 1, 1, 16)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap();
+                assert!(
+                    (analytical - chain).abs() < 1e-9,
+                    "h={h} q={q}: {analytical} vs {chain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_failure_is_independent_of_phase_index() {
+        let geometry = SymphonyGeometry::new(1, 1).unwrap();
+        let q1 = geometry.phase_failure_probability(1, 0.3, 20);
+        for m in 2..=20u32 {
+            assert_eq!(geometry.phase_failure_probability(m, 0.3, 20), q1);
+        }
+    }
+
+    #[test]
+    fn more_connections_reduce_phase_failure() {
+        let q = 0.4;
+        let base = SymphonyGeometry::new(1, 1).unwrap().phase_failure_exact(q, 16);
+        let near = SymphonyGeometry::new(4, 1).unwrap().phase_failure_exact(q, 16);
+        let shortcuts = SymphonyGeometry::new(1, 4).unwrap().phase_failure_exact(q, 16);
+        assert!(near < base);
+        assert!(shortcuts < base);
+    }
+
+    #[test]
+    fn zero_failure_probability_never_drops() {
+        let geometry = SymphonyGeometry::new(1, 1).unwrap();
+        assert_eq!(geometry.phase_failure_exact(0.0, 16), 0.0);
+        let r = routability(&geometry, SystemSize::power_of_two(12).unwrap(), 0.0).unwrap();
+        assert!((r.routability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symphony_is_the_least_robust_geometry_at_scale() {
+        // Fig. 7(a): Symphony (k_n = k_s = 1) fails even faster than the tree.
+        let symphony = SymphonyGeometry::new(1, 1).unwrap();
+        let tree = super::super::TreeGeometry::new();
+        let size = SystemSize::power_of_two(32).unwrap();
+        for &q in &[0.1, 0.3] {
+            let rs = routability(&symphony, size, q).unwrap().routability;
+            let rt = routability(&tree, size, q).unwrap().routability;
+            assert!(rs <= rt + 1e-12, "q={q}: symphony {rs} vs tree {rt}");
+        }
+    }
+
+    #[test]
+    fn constructor_rejects_zero_connections() {
+        assert!(SymphonyGeometry::new(0, 1).is_err());
+        assert!(SymphonyGeometry::new(1, 0).is_err());
+        let geometry = SymphonyGeometry::new(2, 3).unwrap();
+        assert_eq!(geometry.near_neighbors(), 2);
+        assert_eq!(geometry.shortcuts(), 3);
+    }
+
+    #[test]
+    fn metadata_is_stable() {
+        let geometry = SymphonyGeometry::new(1, 1).unwrap();
+        assert_eq!(geometry.name(), "symphony");
+        assert_eq!(geometry.system(), "Symphony");
+        assert_eq!(
+            geometry.analytic_scalability(),
+            ScalabilityClass::Unscalable
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! The tree (Plaxton) geometry, §3.1 / §4.3.1 of the paper.
+
+use super::ln_binomial_distance_count;
+use crate::geometry::{RoutingGeometry, ScalabilityClass, SystemSize};
+use crate::routability::RoutabilityReport;
+use crate::RcmError;
+use serde::{Deserialize, Serialize};
+
+/// Prefix-correcting tree routing (Plaxton, Tapestry, Pastry without leaf
+/// sets).
+///
+/// Each node has `d` neighbours; the `i`-th matches the first `i − 1` bits and
+/// differs in the `i`-th. Routing must correct the highest-order differing bit
+/// at every step, so a single failed neighbour drops the message:
+/// `Q(m) = q` and `p(h, q) = (1 − q)^h`, giving the fully closed form
+/// `r = ((2 − q)^d − 1) / ((1 − q)·2^d − 1)` (§4.3.1).
+///
+/// Because `Σ Q(m) = Σ q` diverges, the geometry is **unscalable** (§5.1).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::{routability, SystemSize, TreeGeometry};
+///
+/// let report = routability(&TreeGeometry::new(), SystemSize::power_of_two(16)?, 0.3)?;
+/// // Fig. 6(a): the tree curve is far above hypercube/XOR; at q = 0.3 nearly
+/// // 90% of paths already fail.
+/// assert!(report.failed_path_percent > 85.0);
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TreeGeometry;
+
+impl TreeGeometry {
+    /// Creates the tree geometry.
+    #[must_use]
+    pub fn new() -> Self {
+        TreeGeometry
+    }
+
+    /// Evaluates the paper's fully closed-form routability
+    /// `r = ((2 − q)^d − 1) / ((1 − q)·2^d − 1)` without going through the
+    /// generic RCM machinery. Exact only while `2^d` fits an `f64`; the
+    /// generic log-space path in [`crate::routability`] has no such limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcmError::InvalidFailureProbability`] unless `q ∈ [0, 1)` and
+    /// [`RcmError::DegenerateSystem`] when `(1 − q)·2^d ≤ 1`.
+    pub fn closed_form_routability(
+        &self,
+        size: SystemSize,
+        q: f64,
+    ) -> Result<RoutabilityReport, RcmError> {
+        crate::geometry::validate_failure_probability(q)?;
+        let d = size.bits();
+        let ln_survivors = (1.0 - q).ln() + size.ln_nodes();
+        if ln_survivors <= 0.0 {
+            return Err(RcmError::DegenerateSystem { bits: d, q });
+        }
+        // Work in log space: ln((2-q)^d - 1) and ln((1-q) 2^d - 1).
+        let ln_numerator_plus = f64::from(d) * (2.0 - q).ln();
+        let ln_numerator = ln_numerator_plus + (-(-ln_numerator_plus).exp()).ln_1p();
+        let ln_denominator = ln_survivors + (-(-ln_survivors).exp()).ln_1p();
+        let routability = (ln_numerator - ln_denominator).exp().min(1.0);
+        Ok(RoutabilityReport {
+            size,
+            failure_probability: q,
+            routability,
+            failed_path_percent: 100.0 * (1.0 - routability),
+            ln_expected_reachable: ln_numerator,
+            ln_expected_peers: ln_denominator,
+        })
+    }
+}
+
+impl RoutingGeometry for TreeGeometry {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn system(&self) -> &'static str {
+        "Plaxton"
+    }
+
+    fn ln_nodes_at_distance(&self, d: u32, h: u32) -> f64 {
+        ln_binomial_distance_count(d, h)
+    }
+
+    fn phase_failure_probability(&self, _m: u32, q: f64, _d: u32) -> f64 {
+        q
+    }
+
+    fn analytic_scalability(&self) -> ScalabilityClass {
+        ScalabilityClass::Unscalable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::success_probability;
+    use crate::routability::routability;
+    use dht_markov::chains::tree_chain;
+
+    #[test]
+    fn phase_success_matches_markov_chain() {
+        let geometry = TreeGeometry::new();
+        for h in 1..=16u32 {
+            for &q in &[0.05, 0.3, 0.6, 0.9] {
+                let analytical = success_probability(&geometry, 16, h, q).unwrap();
+                let chain = tree_chain(h, q).unwrap().success_probability().unwrap();
+                assert!(
+                    (analytical - chain).abs() < 1e-10,
+                    "h={h} q={q}: {analytical} vs {chain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_generic_rcm_evaluation() {
+        let geometry = TreeGeometry::new();
+        for &bits in &[8u32, 12, 16, 20] {
+            for &q in &[0.05, 0.2, 0.5, 0.8] {
+                let size = SystemSize::power_of_two(bits).unwrap();
+                let generic = routability(&geometry, size, q).unwrap();
+                let closed = geometry.closed_form_routability(size, q).unwrap();
+                assert!(
+                    (generic.routability - closed.routability).abs() < 1e-9,
+                    "bits={bits} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_is_stable() {
+        let geometry = TreeGeometry::new();
+        assert_eq!(geometry.name(), "tree");
+        assert_eq!(geometry.system(), "Plaxton");
+        assert_eq!(geometry.analytic_scalability(), ScalabilityClass::Unscalable);
+        assert_eq!(geometry.max_distance(24), 24);
+    }
+
+    #[test]
+    fn closed_form_rejects_bad_inputs() {
+        let geometry = TreeGeometry::new();
+        let size = SystemSize::power_of_two(4).unwrap();
+        assert!(geometry.closed_form_routability(size, 1.0).is_err());
+        assert!(geometry.closed_form_routability(size, 0.95).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! The XOR (Kademlia) geometry, §3.3 / §4.3.2 of the paper.
+
+use super::ln_binomial_distance_count;
+use crate::geometry::{RoutingGeometry, ScalabilityClass};
+use serde::{Deserialize, Serialize};
+
+/// XOR routing as used by Kademlia (and therefore by the eDonkey/Kad
+/// network the paper's introduction motivates).
+///
+/// Choosing the `i`-th neighbour uniformly from XOR distance
+/// `[2^{d−i}, 2^{d−i+1})` is equivalent to matching the first `i − 1` bits,
+/// flipping the `i`-th and randomising the rest, so the distance distribution
+/// is the Plaxton one, `n(h) = C(d, h)`. Unlike the tree, a failed optimal
+/// neighbour lets the message fall back to lower-order bits — but that
+/// progress is not preserved across phases, giving the per-phase failure
+/// probability of Eq. 6:
+///
+/// ```text
+/// Q_xor(m) = q^m + Σ_{k=1}^{m−1} q^m ∏_{j=m−k}^{m−1} (1 − q^j)
+/// ```
+///
+/// `Q_xor(m)` decays like `m·q^m`, so `Σ Q_xor(m)` converges and the geometry
+/// is **scalable** (§5.3) — consistent with eDonkey scaling to millions of
+/// nodes.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::{routability, SystemSize, XorGeometry};
+///
+/// let size = SystemSize::power_of_two(16)?;
+/// let r = routability(&XorGeometry::new(), size, 0.3)?;
+/// // Fig. 6(a): ~25% failed paths at q = 30% for N = 2^16.
+/// assert!(r.failed_path_percent > 15.0 && r.failed_path_percent < 35.0);
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct XorGeometry;
+
+impl XorGeometry {
+    /// Creates the XOR geometry.
+    #[must_use]
+    pub fn new() -> Self {
+        XorGeometry
+    }
+
+    /// Evaluates Eq. 6 exactly (the finite sum, not the paper's
+    /// `1 − x ≈ e^{−x}` approximation).
+    #[must_use]
+    pub fn phase_failure_exact(&self, m: u32, q: f64) -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        let q_to_m = q.powi(m as i32);
+        if q_to_m == 0.0 {
+            return 0.0;
+        }
+        // Running product ∏_{j=m-k}^{m-1} (1 - q^j), built up as k grows.
+        let mut product = 1.0;
+        let mut sum = 1.0; // k = 0 term of Σ_{k=0}^{m-1} ∏ ...
+        for k in 1..m {
+            product *= 1.0 - q.powi((m - k) as i32);
+            sum += product;
+        }
+        (q_to_m * sum).min(1.0)
+    }
+
+    /// The paper's closed-form approximation of Eq. 6, provided for
+    /// comparison with [`Self::phase_failure_exact`]:
+    /// `Q(m) ≈ q^m (m + q/(1−q)·(q^{m−1}(m−1) − (1 − q^{m+1})/(1 − q)))`.
+    #[must_use]
+    pub fn phase_failure_approximation(&self, m: u32, q: f64) -> f64 {
+        if q == 0.0 {
+            return 0.0;
+        }
+        if q >= 1.0 {
+            return 1.0;
+        }
+        let m_f = f64::from(m);
+        let q_to_m = q.powi(m as i32);
+        let inner = q.powi(m as i32 - 1) * (m_f - 1.0)
+            - (1.0 - q.powi(m as i32 + 1)) / (1.0 - q);
+        (q_to_m * (m_f + q / (1.0 - q) * inner)).clamp(0.0, 1.0)
+    }
+}
+
+impl RoutingGeometry for XorGeometry {
+    fn name(&self) -> &'static str {
+        "xor"
+    }
+
+    fn system(&self) -> &'static str {
+        "Kademlia"
+    }
+
+    fn ln_nodes_at_distance(&self, d: u32, h: u32) -> f64 {
+        ln_binomial_distance_count(d, h)
+    }
+
+    fn phase_failure_probability(&self, m: u32, q: f64, _d: u32) -> f64 {
+        self.phase_failure_exact(m, q)
+    }
+
+    fn analytic_scalability(&self) -> ScalabilityClass {
+        ScalabilityClass::Scalable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::success_probability;
+    use crate::routability::routability;
+    use crate::SystemSize;
+    use dht_markov::chains::xor_chain;
+
+    #[test]
+    fn phase_success_matches_markov_chain() {
+        let geometry = XorGeometry::new();
+        for h in 1..=16u32 {
+            for &q in &[0.05, 0.3, 0.6, 0.9] {
+                let analytical = success_probability(&geometry, 16, h, q).unwrap();
+                let chain = xor_chain(h, q).unwrap().success_probability().unwrap();
+                assert!(
+                    (analytical - chain).abs() < 1e-9,
+                    "h={h} q={q}: {analytical} vs {chain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_phase_failure_is_q() {
+        let geometry = XorGeometry::new();
+        for &q in &[0.1, 0.5, 0.9] {
+            assert!((geometry.phase_failure_exact(1, q) - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q2_matches_hand_expansion() {
+        // Q_xor(2) = q^2 + q^2 (1 - q) = q^2 (2 - q).
+        let geometry = XorGeometry::new();
+        for &q in &[0.1, 0.4, 0.8] {
+            let expected = q * q * (2.0 - q);
+            assert!((geometry.phase_failure_exact(2, q) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_and_paper_approximation_agree_for_small_q() {
+        let geometry = XorGeometry::new();
+        for m in 2..=12u32 {
+            for &q in &[0.01, 0.05, 0.1] {
+                let exact = geometry.phase_failure_exact(m, q);
+                let approx = geometry.phase_failure_approximation(m, q);
+                let scale = exact.max(1e-12);
+                assert!(
+                    ((exact - approx) / scale).abs() < 0.15,
+                    "m={m} q={q}: exact {exact} vs approx {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lies_between_tree_and_hypercube() {
+        let size = SystemSize::power_of_two(16).unwrap();
+        let xor = XorGeometry::new();
+        let tree = super::super::TreeGeometry::new();
+        let cube = super::super::HypercubeGeometry::new();
+        for &q in &[0.1, 0.3, 0.5, 0.7] {
+            let rx = routability(&xor, size, q).unwrap().routability;
+            let rt = routability(&tree, size, q).unwrap().routability;
+            let rc = routability(&cube, size, q).unwrap().routability;
+            assert!(rx >= rt && rx <= rc + 1e-12, "q={q}: {rt} <= {rx} <= {rc}");
+        }
+    }
+
+    #[test]
+    fn phase_failure_decays_geometrically() {
+        // Q(m) ~ m q^m: the ratio Q(m+1)/Q(m) must eventually fall below 1,
+        // which is the substance of the §5.3 scalability argument.
+        let geometry = XorGeometry::new();
+        let q = 0.6;
+        let q10 = geometry.phase_failure_exact(10, q);
+        let q20 = geometry.phase_failure_exact(20, q);
+        assert!(q20 < q10 / 50.0);
+    }
+
+    #[test]
+    fn metadata_is_stable() {
+        let geometry = XorGeometry::new();
+        assert_eq!(geometry.name(), "xor");
+        assert_eq!(geometry.system(), "Kademlia");
+        assert_eq!(geometry.analytic_scalability(), ScalabilityClass::Scalable);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type of the RCM core crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors returned by routability and scalability computations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RcmError {
+    /// The failure probability was outside the supported range `[0, 1)`.
+    ///
+    /// At `q = 1` no nodes survive and the routability (routable pairs divided
+    /// by surviving pairs) is the indeterminate form `0/0`.
+    InvalidFailureProbability {
+        /// The rejected probability.
+        q: f64,
+    },
+    /// The system size is too small to define routability.
+    InvalidSystemSize {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The expected number of surviving nodes `(1 − q)·N` does not exceed one,
+    /// so the expected number of surviving pairs is not positive.
+    DegenerateSystem {
+        /// The system size in identifier bits (`N = 2^d`).
+        bits: u32,
+        /// The failure probability.
+        q: f64,
+    },
+    /// A geometry-specific parameter was invalid (e.g. zero Symphony
+    /// shortcuts).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for RcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcmError::InvalidFailureProbability { q } => {
+                write!(f, "node failure probability must lie in [0, 1), got {q}")
+            }
+            RcmError::InvalidSystemSize { message } => {
+                write!(f, "invalid system size: {message}")
+            }
+            RcmError::DegenerateSystem { bits, q } => write!(
+                f,
+                "fewer than two nodes are expected to survive in a 2^{bits}-node system at q = {q}"
+            ),
+            RcmError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RcmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offending_values() {
+        let err = RcmError::InvalidFailureProbability { q: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+        let err = RcmError::DegenerateSystem { bits: 4, q: 0.99 };
+        assert!(err.to_string().contains("2^4"));
+        assert!(err.to_string().contains("0.99"));
+    }
+
+    #[test]
+    fn errors_round_trip_through_serde() {
+        let err = RcmError::InvalidParameter {
+            message: "k_s must be positive".into(),
+        };
+        let json = serde_json::to_string(&err).unwrap();
+        let back: RcmError = serde_json::from_str(&json).unwrap();
+        assert_eq!(err, back);
+    }
+}

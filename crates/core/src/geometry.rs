@@ -1,0 +1,241 @@
+//! The [`RoutingGeometry`] abstraction at the heart of the reachable
+//! component method.
+//!
+//! Step 2 and step 3 of RCM (§4.1 of the paper) reduce a DHT routing protocol
+//! to two ingredients:
+//!
+//! 1. the hop/phase distance distribution `n(h)` seen from a root node, and
+//! 2. the per-phase failure probability `Q(m)` extracted from the routing
+//!    Markov chain.
+//!
+//! Everything else — `p(h, q)`, the expected reachable component size and the
+//! routability — follows mechanically from these two functions, which is what
+//! the [`RoutingGeometry`] trait captures.
+
+use crate::error::RcmError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Analytical scalability verdict in the sense of Definition 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalabilityClass {
+    /// Routability converges to a positive limit as `N → ∞` for every
+    /// `q ∈ (0, 1 − p_c)`.
+    Scalable,
+    /// Routability converges to zero as `N → ∞` for every positive `q`.
+    Unscalable,
+}
+
+impl fmt::Display for ScalabilityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalabilityClass::Scalable => write!(f, "scalable"),
+            ScalabilityClass::Unscalable => write!(f, "unscalable"),
+        }
+    }
+}
+
+/// System size expressed either as an explicit node count or as identifier
+/// bits (`N = 2^d`).
+///
+/// The paper evaluates its expressions at `N = 2^16` (Fig. 6), at `N = 2^100`
+/// (Fig. 7a) and across `N = 10^3 … 10^10` (Fig. 7b). Node counts up to
+/// `2^63` fit in the [`SystemSize::Nodes`] variant; anything larger must use
+/// [`SystemSize::PowerOfTwo`], and all downstream arithmetic stays in log
+/// space.
+///
+/// The paper assumes fully populated identifier spaces, so a node count is
+/// rounded up to the next power of two (`d = ⌈log2 N⌉`).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::SystemSize;
+///
+/// let n = SystemSize::nodes(1 << 16)?;
+/// assert_eq!(n.bits(), 16);
+/// let huge = SystemSize::power_of_two(100)?;
+/// assert!((huge.ln_nodes() - 100.0 * std::f64::consts::LN_2).abs() < 1e-12);
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemSize {
+    bits: u32,
+}
+
+impl SystemSize {
+    /// Largest supported identifier length. `2^4096` nodes is far beyond any
+    /// physically meaningful system; the cap merely keeps sweeps finite.
+    pub const MAX_BITS: u32 = 4096;
+
+    /// Creates a size from an explicit node count, rounding up to the next
+    /// power of two (`d = ⌈log2 N⌉`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcmError::InvalidSystemSize`] if `nodes < 2`.
+    pub fn nodes(nodes: u64) -> Result<Self, RcmError> {
+        if nodes < 2 {
+            return Err(RcmError::InvalidSystemSize {
+                message: format!("a DHT needs at least two nodes, got {nodes}"),
+            });
+        }
+        let bits = 64 - (nodes - 1).leading_zeros();
+        Ok(SystemSize { bits })
+    }
+
+    /// Creates a size of exactly `2^bits` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcmError::InvalidSystemSize`] if `bits` is zero or exceeds
+    /// [`SystemSize::MAX_BITS`].
+    pub fn power_of_two(bits: u32) -> Result<Self, RcmError> {
+        if bits == 0 || bits > Self::MAX_BITS {
+            return Err(RcmError::InvalidSystemSize {
+                message: format!("identifier length must be in 1..={}, got {bits}", Self::MAX_BITS),
+            });
+        }
+        Ok(SystemSize { bits })
+    }
+
+    /// Identifier length `d` in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Natural logarithm of the node count, `d · ln 2`.
+    #[must_use]
+    pub fn ln_nodes(self) -> f64 {
+        f64::from(self.bits) * std::f64::consts::LN_2
+    }
+
+    /// The node count as an `f64` (may be `inf` for very large sizes, which is
+    /// fine for display purposes only — computations use [`Self::ln_nodes`]).
+    #[must_use]
+    pub fn nodes_f64(self) -> f64 {
+        self.ln_nodes().exp()
+    }
+
+    /// The exact node count if it fits into a `u64`.
+    #[must_use]
+    pub fn nodes_exact(self) -> Option<u64> {
+        if self.bits < 64 {
+            Some(1u64 << self.bits)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for SystemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2^{} nodes", self.bits)
+    }
+}
+
+/// A DHT routing geometry as seen by the reachable component method.
+///
+/// Implementors provide the two paper ingredients — the distance distribution
+/// `n(h)` (in log space) and the per-phase failure probability `Q(m)` — plus
+/// the analytically derived scalability verdict of §5. The framework functions
+/// in [`crate::phase`] and [`crate::routability`] consume any implementor,
+/// including user-defined geometries outside this crate.
+pub trait RoutingGeometry {
+    /// Short human-readable name, e.g. `"xor"` or `"hypercube"`.
+    fn name(&self) -> &'static str;
+
+    /// The DHT system the geometry models, e.g. `"Kademlia"`.
+    fn system(&self) -> &'static str;
+
+    /// Maximum routing distance (in hops or phases) in a `d`-bit system.
+    ///
+    /// All five paper geometries route in at most `d` phases.
+    fn max_distance(&self, d: u32) -> u32 {
+        d
+    }
+
+    /// Natural logarithm of the number of nodes at distance `h` from a root
+    /// node in a fully populated `d`-bit system, `ln n(h)`.
+    ///
+    /// Must satisfy `Σ_{h=1}^{max_distance} n(h) = 2^d − 1`.
+    fn ln_nodes_at_distance(&self, d: u32, h: u32) -> f64;
+
+    /// Per-phase failure probability `Q(m)` when `m` phases remain, under node
+    /// failure probability `q`, in a `d`-bit system.
+    ///
+    /// `d` is required because the Symphony expression (Eq. 7) depends on the
+    /// identifier length; the other geometries ignore it.
+    fn phase_failure_probability(&self, m: u32, q: f64, d: u32) -> f64;
+
+    /// The paper's analytical scalability verdict for this geometry (§5).
+    fn analytic_scalability(&self) -> ScalabilityClass;
+}
+
+/// Validates a failure probability for routability computations.
+///
+/// # Errors
+///
+/// Returns [`RcmError::InvalidFailureProbability`] unless `q ∈ [0, 1)`.
+pub fn validate_failure_probability(q: f64) -> Result<(), RcmError> {
+    if !(0.0..1.0).contains(&q) || q.is_nan() {
+        return Err(RcmError::InvalidFailureProbability { q });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_size_from_nodes_rounds_up() {
+        assert_eq!(SystemSize::nodes(2).unwrap().bits(), 1);
+        assert_eq!(SystemSize::nodes(1 << 16).unwrap().bits(), 16);
+        assert_eq!(SystemSize::nodes((1 << 16) + 1).unwrap().bits(), 17);
+        assert!(SystemSize::nodes(1).is_err());
+        assert!(SystemSize::nodes(0).is_err());
+    }
+
+    #[test]
+    fn power_of_two_bounds() {
+        assert!(SystemSize::power_of_two(0).is_err());
+        assert!(SystemSize::power_of_two(SystemSize::MAX_BITS + 1).is_err());
+        assert_eq!(SystemSize::power_of_two(100).unwrap().bits(), 100);
+    }
+
+    #[test]
+    fn ln_nodes_matches_bits() {
+        let size = SystemSize::power_of_two(16).unwrap();
+        assert!((size.ln_nodes() - (65536f64).ln()).abs() < 1e-12);
+        assert_eq!(size.nodes_exact(), Some(65536));
+        assert!((size.nodes_f64() - 65536.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huge_sizes_have_no_exact_count() {
+        let size = SystemSize::power_of_two(100).unwrap();
+        assert_eq!(size.nodes_exact(), None);
+        assert!(size.nodes_f64().is_finite());
+        let colossal = SystemSize::power_of_two(2000).unwrap();
+        assert!(colossal.nodes_f64().is_infinite());
+        assert!(colossal.ln_nodes().is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SystemSize::power_of_two(16).unwrap().to_string(), "2^16 nodes");
+        assert_eq!(ScalabilityClass::Scalable.to_string(), "scalable");
+        assert_eq!(ScalabilityClass::Unscalable.to_string(), "unscalable");
+    }
+
+    #[test]
+    fn failure_probability_validation() {
+        assert!(validate_failure_probability(0.0).is_ok());
+        assert!(validate_failure_probability(0.999).is_ok());
+        assert!(validate_failure_probability(1.0).is_err());
+        assert!(validate_failure_probability(-0.1).is_err());
+        assert!(validate_failure_probability(f64::NAN).is_err());
+    }
+}

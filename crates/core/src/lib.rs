@@ -1,0 +1,81 @@
+//! The Reachable Component Method (RCM) for analysing the scalability and
+//! performance of DHT routing systems under random node failure.
+//!
+//! This crate is a faithful implementation of the analytical framework of
+//! *"A General Framework for Scalability and Performance Analysis of DHT
+//! Routing Systems"* (Kong, Bridgewater, Roychowdhury — DSN 2006). It answers,
+//! in closed form, the question: **if every node of a DHT fails independently
+//! with probability `q`, what fraction of the surviving node pairs can still
+//! route to each other?**
+//!
+//! # The method in five steps (§4.1 of the paper)
+//!
+//! 1. Pick a root node and build its routing topology.
+//! 2. Derive the distance distribution `n(h)` — how many nodes sit `h` hops
+//!    or phases away ([`RoutingGeometry::ln_nodes_at_distance`]).
+//! 3. Model a single route as an absorbing Markov chain and extract the
+//!    per-phase failure probability `Q(m)`
+//!    ([`RoutingGeometry::phase_failure_probability`]); the success
+//!    probability over `h` phases is `p(h, q) = ∏ (1 − Q(m))` ([`phase`]).
+//! 4. The expected reachable component is `E[S] = Σ n(h) p(h, q)`.
+//! 5. Routability is `r = E[S] / ((1 − q)·N − 1)` ([`routability`]).
+//!
+//! # The five geometries (§3, §4.3)
+//!
+//! [`TreeGeometry`] (Plaxton), [`HypercubeGeometry`] (CAN), [`XorGeometry`]
+//! (Kademlia), [`RingGeometry`] (Chord) and [`SymphonyGeometry`] implement
+//! the paper's closed forms; [`Geometry`] bundles them for sweeps. The §5
+//! verdicts — tree and Symphony unscalable, the rest scalable — are exposed
+//! through [`scalability::classify`] and re-checked numerically.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dht_rcm_core::prelude::*;
+//!
+//! let size = SystemSize::power_of_two(16)?; // N = 2^16, as in Fig. 6
+//! let xor = Geometry::xor();
+//! let report = xor.routability(size, 0.3)?;
+//! assert!(report.failed_path_percent < 35.0);
+//!
+//! let verdict = xor.scalability(0.3)?;
+//! assert_eq!(verdict.analytic, ScalabilityClass::Scalable);
+//! assert!(verdict.consistent);
+//! # Ok::<(), dht_rcm_core::RcmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asymptotic;
+pub mod catalog;
+pub mod closed_form;
+pub mod error;
+pub mod geometry;
+pub mod phase;
+pub mod routability;
+pub mod scalability;
+
+pub use catalog::Geometry;
+pub use closed_form::{
+    HypercubeGeometry, RingGeometry, SymphonyGeometry, TreeGeometry, XorGeometry,
+};
+pub use error::RcmError;
+pub use geometry::{RoutingGeometry, ScalabilityClass, SystemSize};
+pub use phase::{ln_success_probability, success_probability};
+pub use routability::{failed_path_percent, routability, routability_value, RoutabilityReport};
+pub use scalability::{classify, ScalabilityReport};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::asymptotic::{sweep_failure_probability, sweep_system_size};
+    pub use crate::catalog::Geometry;
+    pub use crate::closed_form::{
+        HypercubeGeometry, RingGeometry, SymphonyGeometry, TreeGeometry, XorGeometry,
+    };
+    pub use crate::error::RcmError;
+    pub use crate::geometry::{RoutingGeometry, ScalabilityClass, SystemSize};
+    pub use crate::routability::{routability, RoutabilityReport};
+    pub use crate::scalability::{classify, ScalabilityReport};
+}

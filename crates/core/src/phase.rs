@@ -1,0 +1,172 @@
+//! Step 3 of the reachable component method: the success probability
+//! `p(h, q)` of routing to a node `h` hops or phases away.
+//!
+//! Every geometry in the paper satisfies Eq. 5:
+//!
+//! ```text
+//! p(h, q) = ∏_{m=1}^{h} (1 − Q(m))
+//! ```
+//!
+//! where `Q(m)` is the per-phase failure probability extracted from the
+//! routing Markov chain. This module evaluates the product in log space so it
+//! stays meaningful even when `h` is in the hundreds and the product is
+//! astronomically small (tree and Symphony geometries at Fig. 7a scale).
+
+use crate::error::RcmError;
+use crate::geometry::{validate_failure_probability, RoutingGeometry};
+use dht_mathkit::logprob::ln_one_minus_exp;
+
+/// Natural logarithm of `p(h, q)` for the given geometry in a `d`-bit system.
+///
+/// Returns `-∞` when any phase fails with certainty.
+///
+/// # Errors
+///
+/// * [`RcmError::InvalidFailureProbability`] unless `q ∈ [0, 1)`.
+/// * [`RcmError::InvalidParameter`] if `h` exceeds the geometry's maximum
+///   routing distance for `d` bits or if a geometry returns an out-of-range
+///   `Q(m)`.
+pub fn ln_success_probability<G>(geometry: &G, d: u32, h: u32, q: f64) -> Result<f64, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    validate_failure_probability(q)?;
+    if h > geometry.max_distance(d) {
+        return Err(RcmError::InvalidParameter {
+            message: format!(
+                "distance h = {h} exceeds the maximum routing distance {} of the {} geometry at d = {d}",
+                geometry.max_distance(d),
+                geometry.name()
+            ),
+        });
+    }
+    let mut ln_p = 0.0f64;
+    for m in 1..=h {
+        let failure = geometry.phase_failure_probability(m, q, d);
+        if !(0.0..=1.0 + 1e-9).contains(&failure) || failure.is_nan() {
+            return Err(RcmError::InvalidParameter {
+                message: format!(
+                    "geometry {} produced an invalid phase failure probability Q({m}) = {failure}",
+                    geometry.name()
+                ),
+            });
+        }
+        let failure = failure.min(1.0);
+        if failure >= 1.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        // ln(1 - Q(m)) via the stable two-branch formula.
+        ln_p += if failure == 0.0 {
+            0.0
+        } else {
+            ln_one_minus_exp(failure.ln())
+        };
+    }
+    Ok(ln_p)
+}
+
+/// Linear-space `p(h, q)`; see [`ln_success_probability`].
+///
+/// # Errors
+///
+/// Same as [`ln_success_probability`].
+pub fn success_probability<G>(geometry: &G, d: u32, h: u32, q: f64) -> Result<f64, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    Ok(ln_success_probability(geometry, d, h, q)?.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::{HypercubeGeometry, TreeGeometry, XorGeometry};
+    use crate::geometry::ScalabilityClass;
+
+    #[test]
+    fn zero_distance_always_succeeds() {
+        let geometry = HypercubeGeometry::new();
+        assert_eq!(ln_success_probability(&geometry, 16, 0, 0.5).unwrap(), 0.0);
+        assert_eq!(success_probability(&geometry, 16, 0, 0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_failure_probability_is_certain_success() {
+        let geometry = XorGeometry::new();
+        for h in 0..=16 {
+            assert!((success_probability(&geometry, 16, h, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tree_matches_closed_form() {
+        let geometry = TreeGeometry::new();
+        for h in 1..=20u32 {
+            for &q in &[0.1f64, 0.5, 0.9] {
+                let expected = (1.0 - q).powi(h as i32);
+                let got = success_probability(&geometry, 20, h, q).unwrap();
+                assert!((got - expected).abs() < 1e-12, "h={h} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn success_probability_is_monotone_in_distance() {
+        let geometry = HypercubeGeometry::new();
+        let mut previous = 1.0;
+        for h in 1..=32 {
+            let p = success_probability(&geometry, 32, h, 0.3).unwrap();
+            assert!(p <= previous + 1e-12);
+            previous = p;
+        }
+    }
+
+    #[test]
+    fn distance_beyond_diameter_is_rejected() {
+        let geometry = TreeGeometry::new();
+        assert!(matches!(
+            ln_success_probability(&geometry, 8, 9, 0.1),
+            Err(RcmError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_q_is_rejected() {
+        let geometry = TreeGeometry::new();
+        assert!(ln_success_probability(&geometry, 8, 4, 1.0).is_err());
+        assert!(ln_success_probability(&geometry, 8, 4, -0.5).is_err());
+    }
+
+    #[test]
+    fn misbehaving_geometry_is_reported() {
+        struct Bogus;
+        impl RoutingGeometry for Bogus {
+            fn name(&self) -> &'static str {
+                "bogus"
+            }
+            fn system(&self) -> &'static str {
+                "Bogus"
+            }
+            fn ln_nodes_at_distance(&self, _d: u32, _h: u32) -> f64 {
+                0.0
+            }
+            fn phase_failure_probability(&self, _m: u32, _q: f64, _d: u32) -> f64 {
+                1.7
+            }
+            fn analytic_scalability(&self) -> ScalabilityClass {
+                ScalabilityClass::Unscalable
+            }
+        }
+        assert!(matches!(
+            ln_success_probability(&Bogus, 8, 4, 0.1),
+            Err(RcmError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn works_through_a_trait_object() {
+        let geometry: Box<dyn RoutingGeometry> = Box::new(HypercubeGeometry::new());
+        let p = success_probability(geometry.as_ref(), 16, 8, 0.2).unwrap();
+        assert!(p > 0.0 && p < 1.0);
+    }
+}

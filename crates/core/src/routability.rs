@@ -1,0 +1,255 @@
+//! Steps 4 and 5 of the reachable component method: the expected reachable
+//! component size and the routability `r(N, q)`.
+//!
+//! Because the DHTs under study have statistically identical nodes, the
+//! routability of Eq. 1 reduces to
+//!
+//! ```text
+//! r(N, q) = E[S] / ((1 − q)·N − 1),   E[S] = Σ_{h=1}^{d} n(h) · p(h, q)
+//! ```
+//!
+//! (Eq. 3 of the paper). Both the numerator terms and the denominator are
+//! carried in log space so the expression stays exact up to floating-point
+//! rounding at `N = 2^100` and beyond.
+
+use crate::error::RcmError;
+use crate::geometry::{validate_failure_probability, RoutingGeometry, SystemSize};
+use crate::phase::ln_success_probability;
+use dht_mathkit::logsum::LogSumExp;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a routability evaluation for one `(N, q)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutabilityReport {
+    /// System size the report was computed for.
+    pub size: SystemSize,
+    /// Node failure probability.
+    pub failure_probability: f64,
+    /// Routability `r(N, q) ∈ [0, 1]`.
+    pub routability: f64,
+    /// Percentage of failed paths, `100 · (1 − r)`, the paper's Fig. 6/7a
+    /// y-axis.
+    pub failed_path_percent: f64,
+    /// Natural logarithm of the expected reachable component size `E[S]`.
+    pub ln_expected_reachable: f64,
+    /// Natural logarithm of the expected number of other surviving nodes,
+    /// `(1 − q)·N − 1`.
+    pub ln_expected_peers: f64,
+}
+
+impl RoutabilityReport {
+    /// Expected reachable component size `E[S]` in linear space (may be
+    /// `+∞` for astronomically large systems; use
+    /// [`Self::ln_expected_reachable`] in that case).
+    #[must_use]
+    pub fn expected_reachable(&self) -> f64 {
+        self.ln_expected_reachable.exp()
+    }
+}
+
+/// Computes the routability of `geometry` at system size `size` and failure
+/// probability `q` (Eq. 3 of the paper).
+///
+/// # Errors
+///
+/// * [`RcmError::InvalidFailureProbability`] unless `q ∈ [0, 1)`.
+/// * [`RcmError::DegenerateSystem`] if fewer than two nodes are expected to
+///   survive (`(1 − q)·N ≤ 1`), in which case routability is undefined.
+/// * [`RcmError::InvalidParameter`] if the geometry produces invalid `Q(m)`
+///   values.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_rcm_core::{routability, HypercubeGeometry, SystemSize};
+///
+/// let report = routability(&HypercubeGeometry::new(), SystemSize::power_of_two(16)?, 0.3)?;
+/// assert!(report.routability > 0.8 && report.routability < 1.0);
+/// # Ok::<(), dht_rcm_core::RcmError>(())
+/// ```
+pub fn routability<G>(
+    geometry: &G,
+    size: SystemSize,
+    q: f64,
+) -> Result<RoutabilityReport, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    validate_failure_probability(q)?;
+    let d = size.bits();
+    let ln_survivors = (1.0 - q).ln() + size.ln_nodes();
+    // (1 - q)·N must exceed 1 for the pair count among survivors to be positive.
+    if ln_survivors <= 0.0 {
+        return Err(RcmError::DegenerateSystem { bits: d, q });
+    }
+    // ln((1 - q)·N − 1) = ln_survivors + ln(1 − exp(−ln_survivors)).
+    let ln_peers = ln_survivors + (-(-ln_survivors).exp()).ln_1p();
+
+    let mut numerator = LogSumExp::new();
+    for h in 1..=geometry.max_distance(d) {
+        let ln_count = geometry.ln_nodes_at_distance(d, h);
+        if ln_count == f64::NEG_INFINITY {
+            continue;
+        }
+        let ln_p = ln_success_probability(geometry, d, h, q)?;
+        numerator.push(ln_count + ln_p);
+    }
+    let ln_expected_reachable = numerator.sum();
+    let ln_r = ln_expected_reachable - ln_peers;
+    // Guard against rounding pushing r marginally above 1 (e.g. at q = 0).
+    let routability = ln_r.exp().min(1.0);
+    Ok(RoutabilityReport {
+        size,
+        failure_probability: q,
+        routability,
+        failed_path_percent: 100.0 * (1.0 - routability),
+        ln_expected_reachable,
+        ln_expected_peers: ln_peers,
+    })
+}
+
+/// Convenience wrapper returning only the routability value.
+///
+/// # Errors
+///
+/// Same as [`routability`].
+pub fn routability_value<G>(geometry: &G, size: SystemSize, q: f64) -> Result<f64, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    Ok(routability(geometry, size, q)?.routability)
+}
+
+/// Convenience wrapper returning the failed-path percentage
+/// `100 · (1 − r(N, q))`, the quantity plotted in Fig. 6 and Fig. 7(a).
+///
+/// # Errors
+///
+/// Same as [`routability`].
+pub fn failed_path_percent<G>(geometry: &G, size: SystemSize, q: f64) -> Result<f64, RcmError>
+where
+    G: RoutingGeometry + ?Sized,
+{
+    Ok(routability(geometry, size, q)?.failed_path_percent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::{
+        HypercubeGeometry, RingGeometry, SymphonyGeometry, TreeGeometry, XorGeometry,
+    };
+
+    fn size(bits: u32) -> SystemSize {
+        SystemSize::power_of_two(bits).unwrap()
+    }
+
+    #[test]
+    fn perfect_network_has_full_routability() {
+        let geometries: Vec<Box<dyn RoutingGeometry>> = vec![
+            Box::new(TreeGeometry::new()),
+            Box::new(HypercubeGeometry::new()),
+            Box::new(XorGeometry::new()),
+            Box::new(RingGeometry::new()),
+            Box::new(SymphonyGeometry::new(1, 1).unwrap()),
+        ];
+        for geometry in &geometries {
+            let report = routability(geometry.as_ref(), size(12), 0.0).unwrap();
+            assert!(
+                (report.routability - 1.0).abs() < 1e-9,
+                "{} should be fully routable at q=0, got {}",
+                geometry.name(),
+                report.routability
+            );
+            assert!(report.failed_path_percent.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn routability_lies_in_unit_interval() {
+        let geometry = XorGeometry::new();
+        for &q in &[0.0, 0.1, 0.5, 0.9, 0.99] {
+            let report = routability(&geometry, size(16), q).unwrap();
+            assert!((0.0..=1.0).contains(&report.routability), "q={q}");
+        }
+    }
+
+    #[test]
+    fn routability_decreases_with_failure_probability() {
+        let geometry = HypercubeGeometry::new();
+        let mut previous = 1.1;
+        for &q in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+            let r = routability_value(&geometry, size(16), q).unwrap();
+            assert!(r <= previous + 1e-12, "q={q}");
+            previous = r;
+        }
+    }
+
+    #[test]
+    fn tree_matches_fully_closed_form() {
+        // §4.3.1: r = ((2 − q)^d − 1) / ((1 − q)·2^d − 1).
+        let geometry = TreeGeometry::new();
+        for &q in &[0.05f64, 0.2, 0.5, 0.8] {
+            for &bits in &[8u32, 12, 16] {
+                let d = f64::from(bits);
+                let expected = ((2.0 - q).powf(d) - 1.0) / ((1.0 - q) * 2f64.powf(d) - 1.0);
+                let got = routability_value(&geometry, size(bits), q).unwrap();
+                assert!(
+                    (got - expected).abs() < 1e-9,
+                    "bits={bits} q={q}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_reachable_is_bounded_by_population() {
+        let geometry = RingGeometry::new();
+        let report = routability(&geometry, size(16), 0.2).unwrap();
+        assert!(report.ln_expected_reachable <= size(16).ln_nodes());
+        assert!(report.expected_reachable() > 1.0);
+        assert!(report.ln_expected_peers < size(16).ln_nodes());
+    }
+
+    #[test]
+    fn degenerate_systems_are_rejected() {
+        let geometry = TreeGeometry::new();
+        // (1 - 0.9) * 2^3 = 0.8 < 1 expected survivors.
+        assert!(matches!(
+            routability(&geometry, size(3), 0.9),
+            Err(RcmError::DegenerateSystem { .. })
+        ));
+    }
+
+    #[test]
+    fn q_one_is_rejected() {
+        let geometry = TreeGeometry::new();
+        assert!(matches!(
+            routability(&geometry, size(16), 1.0),
+            Err(RcmError::InvalidFailureProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_system_evaluates_without_overflow() {
+        // Fig. 7(a) scale: N = 2^100.
+        let geometry = XorGeometry::new();
+        let report = routability(&geometry, size(100), 0.3).unwrap();
+        assert!(report.routability > 0.5 && report.routability < 1.0);
+        assert!(report.ln_expected_reachable.is_finite());
+    }
+
+    #[test]
+    fn failed_path_percent_is_complement() {
+        let geometry = RingGeometry::new();
+        let report = routability(&geometry, size(16), 0.4).unwrap();
+        assert!(
+            (report.failed_path_percent - 100.0 * (1.0 - report.routability)).abs() < 1e-9
+        );
+        assert!(
+            (failed_path_percent(&geometry, size(16), 0.4).unwrap() - report.failed_path_percent)
+                .abs()
+                < 1e-12
+        );
+    }
+}

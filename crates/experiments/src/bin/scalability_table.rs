@@ -1,0 +1,15 @@
+//! Regenerates the §5 scalability classification table (experiment E7).
+//!
+//! Usage: `cargo run -p dht-experiments --bin scalability_table`
+
+use dht_experiments::output::{default_output_dir, write_json};
+use dht_experiments::scalability_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = scalability_table::run(&[0.05, 0.1, 0.3, 0.5])?;
+    println!("Scalability of DHT routing geometries under random failure (Section 5)");
+    print!("{}", scalability_table::render(&rows));
+    let path = write_json(&rows, &default_output_dir(), "scalability_table")?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

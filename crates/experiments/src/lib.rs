@@ -1,0 +1,39 @@
+//! Experiment harnesses that regenerate every table and figure of the RCM
+//! paper.
+//!
+//! Each module corresponds to one artifact of the paper's evaluation and
+//! returns plain data (vectors of [`dht_sim::SimulationRecord`] or small
+//! result structs) so the same code drives the command-line binaries in
+//! `src/bin/`, the Criterion benches in `dht-bench`, and the integration
+//! tests.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig3`] | Fig. 1–3, the worked 8-node hypercube example |
+//! | [`fig6`] | Fig. 6(a)/(b), analysis vs simulation at `N = 2^16` |
+//! | [`fig7`] | Fig. 7(a)/(b), asymptotic behaviour |
+//! | [`scalability_table`] | §5 scalable/unscalable classification |
+//! | [`markov_validation`] | closed forms vs the Markov chains of Fig. 4, 5, 8 |
+//! | [`percolation_contrast`] | §1 reachable vs connected components |
+//! | [`symphony_ablation`] | §1/§3.5 remark: buying routability with more neighbours |
+//! | [`ring_bound_gap`] | §4.3.3 lower-bound tightness (Fig. 6b discussion) |
+//!
+//! Every harness takes an explicit seed and sizes, so results are
+//! reproducible and the binaries can run a fast "smoke" configuration in CI
+//! and the full paper-scale configuration when regenerating EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod markov_validation;
+pub mod output;
+pub mod percolation_contrast;
+pub mod ring_bound_gap;
+pub mod scalability_table;
+pub mod symphony_ablation;
+
+pub use output::{render_records_table, write_json, write_records_csv};

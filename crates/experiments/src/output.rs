@@ -1,0 +1,122 @@
+//! Result rendering and persistence shared by the experiment binaries.
+
+use dht_sim::{write_csv, SimError, SimulationRecord};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Renders records as a fixed-width text table (what the binaries print).
+#[must_use]
+pub fn render_records_table(records: &[SimulationRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>5} {:>6} {:>12} {:>12} {:>8}",
+        "experiment", "geometry", "bits", "q", "analytic %", "simulated %", "gap"
+    );
+    for record in records {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:>5} {:>6.2} {:>12} {:>12} {:>8}",
+            record.experiment,
+            record.geometry,
+            record.bits,
+            record.failure_probability,
+            format_option(record.analytical_failed_percent),
+            format_option(record.simulated_failed_percent),
+            format_option(record.absolute_gap()),
+        );
+    }
+    out
+}
+
+fn format_option(value: Option<f64>) -> String {
+    value.map_or_else(|| "-".to_owned(), |v| format!("{v:.2}"))
+}
+
+/// Writes records to `<dir>/<name>.csv`, creating the directory if needed.
+///
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] on filesystem errors.
+pub fn write_records_csv(
+    records: &[SimulationRecord],
+    dir: &Path,
+    name: &str,
+) -> Result<PathBuf, SimError> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut buffer = Vec::new();
+    write_csv(records, &mut buffer)?;
+    fs::write(&path, buffer)?;
+    Ok(path)
+}
+
+/// Writes any serialisable result to `<dir>/<name>.json` (pretty-printed).
+///
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] on filesystem or serialisation errors.
+pub fn write_json<T: Serialize>(value: &T, dir: &Path, name: &str) -> Result<PathBuf, SimError> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).map_err(|err| SimError::Io {
+        message: err.to_string(),
+    })?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// The default output directory used by the experiment binaries
+/// (`results/` at the workspace root, or the current directory's `results/`
+/// when run elsewhere).
+#[must_use]
+pub fn default_output_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<SimulationRecord> {
+        vec![
+            SimulationRecord::analytical("fig6a", "tree", 16, 0.3, 89.4),
+            SimulationRecord::analytical("fig6a", "xor", 16, 0.3, 24.7),
+        ]
+    }
+
+    #[test]
+    fn table_contains_every_record() {
+        let table = render_records_table(&sample_records());
+        assert!(table.contains("tree"));
+        assert!(table.contains("xor"));
+        assert!(table.contains("89.40"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn csv_and_json_round_trip_to_disk() {
+        let dir = std::env::temp_dir().join(format!("dht-rcm-test-{}", std::process::id()));
+        let records = sample_records();
+        let csv_path = write_records_csv(&records, &dir, "fig6a_test").unwrap();
+        let json_path = write_json(&records, &dir, "fig6a_test").unwrap();
+        let csv = fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("experiment,"));
+        assert_eq!(csv.trim().lines().count(), 3);
+        let json = fs::read_to_string(&json_path).unwrap();
+        let back: Vec<SimulationRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, records);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_output_dir_is_relative_results() {
+        assert_eq!(default_output_dir(), PathBuf::from("results"));
+    }
+}

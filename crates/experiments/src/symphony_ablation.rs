@@ -1,0 +1,120 @@
+//! Experiment E10 — buying routability with more Symphony neighbours.
+//!
+//! The paper stresses (§1, §3.5) that although basic Symphony routing is
+//! unscalable, a deployment can always provision enough near neighbours and
+//! shortcuts to hit an acceptable routability at its expected maximum size.
+//! This ablation quantifies that trade-off analytically: routability at a
+//! fixed size and failure probability as a function of `(k_n, k_s)`.
+
+use dht_rcm_core::{routability, RcmError, SymphonyGeometry, SystemSize};
+use serde::{Deserialize, Serialize};
+
+/// One cell of the ablation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AblationCell {
+    /// Number of near neighbours `k_n`.
+    pub near_neighbors: u32,
+    /// Number of shortcuts `k_s`.
+    pub shortcuts: u32,
+    /// Identifier length.
+    pub bits: u32,
+    /// Failure probability.
+    pub failure_probability: f64,
+    /// Analytical routability (percent).
+    pub routability_percent: f64,
+}
+
+/// Sweeps `(k_n, k_s)` over `1..=max_connections` at the given sizes and
+/// failure probability.
+///
+/// # Errors
+///
+/// Returns [`RcmError`] for invalid parameters; degenerate points are
+/// skipped.
+pub fn run(
+    bits_list: &[u32],
+    q: f64,
+    max_connections: u32,
+) -> Result<Vec<AblationCell>, RcmError> {
+    let mut cells = Vec::new();
+    for &bits in bits_list {
+        let size = SystemSize::power_of_two(bits)?;
+        for near in 1..=max_connections {
+            for shortcuts in 1..=max_connections {
+                let geometry = SymphonyGeometry::new(near, shortcuts)?;
+                match routability(&geometry, size, q) {
+                    Ok(report) => cells.push(AblationCell {
+                        near_neighbors: near,
+                        shortcuts,
+                        bits,
+                        failure_probability: q,
+                        routability_percent: 100.0 * report.routability,
+                    }),
+                    Err(RcmError::DegenerateSystem { .. }) => continue,
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// The smallest `(k_n, k_s)` (by total connection count, then by `k_s`) that
+/// reaches `target_routability_percent` at the given size, if any.
+#[must_use]
+pub fn minimum_configuration(
+    cells: &[AblationCell],
+    bits: u32,
+    target_routability_percent: f64,
+) -> Option<(u32, u32)> {
+    cells
+        .iter()
+        .filter(|c| c.bits == bits && c.routability_percent >= target_routability_percent)
+        .min_by_key(|c| (c.near_neighbors + c.shortcuts, c.shortcuts))
+        .map(|c| (c.near_neighbors, c.shortcuts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routability_increases_with_either_connection_count() {
+        let cells = run(&[16], 0.4, 4).unwrap();
+        let value = |kn: u32, ks: u32| {
+            cells
+                .iter()
+                .find(|c| c.near_neighbors == kn && c.shortcuts == ks)
+                .unwrap()
+                .routability_percent
+        };
+        assert!(value(1, 2) > value(1, 1));
+        assert!(value(2, 1) > value(1, 1));
+        assert!(value(4, 4) > value(2, 2));
+    }
+
+    #[test]
+    fn bigger_systems_need_more_connections_for_the_same_routability() {
+        // The unscalability in action: the configuration that suffices at
+        // 2^12 no longer suffices at 2^20.
+        let cells = run(&[12, 20], 0.2, 6).unwrap();
+        let small = minimum_configuration(&cells, 12, 90.0).expect("reachable at 2^12");
+        let large = minimum_configuration(&cells, 20, 90.0).expect("reachable at 2^20");
+        assert!(
+            large.0 + large.1 >= small.0 + small.1,
+            "2^20 config {large:?} should need at least as many connections as 2^12 config {small:?}"
+        );
+    }
+
+    #[test]
+    fn grid_covers_every_combination() {
+        let cells = run(&[12], 0.1, 3).unwrap();
+        assert_eq!(cells.len(), 9);
+    }
+
+    #[test]
+    fn minimum_configuration_returns_none_when_unreachable() {
+        let cells = run(&[20], 0.5, 1).unwrap();
+        assert_eq!(minimum_configuration(&cells, 20, 99.9), None);
+    }
+}

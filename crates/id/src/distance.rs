@@ -1,0 +1,201 @@
+//! Distance metrics used by the five routing geometries.
+
+use crate::node_id::NodeId;
+
+/// XOR distance between two identifiers (Kademlia, §3.3 of the paper).
+///
+/// # Panics
+///
+/// Panics if the identifiers have different widths.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::{xor_distance, NodeId};
+///
+/// let a = NodeId::from_raw(0b010, 3)?;
+/// let b = NodeId::from_raw(0b101, 3)?;
+/// assert_eq!(xor_distance(a, b), 0b111);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[must_use]
+pub fn xor_distance(a: NodeId, b: NodeId) -> u64 {
+    assert_eq!(a.bits(), b.bits(), "identifiers must share a key space");
+    a.value() ^ b.value()
+}
+
+/// Hamming distance between two identifiers (CAN hypercube, §3.2).
+///
+/// # Panics
+///
+/// Panics if the identifiers have different widths.
+#[must_use]
+pub fn hamming(a: NodeId, b: NodeId) -> u32 {
+    assert_eq!(a.bits(), b.bits(), "identifiers must share a key space");
+    (a.value() ^ b.value()).count_ones()
+}
+
+/// Clockwise ring distance from `a` to `b` (Chord and Symphony, §3.4–3.5).
+///
+/// This is the number of positions one must travel clockwise (in increasing
+/// identifier order, wrapping at `2^d`) to get from `a` to `b`. It is *not*
+/// symmetric: `ring_distance(a, b) + ring_distance(b, a) == 2^d` unless
+/// `a == b`.
+///
+/// # Panics
+///
+/// Panics if the identifiers have different widths.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::{ring_distance, NodeId};
+///
+/// let a = NodeId::from_raw(6, 3)?;
+/// let b = NodeId::from_raw(1, 3)?;
+/// assert_eq!(ring_distance(a, b), 3); // 6 → 7 → 0 → 1
+/// assert_eq!(ring_distance(b, a), 5);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[must_use]
+pub fn ring_distance(a: NodeId, b: NodeId) -> u64 {
+    assert_eq!(a.bits(), b.bits(), "identifiers must share a key space");
+    let modulus_mask = if a.bits() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << a.bits()) - 1
+    };
+    b.value().wrapping_sub(a.value()) & modulus_mask
+}
+
+/// Absolute (bidirectional) ring distance: the smaller of the two travel
+/// directions. Symphony draws its shortcuts from a harmonic distribution over
+/// this distance.
+///
+/// # Panics
+///
+/// Panics if the identifiers have different widths.
+#[must_use]
+pub fn ring_distance_min(a: NodeId, b: NodeId) -> u64 {
+    let clockwise = ring_distance(a, b);
+    let counter = ring_distance(b, a);
+    clockwise.min(counter)
+}
+
+/// The *phase* of a distance value as defined in §3 of the paper: the routing
+/// process is in phase `j` when the (numeric or XOR) distance to the target
+/// lies in `[2^j, 2^{j+1})`. Returns `None` for distance zero (arrived).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::distance::phase_of_distance;
+///
+/// assert_eq!(phase_of_distance(0), None);
+/// assert_eq!(phase_of_distance(1), Some(0));
+/// assert_eq!(phase_of_distance(5), Some(2));
+/// assert_eq!(phase_of_distance(1 << 15), Some(15));
+/// ```
+#[must_use]
+pub fn phase_of_distance(distance: u64) -> Option<u32> {
+    if distance == 0 {
+        None
+    } else {
+        Some(63 - distance.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyspace::KeySpace;
+
+    fn id(value: u64, bits: u32) -> NodeId {
+        NodeId::from_raw(value, bits).unwrap()
+    }
+
+    #[test]
+    fn xor_distance_is_a_metric_on_small_space() {
+        let space = KeySpace::new(4).unwrap();
+        let ids: Vec<NodeId> = space.iter_ids().collect();
+        for &a in &ids {
+            assert_eq!(xor_distance(a, a), 0);
+            for &b in &ids {
+                assert_eq!(xor_distance(a, b), xor_distance(b, a));
+                for &c in &ids {
+                    // XOR satisfies the stronger relation d(a,c) = d(a,b) ^ d(b,c),
+                    // which implies the triangle inequality.
+                    assert_eq!(
+                        xor_distance(a, c),
+                        xor_distance(a, b) ^ xor_distance(b, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        assert_eq!(hamming(id(0b0000, 4), id(0b1111, 4)), 4);
+        assert_eq!(hamming(id(0b1010, 4), id(0b1000, 4)), 1);
+        assert_eq!(hamming(id(0b1010, 4), id(0b1010, 4)), 0);
+    }
+
+    #[test]
+    fn ring_distance_wraps_clockwise() {
+        assert_eq!(ring_distance(id(6, 3), id(1, 3)), 3);
+        assert_eq!(ring_distance(id(1, 3), id(6, 3)), 5);
+        assert_eq!(ring_distance(id(0, 3), id(0, 3)), 0);
+        assert_eq!(ring_distance(id(7, 3), id(0, 3)), 1);
+    }
+
+    #[test]
+    fn ring_distances_sum_to_modulus() {
+        let space = KeySpace::new(5).unwrap();
+        let ids: Vec<NodeId> = space.iter_ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    assert_eq!(ring_distance(a, b) + ring_distance(b, a), 32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_distance_min_is_symmetric_and_bounded() {
+        let space = KeySpace::new(6).unwrap();
+        let ids: Vec<NodeId> = space.iter_ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let d = ring_distance_min(a, b);
+                assert_eq!(d, ring_distance_min(b, a));
+                assert!(d <= 32);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_matches_binary_magnitude() {
+        assert_eq!(phase_of_distance(0), None);
+        for j in 0..20u32 {
+            let lo = 1u64 << j;
+            let hi = (1u64 << (j + 1)) - 1;
+            assert_eq!(phase_of_distance(lo), Some(j));
+            assert_eq!(phase_of_distance(hi), Some(j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a key space")]
+    fn mismatched_widths_panic() {
+        let _ = xor_distance(id(1, 3), id(1, 4));
+    }
+
+    #[test]
+    fn full_width_ring_distance() {
+        let a = id(u64::MAX, 64);
+        let b = id(2, 64);
+        assert_eq!(ring_distance(a, b), 3);
+    }
+}

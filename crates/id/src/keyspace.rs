@@ -1,0 +1,187 @@
+//! Description of a `d`-bit identifier space.
+
+use crate::node_id::{IdError, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A `d`-bit identifier space holding up to `2^d` identifiers.
+///
+/// The RCM paper assumes fully populated identifier spaces (`N = 2^d`, §4.1);
+/// [`KeySpace::iter_ids`] enumerates exactly that population. Widths up to 32
+/// bits can be fully enumerated in practice; the type supports up to 64 bits
+/// for sparse use.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::KeySpace;
+///
+/// let space = KeySpace::new(4)?;
+/// assert_eq!(space.population(), 16);
+/// assert_eq!(space.iter_ids().count(), 16);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeySpace {
+    bits: u32,
+}
+
+impl KeySpace {
+    /// Creates a key space of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::InvalidWidth`] unless `1 <= bits <= 64`.
+    pub fn new(bits: u32) -> Result<Self, IdError> {
+        if bits == 0 || bits > 64 {
+            return Err(IdError::InvalidWidth { bits });
+        }
+        Ok(KeySpace { bits })
+    }
+
+    /// Creates the smallest key space that can hold `n` identifiers, i.e.
+    /// `d = ceil(log2 n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::InvalidWidth`] if `n < 2`.
+    pub fn for_population(n: u64) -> Result<Self, IdError> {
+        if n < 2 {
+            return Err(IdError::InvalidWidth { bits: 0 });
+        }
+        let bits = 64 - (n - 1).leading_zeros();
+        KeySpace::new(bits)
+    }
+
+    /// The identifier width `d` in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The number of identifiers in the fully populated space, `2^d`.
+    ///
+    /// Saturates at `u64::MAX` for `d = 64`.
+    #[must_use]
+    pub fn population(self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            1u64 << self.bits
+        }
+    }
+
+    /// The largest representable identifier value, `2^d − 1`.
+    #[must_use]
+    pub fn max_value(self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Wraps a raw value into the space by masking off excess high bits.
+    #[must_use]
+    pub fn wrap(self, value: u64) -> NodeId {
+        NodeId::from_raw(value & self.max_value(), self.bits)
+            .expect("masked value always fits the key space")
+    }
+
+    /// Draws an identifier uniformly at random.
+    pub fn random_id<R: Rng + ?Sized>(self, rng: &mut R) -> NodeId {
+        self.wrap(rng.gen::<u64>())
+    }
+
+    /// Iterates over every identifier of the fully populated space in
+    /// ascending numeric order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 32`; enumerating more than `2^32` identifiers is
+    /// never intended and would loop for days.
+    pub fn iter_ids(self) -> impl Iterator<Item = NodeId> {
+        assert!(
+            self.bits <= 32,
+            "refusing to enumerate a {}-bit identifier space",
+            self.bits
+        );
+        let bits = self.bits;
+        (0..self.population()).map(move |v| {
+            NodeId::from_raw(v, bits).expect("enumerated value always fits the key space")
+        })
+    }
+}
+
+impl std::fmt::Display for KeySpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-bit key space", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(KeySpace::new(1).is_ok());
+        assert!(KeySpace::new(64).is_ok());
+        assert!(KeySpace::new(0).is_err());
+        assert!(KeySpace::new(65).is_err());
+    }
+
+    #[test]
+    fn population_and_max_value() {
+        let s = KeySpace::new(10).unwrap();
+        assert_eq!(s.population(), 1024);
+        assert_eq!(s.max_value(), 1023);
+        let full = KeySpace::new(64).unwrap();
+        assert_eq!(full.max_value(), u64::MAX);
+    }
+
+    #[test]
+    fn for_population_rounds_up() {
+        assert_eq!(KeySpace::for_population(2).unwrap().bits(), 1);
+        assert_eq!(KeySpace::for_population(1024).unwrap().bits(), 10);
+        assert_eq!(KeySpace::for_population(1025).unwrap().bits(), 11);
+        assert!(KeySpace::for_population(1).is_err());
+    }
+
+    #[test]
+    fn wrap_masks_high_bits() {
+        let s = KeySpace::new(4).unwrap();
+        assert_eq!(s.wrap(0xFF).value(), 0xF);
+        assert_eq!(s.wrap(0x10).value(), 0);
+    }
+
+    #[test]
+    fn iter_ids_enumerates_full_population() {
+        let s = KeySpace::new(6).unwrap();
+        let ids: Vec<u64> = s.iter_ids().map(|id| id.value()).collect();
+        assert_eq!(ids.len(), 64);
+        assert_eq!(ids[0], 0);
+        assert_eq!(ids[63], 63);
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn random_ids_are_in_range_and_deterministic() {
+        let s = KeySpace::new(12).unwrap();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(7);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            let a = s.random_id(&mut rng_a);
+            let b = s.random_id(&mut rng_b);
+            assert_eq!(a, b);
+            assert!(a.value() <= s.max_value());
+        }
+    }
+
+    #[test]
+    fn display_mentions_width() {
+        assert_eq!(KeySpace::new(16).unwrap().to_string(), "16-bit key space");
+    }
+}

@@ -1,0 +1,46 @@
+//! Identifier spaces and distance metrics for DHT routing geometries.
+//!
+//! The five routing geometries analysed by the RCM paper (tree/Plaxton,
+//! hypercube/CAN, XOR/Kademlia, ring/Chord and small-world/Symphony) all
+//! operate on fixed-width binary identifiers but measure closeness
+//! differently:
+//!
+//! | Geometry  | Distance                                   |
+//! |-----------|--------------------------------------------|
+//! | Tree      | index of the highest-order differing bit   |
+//! | Hypercube | Hamming distance                           |
+//! | XOR       | numeric value of the bitwise XOR           |
+//! | Ring      | clockwise numeric (modular) distance       |
+//! | Symphony  | clockwise numeric (modular) distance       |
+//!
+//! This crate provides [`NodeId`] (an identifier of up to 64 bits), the
+//! [`KeySpace`] describing an identifier space of `d` bits, and the distance
+//! functions in [`distance`]. The paper assumes *fully populated* identifier
+//! spaces (`N = 2^d`), which [`KeySpace::iter_ids`] enumerates directly.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dht_id::{KeySpace, NodeId};
+//!
+//! let space = KeySpace::new(16)?;
+//! let a = NodeId::new(0b1010_0000_0000_0000, &space)?;
+//! let b = NodeId::new(0b0010_0000_0000_0000, &space)?;
+//! assert_eq!(dht_id::distance::hamming(a, b), 1);
+//! assert_eq!(dht_id::distance::xor_distance(a, b), 0b1000_0000_0000_0000);
+//! # Ok::<(), dht_id::IdError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distance;
+pub mod keyspace;
+pub mod node_id;
+pub mod prefix;
+
+pub use distance::{hamming, ring_distance, xor_distance};
+pub use keyspace::KeySpace;
+pub use node_id::{IdError, NodeId};
+pub use prefix::{common_prefix_len, highest_differing_bit};

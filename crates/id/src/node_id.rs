@@ -1,0 +1,344 @@
+//! Fixed-width binary node identifiers.
+
+use crate::keyspace::KeySpace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error type for identifier construction and manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdError {
+    /// The identifier width is zero or exceeds the supported 64 bits.
+    InvalidWidth {
+        /// The rejected width.
+        bits: u32,
+    },
+    /// The raw value does not fit into the identifier width.
+    ValueOutOfRange {
+        /// The rejected value.
+        value: u64,
+        /// The identifier width in bits.
+        bits: u32,
+    },
+    /// A bit index was outside the identifier width.
+    BitOutOfRange {
+        /// The rejected bit index.
+        bit: u32,
+        /// The identifier width in bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for IdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdError::InvalidWidth { bits } => {
+                write!(f, "identifier width must be between 1 and 64 bits, got {bits}")
+            }
+            IdError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in a {bits}-bit identifier")
+            }
+            IdError::BitOutOfRange { bit, bits } => {
+                write!(f, "bit index {bit} is outside a {bits}-bit identifier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdError {}
+
+/// A node identifier in a `d`-bit identifier space.
+///
+/// Identifiers are stored as a `u64` value together with their width, which
+/// bounds the supported identifier space at `2^64` nodes — far beyond what an
+/// executable overlay can instantiate (the analytical crates use log-domain
+/// arithmetic instead of identifiers when `d` is as large as 100).
+///
+/// Bit indexing follows the paper's convention: **bit 0 is the most
+/// significant (leftmost) bit**, bits are "corrected" left to right.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::{KeySpace, NodeId};
+///
+/// let space = KeySpace::new(3)?;
+/// let id = NodeId::new(0b011, &space)?;
+/// assert_eq!(id.bit(0)?, false); // leftmost bit
+/// assert_eq!(id.bit(2)?, true);  // rightmost bit
+/// assert_eq!(id.flip_bit(0)?.value(), 0b111);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId {
+    value: u64,
+    bits: u32,
+}
+
+impl NodeId {
+    /// Creates an identifier from a raw value within the given key space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::ValueOutOfRange`] if `value >= 2^d`.
+    pub fn new(value: u64, space: &KeySpace) -> Result<Self, IdError> {
+        if value > space.max_value() {
+            return Err(IdError::ValueOutOfRange {
+                value,
+                bits: space.bits(),
+            });
+        }
+        Ok(NodeId {
+            value,
+            bits: space.bits(),
+        })
+    }
+
+    /// Creates an identifier without bounds checking against a key space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bits` is not in `1..=64` or the value does not fit.
+    pub fn from_raw(value: u64, bits: u32) -> Result<Self, IdError> {
+        if bits == 0 || bits > 64 {
+            return Err(IdError::InvalidWidth { bits });
+        }
+        let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        if value > max {
+            return Err(IdError::ValueOutOfRange { value, bits });
+        }
+        Ok(NodeId { value, bits })
+    }
+
+    /// The raw numeric value of the identifier.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The identifier width in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Reads the bit at `index`, where index 0 is the most significant bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::BitOutOfRange`] if `index >= bits`.
+    pub fn bit(self, index: u32) -> Result<bool, IdError> {
+        if index >= self.bits {
+            return Err(IdError::BitOutOfRange {
+                bit: index,
+                bits: self.bits,
+            });
+        }
+        Ok((self.value >> (self.bits - 1 - index)) & 1 == 1)
+    }
+
+    /// Returns a copy with the bit at `index` flipped (index 0 = MSB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::BitOutOfRange`] if `index >= bits`.
+    pub fn flip_bit(self, index: u32) -> Result<Self, IdError> {
+        if index >= self.bits {
+            return Err(IdError::BitOutOfRange {
+                bit: index,
+                bits: self.bits,
+            });
+        }
+        Ok(NodeId {
+            value: self.value ^ (1u64 << (self.bits - 1 - index)),
+            bits: self.bits,
+        })
+    }
+
+    /// Returns a copy with the bit at `index` set to `bit` (index 0 = MSB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::BitOutOfRange`] if `index >= bits`.
+    pub fn with_bit(self, index: u32, bit: bool) -> Result<Self, IdError> {
+        if index >= self.bits {
+            return Err(IdError::BitOutOfRange {
+                bit: index,
+                bits: self.bits,
+            });
+        }
+        let mask = 1u64 << (self.bits - 1 - index);
+        let value = if bit { self.value | mask } else { self.value & !mask };
+        Ok(NodeId { value, bits: self.bits })
+    }
+
+    /// Returns the identifier as a big-endian bit vector (index 0 = MSB).
+    #[must_use]
+    pub fn to_bits(self) -> Vec<bool> {
+        (0..self.bits)
+            .map(|i| (self.value >> (self.bits - 1 - i)) & 1 == 1)
+            .collect()
+    }
+
+    /// Returns an identifier that keeps the first `prefix_len` bits of `self`
+    /// and takes the remaining bits from `suffix_source`.
+    ///
+    /// This is how the XOR/Kademlia and Plaxton geometries pick the `i`-th
+    /// neighbour: match the first `i-1` bits, flip the `i`-th and randomise the
+    /// rest (§3.3 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::BitOutOfRange`] if `prefix_len > bits` or the widths
+    /// of the two identifiers differ.
+    pub fn splice_prefix(self, prefix_len: u32, suffix_source: NodeId) -> Result<Self, IdError> {
+        if prefix_len > self.bits || suffix_source.bits != self.bits {
+            return Err(IdError::BitOutOfRange {
+                bit: prefix_len,
+                bits: self.bits,
+            });
+        }
+        if prefix_len == 0 {
+            return Ok(suffix_source);
+        }
+        if prefix_len == self.bits {
+            return Ok(self);
+        }
+        let suffix_bits = self.bits - prefix_len;
+        let suffix_mask = if suffix_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << suffix_bits) - 1
+        };
+        Ok(NodeId {
+            value: (self.value & !suffix_mask) | (suffix_source.value & suffix_mask),
+            bits: self.bits,
+        })
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.value, width = self.bits as usize)
+    }
+}
+
+impl fmt::Binary for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.value, f)
+    }
+}
+
+impl fmt::LowerHex for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.value, f)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> u64 {
+        id.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(bits: u32) -> KeySpace {
+        KeySpace::new(bits).expect("valid key space")
+    }
+
+    #[test]
+    fn construction_respects_bounds() {
+        let s = space(4);
+        assert!(NodeId::new(15, &s).is_ok());
+        assert_eq!(
+            NodeId::new(16, &s),
+            Err(IdError::ValueOutOfRange { value: 16, bits: 4 })
+        );
+    }
+
+    #[test]
+    fn from_raw_validates_width() {
+        assert!(NodeId::from_raw(0, 1).is_ok());
+        assert!(NodeId::from_raw(u64::MAX, 64).is_ok());
+        assert_eq!(NodeId::from_raw(1, 0), Err(IdError::InvalidWidth { bits: 0 }));
+        assert_eq!(NodeId::from_raw(1, 65), Err(IdError::InvalidWidth { bits: 65 }));
+        assert_eq!(
+            NodeId::from_raw(4, 2),
+            Err(IdError::ValueOutOfRange { value: 4, bits: 2 })
+        );
+    }
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        let s = space(3);
+        let id = NodeId::new(0b011, &s).unwrap();
+        assert_eq!(id.bit(0).unwrap(), false);
+        assert_eq!(id.bit(1).unwrap(), true);
+        assert_eq!(id.bit(2).unwrap(), true);
+        assert!(id.bit(3).is_err());
+    }
+
+    #[test]
+    fn flip_bit_round_trips() {
+        let s = space(8);
+        let id = NodeId::new(0b1010_1010, &s).unwrap();
+        for i in 0..8 {
+            let flipped = id.flip_bit(i).unwrap();
+            assert_ne!(flipped, id);
+            assert_eq!(flipped.flip_bit(i).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn with_bit_sets_and_clears() {
+        let s = space(4);
+        let id = NodeId::new(0b0000, &s).unwrap();
+        let set = id.with_bit(1, true).unwrap();
+        assert_eq!(set.value(), 0b0100);
+        assert_eq!(set.with_bit(1, false).unwrap(), id);
+    }
+
+    #[test]
+    fn to_bits_matches_display() {
+        let s = space(5);
+        let id = NodeId::new(0b10110, &s).unwrap();
+        assert_eq!(format!("{id}"), "10110");
+        assert_eq!(id.to_bits(), vec![true, false, true, true, false]);
+    }
+
+    #[test]
+    fn splice_prefix_keeps_prefix_and_takes_suffix() {
+        let s = space(8);
+        let base = NodeId::new(0b1111_0000, &s).unwrap();
+        let other = NodeId::new(0b0000_1010, &s).unwrap();
+        let spliced = base.splice_prefix(4, other).unwrap();
+        assert_eq!(spliced.value(), 0b1111_1010);
+        // Degenerate prefix lengths.
+        assert_eq!(base.splice_prefix(0, other).unwrap(), other);
+        assert_eq!(base.splice_prefix(8, other).unwrap(), base);
+    }
+
+    #[test]
+    fn splice_prefix_rejects_mismatched_width() {
+        let a = NodeId::from_raw(1, 4).unwrap();
+        let b = NodeId::from_raw(1, 5).unwrap();
+        assert!(a.splice_prefix(2, b).is_err());
+    }
+
+    #[test]
+    fn display_of_error_is_informative() {
+        let err = IdError::ValueOutOfRange { value: 9, bits: 3 };
+        assert!(err.to_string().contains("9"));
+        assert!(err.to_string().contains("3-bit"));
+    }
+
+    #[test]
+    fn full_width_identifiers_work() {
+        let id = NodeId::from_raw(u64::MAX, 64).unwrap();
+        assert!(id.bit(0).unwrap());
+        assert!(id.bit(63).unwrap());
+        assert_eq!(id.flip_bit(0).unwrap().value(), u64::MAX >> 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Prefix utilities for tree-structured (Plaxton and Kademlia) geometries.
+
+use crate::node_id::NodeId;
+
+/// Length of the common most-significant-bit prefix of two identifiers.
+///
+/// # Panics
+///
+/// Panics if the identifiers have different widths.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::{common_prefix_len, NodeId};
+///
+/// let a = NodeId::from_raw(0b1101, 4)?;
+/// let b = NodeId::from_raw(0b1100, 4)?;
+/// assert_eq!(common_prefix_len(a, b), 3);
+/// assert_eq!(common_prefix_len(a, a), 4);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[must_use]
+pub fn common_prefix_len(a: NodeId, b: NodeId) -> u32 {
+    assert_eq!(a.bits(), b.bits(), "identifiers must share a key space");
+    let diff = a.value() ^ b.value();
+    if diff == 0 {
+        return a.bits();
+    }
+    // Shift the differing bits up so that bit (bits-1) of the identifier is at
+    // position 63, then count leading zeros.
+    let shifted = diff << (64 - a.bits());
+    shifted.leading_zeros()
+}
+
+/// Index (0 = most significant) of the highest-order bit in which the two
+/// identifiers differ, or `None` if they are equal.
+///
+/// This is exactly the bit that the tree/Plaxton geometry must correct on the
+/// next hop (§3.1 of the paper).
+///
+/// # Panics
+///
+/// Panics if the identifiers have different widths.
+#[must_use]
+pub fn highest_differing_bit(a: NodeId, b: NodeId) -> Option<u32> {
+    let prefix = common_prefix_len(a, b);
+    if prefix == a.bits() {
+        None
+    } else {
+        Some(prefix)
+    }
+}
+
+/// Number of ordered bits already "corrected" when routing from `current`
+/// towards `target`: identical to the common prefix length, exposed under the
+/// paper's vocabulary for readability at call sites.
+#[must_use]
+pub fn corrected_bits(current: NodeId, target: NodeId) -> u32 {
+    common_prefix_len(current, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyspace::KeySpace;
+
+    fn id(value: u64, bits: u32) -> NodeId {
+        NodeId::from_raw(value, bits).unwrap()
+    }
+
+    #[test]
+    fn common_prefix_basic_cases() {
+        assert_eq!(common_prefix_len(id(0b0000, 4), id(0b1111, 4)), 0);
+        assert_eq!(common_prefix_len(id(0b1000, 4), id(0b1111, 4)), 1);
+        assert_eq!(common_prefix_len(id(0b1010, 4), id(0b1011, 4)), 3);
+        assert_eq!(common_prefix_len(id(0b1010, 4), id(0b1010, 4)), 4);
+    }
+
+    #[test]
+    fn highest_differing_bit_is_first_mismatch() {
+        assert_eq!(highest_differing_bit(id(0b1010, 4), id(0b1010, 4)), None);
+        assert_eq!(highest_differing_bit(id(0b1010, 4), id(0b0010, 4)), Some(0));
+        assert_eq!(highest_differing_bit(id(0b1010, 4), id(0b1000, 4)), Some(2));
+        assert_eq!(highest_differing_bit(id(0b1010, 4), id(0b1011, 4)), Some(3));
+    }
+
+    #[test]
+    fn prefix_plus_differing_bit_consistency() {
+        let space = KeySpace::new(6).unwrap();
+        let ids: Vec<NodeId> = space.iter_ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let p = common_prefix_len(a, b);
+                match highest_differing_bit(a, b) {
+                    None => assert_eq!(a, b),
+                    Some(bit) => {
+                        assert_eq!(bit, p);
+                        // Bits before the differing bit agree, the differing bit does not.
+                        for i in 0..bit {
+                            assert_eq!(a.bit(i).unwrap(), b.bit(i).unwrap());
+                        }
+                        assert_ne!(a.bit(bit).unwrap(), b.bit(bit).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrected_bits_equals_prefix() {
+        assert_eq!(corrected_bits(id(0b110, 3), id(0b111, 3)), 2);
+    }
+
+    #[test]
+    fn full_width_prefix() {
+        let a = id(u64::MAX, 64);
+        let b = id(u64::MAX - 1, 64);
+        assert_eq!(common_prefix_len(a, b), 63);
+        assert_eq!(common_prefix_len(a, a), 64);
+    }
+}

@@ -1,0 +1,367 @@
+//! Generic absorbing discrete-time Markov chains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a state within a [`MarkovChain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(pub(crate) usize);
+
+impl StateId {
+    /// Returns the underlying index of the state.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Errors raised while building or analysing a chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChainError {
+    /// A referenced state does not exist in the chain.
+    UnknownState {
+        /// The offending state index.
+        state: usize,
+    },
+    /// A transition probability was negative, NaN, or greater than one.
+    InvalidProbability {
+        /// Source state of the transition.
+        from: usize,
+        /// The offending probability.
+        probability: f64,
+    },
+    /// The outgoing probabilities of a transient state do not sum to one.
+    UnnormalisedState {
+        /// The offending state index.
+        state: usize,
+        /// The observed sum of outgoing probabilities.
+        sum: f64,
+    },
+    /// Absorption analysis requires an acyclic (feed-forward) chain but a
+    /// cycle was found.
+    CycleDetected {
+        /// A state participating in the cycle.
+        state: usize,
+    },
+    /// The requested target state is not absorbing.
+    NotAbsorbing {
+        /// The offending state index.
+        state: usize,
+    },
+    /// A chain parameter was out of range (e.g. a failure probability outside
+    /// `[0, 1]` or a zero hop count).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnknownState { state } => write!(f, "unknown state index {state}"),
+            ChainError::InvalidProbability { from, probability } => write!(
+                f,
+                "invalid transition probability {probability} out of state {from}"
+            ),
+            ChainError::UnnormalisedState { state, sum } => write!(
+                f,
+                "outgoing probabilities of state {state} sum to {sum}, expected 1"
+            ),
+            ChainError::CycleDetected { state } => {
+                write!(f, "chain contains a cycle through state {state}")
+            }
+            ChainError::NotAbsorbing { state } => {
+                write!(f, "state {state} is not absorbing")
+            }
+            ChainError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A single state and its outgoing transitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct State {
+    label: String,
+    transitions: Vec<(usize, f64)>,
+}
+
+/// An absorbing discrete-time Markov chain with sparse transitions.
+///
+/// States with no outgoing transitions are absorbing. The chain is validated
+/// on construction: probabilities lie in `[0, 1]` and the outgoing mass of
+/// every transient state sums to one (within `1e-9`).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::ChainBuilder;
+///
+/// let mut b = ChainBuilder::new();
+/// let start = b.add_state("start");
+/// let done = b.add_state("done");
+/// let fail = b.add_state("fail");
+/// b.add_transition(start, done, 0.7)?;
+/// b.add_transition(start, fail, 0.3)?;
+/// let chain = b.build()?;
+/// assert_eq!(chain.len(), 3);
+/// assert!(chain.is_absorbing(done));
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarkovChain {
+    states: Vec<State>,
+}
+
+impl MarkovChain {
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the chain has no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Returns `true` if the state has no outgoing transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not belong to this chain.
+    #[must_use]
+    pub fn is_absorbing(&self, state: StateId) -> bool {
+        self.states[state.0].transitions.is_empty()
+    }
+
+    /// Human-readable label of the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not belong to this chain.
+    #[must_use]
+    pub fn label(&self, state: StateId) -> &str {
+        &self.states[state.0].label
+    }
+
+    /// Outgoing transitions of a state as `(target, probability)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not belong to this chain.
+    #[must_use]
+    pub fn transitions(&self, state: StateId) -> &[(usize, f64)] {
+        &self.states[state.0].transitions
+    }
+
+    /// Iterates over all state identifiers.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len()).map(StateId)
+    }
+
+    /// All absorbing states of the chain.
+    #[must_use]
+    pub fn absorbing_states(&self) -> Vec<StateId> {
+        self.state_ids().filter(|&s| self.is_absorbing(s)).collect()
+    }
+
+    /// Total number of transitions in the chain.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+}
+
+/// Incremental builder for [`MarkovChain`].
+#[derive(Debug, Clone, Default)]
+pub struct ChainBuilder {
+    states: Vec<State>,
+}
+
+impl ChainBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ChainBuilder::default()
+    }
+
+    /// Adds a state with a descriptive label and returns its identifier.
+    pub fn add_state(&mut self, label: impl Into<String>) -> StateId {
+        self.states.push(State {
+            label: label.into(),
+            transitions: Vec::new(),
+        });
+        StateId(self.states.len() - 1)
+    }
+
+    /// Adds a transition `from → to` with the given probability.
+    ///
+    /// Zero-probability transitions are silently dropped so builders can pass
+    /// analytic expressions that vanish at the boundary (`q = 0` or `q = 1`)
+    /// without special-casing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either state is unknown or the probability is not
+    /// in `[0, 1]`.
+    pub fn add_transition(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        probability: f64,
+    ) -> Result<(), ChainError> {
+        if from.0 >= self.states.len() {
+            return Err(ChainError::UnknownState { state: from.0 });
+        }
+        if to.0 >= self.states.len() {
+            return Err(ChainError::UnknownState { state: to.0 });
+        }
+        if !(0.0..=1.0 + 1e-12).contains(&probability) || probability.is_nan() {
+            return Err(ChainError::InvalidProbability {
+                from: from.0,
+                probability,
+            });
+        }
+        if probability > 0.0 {
+            self.states[from.0]
+                .transitions
+                .push((to.0, probability.min(1.0)));
+        }
+        Ok(())
+    }
+
+    /// Validates and finalises the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnnormalisedState`] if a transient state's
+    /// outgoing probabilities do not sum to one within `1e-9`.
+    pub fn build(self) -> Result<MarkovChain, ChainError> {
+        for (index, state) in self.states.iter().enumerate() {
+            if state.transitions.is_empty() {
+                continue;
+            }
+            let sum: f64 = state.transitions.iter().map(|&(_, p)| p).sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(ChainError::UnnormalisedState { state: index, sum });
+            }
+        }
+        Ok(MarkovChain {
+            states: self.states,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_chain() {
+        let mut b = ChainBuilder::new();
+        let s0 = b.add_state("S0");
+        let ok = b.add_state("ok");
+        let fail = b.add_state("F");
+        b.add_transition(s0, ok, 0.25).unwrap();
+        b.add_transition(s0, fail, 0.75).unwrap();
+        let chain = b.build().unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.transition_count(), 2);
+        assert!(!chain.is_absorbing(s0));
+        assert!(chain.is_absorbing(ok));
+        assert_eq!(chain.label(fail), "F");
+        assert_eq!(chain.absorbing_states(), vec![ok, fail]);
+    }
+
+    #[test]
+    fn zero_probability_transitions_are_dropped() {
+        let mut b = ChainBuilder::new();
+        let s0 = b.add_state("S0");
+        let s1 = b.add_state("S1");
+        b.add_transition(s0, s1, 0.0).unwrap();
+        b.add_transition(s0, s1, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        assert_eq!(chain.transitions(s0).len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_states() {
+        let mut b = ChainBuilder::new();
+        let s0 = b.add_state("S0");
+        let bogus = StateId(42);
+        assert_eq!(
+            b.add_transition(s0, bogus, 0.5),
+            Err(ChainError::UnknownState { state: 42 })
+        );
+        assert_eq!(
+            b.add_transition(bogus, s0, 0.5),
+            Err(ChainError::UnknownState { state: 42 })
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let mut b = ChainBuilder::new();
+        let s0 = b.add_state("S0");
+        let s1 = b.add_state("S1");
+        assert!(matches!(
+            b.add_transition(s0, s1, 1.5),
+            Err(ChainError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(s0, s1, -0.1),
+            Err(ChainError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(s0, s1, f64::NAN),
+            Err(ChainError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unnormalised_state() {
+        let mut b = ChainBuilder::new();
+        let s0 = b.add_state("S0");
+        let s1 = b.add_state("S1");
+        b.add_transition(s0, s1, 0.4).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ChainError::UnnormalisedState { state: 0, .. }));
+    }
+
+    #[test]
+    fn accepts_tiny_rounding_noise() {
+        let mut b = ChainBuilder::new();
+        let s0 = b.add_state("S0");
+        let s1 = b.add_state("S1");
+        let s2 = b.add_state("S2");
+        b.add_transition(s0, s1, 1.0 / 3.0).unwrap();
+        b.add_transition(s0, s2, 2.0 / 3.0).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let err = ChainError::UnnormalisedState { state: 3, sum: 0.7 };
+        assert!(err.to_string().contains("state 3"));
+        let err = ChainError::InvalidParameter {
+            message: "q out of range".into(),
+        };
+        assert!(err.to_string().contains("q out of range"));
+    }
+
+    #[test]
+    fn state_id_display() {
+        assert_eq!(StateId(5).to_string(), "s5");
+        assert_eq!(StateId(5).index(), 5);
+    }
+}

@@ -1,0 +1,110 @@
+//! The hypercube (CAN) routing chain of Fig. 4(b).
+
+use super::{validate_params, RoutingChain};
+use crate::chain::{ChainBuilder, ChainError};
+
+/// Builds the hypercube-routing chain for a target `h` hops away under
+/// failure probability `q`.
+///
+/// State `S_i` corresponds to `i` corrected bits; `h − i` neighbours can each
+/// correct one of the remaining bits, so the hop fails only if all of them are
+/// down: the transition to `F` has probability `q^{h−i}` and the advance has
+/// probability `1 − q^{h−i}` (§3.2, §4.2 of the paper). The success
+/// probability is `p(h, q) = ∏_{m=1}^{h} (1 − q^m)` (Eq. 2).
+///
+/// # Errors
+///
+/// Returns [`ChainError::InvalidParameter`] if `h == 0` or `q ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::chains::hypercube_chain;
+///
+/// // The worked example of Fig. 3: an 8-node hypercube (d = 3), routing from
+/// // 011 to 100 at Hamming distance 3.
+/// let chain = hypercube_chain(3, 0.2)?;
+/// let expected = (1.0 - 0.2f64) * (1.0 - 0.04) * (1.0 - 0.008);
+/// assert!((chain.success_probability()? - expected).abs() < 1e-12);
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+pub fn hypercube_chain(h: u32, q: f64) -> Result<RoutingChain, ChainError> {
+    validate_params(h, q)?;
+    let mut builder = ChainBuilder::new();
+    let failure = builder.add_state("F");
+    let states: Vec<_> = (0..=h).map(|i| builder.add_state(format!("S{i}"))).collect();
+    for i in 0..h {
+        // h - i neighbours remain that can correct one of the h - i wrong bits.
+        let all_down = q.powi((h - i) as i32);
+        builder.add_transition(states[i as usize], states[i as usize + 1], 1.0 - all_down)?;
+        builder.add_transition(states[i as usize], failure, all_down)?;
+    }
+    let chain = builder.build()?;
+    Ok(RoutingChain::new(
+        chain,
+        states[0],
+        states[h as usize],
+        failure,
+        h,
+        q,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed_form(h: u32, q: f64) -> f64 {
+        (1..=h).map(|m| 1.0 - q.powi(m as i32)).product()
+    }
+
+    #[test]
+    fn matches_equation_two() {
+        for h in 1..=20u32 {
+            for &q in &[0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+                let chain = hypercube_chain(h, q).unwrap();
+                assert!(
+                    (chain.success_probability().unwrap() - closed_form(h, q)).abs() < 1e-12,
+                    "h={h} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_three_example_table() {
+        // Fig. 3: p(3, q) = (1 − q^3)(1 − q^2)(1 − q).
+        let q = 0.5;
+        let chain = hypercube_chain(3, q).unwrap();
+        let expected = (1.0 - q.powi(3)) * (1.0 - q.powi(2)) * (1.0 - q);
+        assert!((chain.success_probability().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominates_tree_chain() {
+        // Redundant next-hop choices can only help: hypercube success is at
+        // least tree success for every h and q.
+        for h in 1..=12u32 {
+            for &q in &[0.1, 0.4, 0.8] {
+                let cube = hypercube_chain(h, q).unwrap().success_probability().unwrap();
+                let tree = super::super::tree_chain(h, q)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap();
+                assert!(cube >= tree - 1e-12, "h={h} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_hop_failure_dominates_for_long_routes() {
+        // As h grows with fixed q the success probability approaches the
+        // infinite product ∏ (1 - q^m) > 0, so it must stay above (1-q) * C
+        // for some positive constant; sanity-check the limit is not zero.
+        let q = 0.5;
+        let p64 = hypercube_chain(64, q).unwrap().success_probability().unwrap();
+        let p32 = hypercube_chain(32, q).unwrap().success_probability().unwrap();
+        assert!(p64 > 0.25);
+        assert!((p64 - p32).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Builders for the five routing Markov chains of the paper.
+//!
+//! Each builder constructs the chain that models routing to a target `h` hops
+//! (or phases) away from the root node under node-failure probability `q`:
+//!
+//! * [`tree_chain`] — Fig. 4(a), the Plaxton/tree geometry.
+//! * [`hypercube_chain`] — Fig. 4(b), the CAN/hypercube geometry.
+//! * [`xor_chain`] — Fig. 5(b), the Kademlia/XOR geometry.
+//! * [`ring_chain`] — Fig. 8(a), the Chord/ring geometry (the paper's
+//!   simplified chain, i.e. the lower-bound model).
+//! * [`symphony_chain`] — Fig. 8(b), the Symphony/small-world geometry.
+//!
+//! Every chain has a designated start state `S0`, success state `S_h` and
+//! failure state `F`; [`RoutingChain::success_probability`] evaluates
+//! `p(h, q)` numerically, which the `dht-rcm-core` crate compares against its
+//! closed-form expressions.
+
+mod hypercube;
+mod ring;
+mod symphony;
+mod tree;
+mod xor;
+
+pub use hypercube::hypercube_chain;
+pub use ring::ring_chain;
+pub use symphony::symphony_chain;
+pub use tree::tree_chain;
+pub use xor::xor_chain;
+
+use crate::chain::{ChainError, MarkovChain, StateId};
+use crate::solver;
+
+/// Number of explicit suboptimal-hop states kept per phase.
+///
+/// The ring chain has up to `2^{m-1}` suboptimal states in phase `m` and the
+/// Symphony chain up to `⌈d/(1-q)⌉`; beyond a few thousand states the
+/// remaining geometric tail is smaller than `1e-18` and is folded into the
+/// phase-advance transition, keeping chains tractable without measurable
+/// error.
+pub(crate) const MAX_SUBOPTIMAL_STATES: u64 = 4096;
+
+/// A routing Markov chain together with its distinguished states.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::chains::tree_chain;
+///
+/// let chain = tree_chain(4, 0.25)?;
+/// // Tree routing succeeds only if all four hops survive: (1-q)^4.
+/// assert!((chain.success_probability()? - 0.31640625).abs() < 1e-12);
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingChain {
+    chain: MarkovChain,
+    start: StateId,
+    success: StateId,
+    failure: StateId,
+    hops: u32,
+    failure_probability: f64,
+}
+
+impl RoutingChain {
+    pub(crate) fn new(
+        chain: MarkovChain,
+        start: StateId,
+        success: StateId,
+        failure: StateId,
+        hops: u32,
+        failure_probability: f64,
+    ) -> Self {
+        RoutingChain {
+            chain,
+            start,
+            success,
+            failure,
+            hops,
+            failure_probability,
+        }
+    }
+
+    /// The underlying Markov chain.
+    #[must_use]
+    pub fn markov(&self) -> &MarkovChain {
+        &self.chain
+    }
+
+    /// The initial state `S0`.
+    #[must_use]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The success state `S_h`.
+    #[must_use]
+    pub fn success(&self) -> StateId {
+        self.success
+    }
+
+    /// The failure state `F`.
+    #[must_use]
+    pub fn failure(&self) -> StateId {
+        self.failure
+    }
+
+    /// The target distance `h` (hops or phases) the chain models.
+    #[must_use]
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// The node-failure probability `q` the chain was built for.
+    #[must_use]
+    pub fn failure_probability(&self) -> f64 {
+        self.failure_probability
+    }
+
+    /// Evaluates `p(h, q)`: the probability of being absorbed in the success
+    /// state when starting from `S0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError`] from the solver; well-formed chains produced
+    /// by the builders in this module never fail.
+    pub fn success_probability(&self) -> Result<f64, ChainError> {
+        solver::absorption_probability(&self.chain, self.start, self.success)
+    }
+
+    /// Evaluates the probability of being absorbed in the failure state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError`] from the solver.
+    pub fn drop_probability(&self) -> Result<f64, ChainError> {
+        solver::absorption_probability(&self.chain, self.start, self.failure)
+    }
+
+    /// Expected number of chain steps (hops, including suboptimal detours)
+    /// before the message is delivered or dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError`] from the solver.
+    pub fn expected_hops(&self) -> Result<f64, ChainError> {
+        solver::expected_steps(&self.chain, self.start)
+    }
+}
+
+/// Validates the `(h, q)` parameters shared by all chain builders.
+pub(crate) fn validate_params(h: u32, q: f64) -> Result<(), ChainError> {
+    if h == 0 {
+        return Err(ChainError::InvalidParameter {
+            message: "target distance h must be at least 1".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(ChainError::InvalidParameter {
+            message: format!("failure probability q must lie in [0, 1], got {q}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_and_drop_probabilities_sum_to_one() {
+        for &q in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            for h in 1..=6u32 {
+                let mut chains: Vec<RoutingChain> = vec![
+                    tree_chain(h, q).unwrap(),
+                    hypercube_chain(h, q).unwrap(),
+                    xor_chain(h, q).unwrap(),
+                    ring_chain(h, q).unwrap(),
+                ];
+                if q < 1.0 {
+                    // Symphony rejects q = 1 (its drop probability would push
+                    // the per-state transition mass above one).
+                    chains.push(symphony_chain(h, q, 1, 1, 16).unwrap());
+                }
+                for chain in chains {
+                    let ok = chain.success_probability().unwrap();
+                    let drop = chain.drop_probability().unwrap();
+                    assert!(
+                        (ok + drop - 1.0).abs() < 1e-9,
+                        "h={h} q={q}: {ok} + {drop} != 1"
+                    );
+                    assert!((0.0..=1.0 + 1e-12).contains(&ok));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_failures_means_certain_delivery() {
+        for h in 1..=8u32 {
+            assert!((tree_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12);
+            assert!(
+                (hypercube_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs()
+                    < 1e-12
+            );
+            assert!((xor_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12);
+            assert!((ring_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn certain_failure_means_certain_drop() {
+        for h in 1..=5u32 {
+            assert!(tree_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
+            assert!(hypercube_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
+            assert!(xor_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
+            assert!(ring_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn success_probability_decreases_with_distance() {
+        let q = 0.3;
+        let mut previous = 1.0;
+        for h in 1..=10u32 {
+            let p = xor_chain(h, q).unwrap().success_probability().unwrap();
+            assert!(p <= previous + 1e-12, "h={h}");
+            previous = p;
+        }
+    }
+
+    #[test]
+    fn expected_hops_at_least_distance_when_reliable() {
+        for h in 1..=6u32 {
+            let chain = hypercube_chain(h, 0.0).unwrap();
+            assert!((chain.expected_hops().unwrap() - f64::from(h)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let chain = ring_chain(5, 0.25).unwrap();
+        assert_eq!(chain.hops(), 5);
+        assert_eq!(chain.failure_probability(), 0.25);
+        assert!(chain.markov().len() > 5);
+        assert!(chain.markov().is_absorbing(chain.success()));
+        assert!(chain.markov().is_absorbing(chain.failure()));
+        assert!(!chain.markov().is_absorbing(chain.start()));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(tree_chain(0, 0.5).is_err());
+        assert!(tree_chain(3, -0.1).is_err());
+        assert!(tree_chain(3, 1.5).is_err());
+        assert!(hypercube_chain(3, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The ring (Chord) routing chain of Fig. 8(a).
+
+use super::{validate_params, RoutingChain, MAX_SUBOPTIMAL_STATES};
+use crate::chain::{ChainBuilder, ChainError};
+
+/// Builds the ring-routing chain for a target `h` phases away under failure
+/// probability `q`.
+///
+/// This is the paper's *simplified* Chord model (§4.3.3): progress made by
+/// suboptimal hops is not carried over to later phases, so the resulting
+/// success probability is a **lower bound** on real Chord routing (and the
+/// derived failed-path percentage an upper bound, cf. Fig. 6(b)).
+///
+/// With `m = h − i` phases remaining the transitions out of every state of
+/// phase `i` are:
+///
+/// * advance with probability `1 − q` (the optimal finger is alive);
+/// * drop with probability `q^m` (all `m` useful fingers are dead — unlike
+///   XOR, the number of choices does not shrink with suboptimal hops);
+/// * take a suboptimal hop with probability `q(1 − q^{m−1})`, up to
+///   `2^{m−1} − 1` times.
+///
+/// The chain realises the closed form
+/// `Q_ring(m) = q^m · Σ_{k=0}^{2^{m−1}−1} [q(1 − q^{m−1})]^k`.
+///
+/// Phases with more than a few thousand suboptimal states are truncated (the
+/// geometric tail beyond that point is below `1e-18`); the truncated mass is
+/// folded into the advance transition exactly as the paper folds it for the
+/// final suboptimal state.
+///
+/// # Errors
+///
+/// Returns [`ChainError::InvalidParameter`] if `h == 0` or `q ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::chains::{ring_chain, xor_chain};
+///
+/// // §5.4: ring routing dominates XOR routing for the same h and q.
+/// let ring = ring_chain(10, 0.4)?.success_probability()?;
+/// let xor = xor_chain(10, 0.4)?.success_probability()?;
+/// assert!(ring >= xor);
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+pub fn ring_chain(h: u32, q: f64) -> Result<RoutingChain, ChainError> {
+    validate_params(h, q)?;
+    let mut builder = ChainBuilder::new();
+    let failure = builder.add_state("F");
+    let phase_entry: Vec<_> = (0..=h)
+        .map(|i| builder.add_state(format!("S{i}")))
+        .collect();
+    let success = phase_entry[h as usize];
+
+    for i in 0..h {
+        let m = h - i;
+        let next_phase = phase_entry[(i + 1) as usize];
+        let drop = q.powi(m as i32);
+        let advance = 1.0 - q;
+        let suboptimal = q * (1.0 - q.powi((m - 1) as i32));
+        // Number of suboptimal states in this phase: 2^{m-1} total positions
+        // including the entry state, truncated for tractability.
+        let total_positions: u64 = if m - 1 >= 63 {
+            MAX_SUBOPTIMAL_STATES
+        } else {
+            (1u64 << (m - 1)).min(MAX_SUBOPTIMAL_STATES)
+        };
+        let mut current = phase_entry[i as usize];
+        for position in 0..total_positions {
+            let is_last = position + 1 == total_positions;
+            if is_last || suboptimal == 0.0 {
+                // The final position has nowhere left to detour: the paper's
+                // geometric sum simply stops here, so the residual detour mass
+                // re-joins the advance transition.
+                builder.add_transition(current, next_phase, advance + suboptimal)?;
+                builder.add_transition(current, failure, drop)?;
+                break;
+            }
+            builder.add_transition(current, next_phase, advance)?;
+            builder.add_transition(current, failure, drop)?;
+            let next_sub = builder.add_state(format!("({i},{})", position + 1));
+            builder.add_transition(current, next_sub, suboptimal)?;
+            current = next_sub;
+        }
+    }
+
+    let chain = builder.build()?;
+    Ok(RoutingChain::new(
+        chain,
+        phase_entry[0],
+        success,
+        failure,
+        h,
+        q,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Closed form of §4.3.3: Q_ring(m) = q^m (1 − [q(1−q^{m−1})]^{2^{m−1}}) / (1 − q(1−q^{m−1})).
+    fn q_ring(m: u32, q: f64) -> f64 {
+        if q == 0.0 {
+            return 0.0;
+        }
+        let r = q * (1.0 - q.powi((m - 1) as i32));
+        let exponent = if m - 1 >= 63 {
+            f64::INFINITY
+        } else {
+            (1u64 << (m - 1)) as f64
+        };
+        let tail = if r == 0.0 { 0.0 } else { r.powf(exponent) };
+        if (1.0 - r).abs() < 1e-15 {
+            // r == 1 cannot occur for q in [0,1] but guard the division anyway.
+            return q.powi(m as i32) * exponent;
+        }
+        q.powi(m as i32) * (1.0 - tail) / (1.0 - r)
+    }
+
+    fn closed_form(h: u32, q: f64) -> f64 {
+        (1..=h).map(|m| (1.0 - q_ring(m, q)).max(0.0)).product()
+    }
+
+    #[test]
+    fn matches_section_4_3_3_closed_form() {
+        for h in 1..=14u32 {
+            for &q in &[0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
+                let chain = ring_chain(h, q).unwrap();
+                let got = chain.success_probability().unwrap();
+                let want = closed_form(h, q);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "h={h} q={q}: chain {got} vs closed form {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_phase_reduces_to_tree() {
+        for &q in &[0.2, 0.6, 0.95] {
+            let chain = ring_chain(1, q).unwrap();
+            assert!((chain.success_probability().unwrap() - (1.0 - q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dominates_xor_chain() {
+        // §5.4 argues ring ≥ XOR because detours keep all m choices available.
+        for h in 2..=12u32 {
+            for &q in &[0.1, 0.4, 0.7, 0.9] {
+                let ring = ring_chain(h, q).unwrap().success_probability().unwrap();
+                let xor = super::super::xor_chain(h, q)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap();
+                assert!(ring >= xor - 1e-10, "h={h} q={q}: {ring} < {xor}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_invisible_for_large_h() {
+        // h = 20 triggers the MAX_SUBOPTIMAL_STATES truncation in early phases;
+        // the result must still match the untruncated closed form.
+        let q = 0.5;
+        let chain = ring_chain(20, q).unwrap();
+        let got = chain.success_probability().unwrap();
+        let want = closed_form(20, q);
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_hops_exceed_phase_count_under_failure() {
+        // Detours cost hops: with failures the expected hop count exceeds h
+        // times the per-phase minimum of one hop.
+        let chain = ring_chain(8, 0.5).unwrap();
+        let hops = chain.expected_hops().unwrap();
+        assert!(hops > 4.0, "expected more than 4 hops, got {hops}");
+    }
+}

@@ -1,0 +1,201 @@
+//! The small-world (Symphony) routing chain of Fig. 8(b).
+
+use super::{validate_params, RoutingChain, MAX_SUBOPTIMAL_STATES};
+use crate::chain::{ChainBuilder, ChainError};
+
+/// Builds the Symphony routing chain for a target `h` phases away under
+/// failure probability `q`, with `k_n` near neighbours, `k_s` shortcuts and
+/// identifier length `d` bits.
+///
+/// Every state of every phase has the same transition probabilities
+/// (§3.5 / §4.3.4 of the paper):
+///
+/// * advance with probability `x = k_s / d` (a shortcut lands in the desired
+///   phase);
+/// * drop with probability `y = q^{k_n + k_s}` (all connections are dead);
+/// * otherwise take a suboptimal hop with probability `1 − x − y`, at most
+///   `⌈d / (1 − q)⌉` times per phase.
+///
+/// Because `Q_sym` does not depend on the phase index, `Σ Q(m)` diverges and
+/// the geometry is unscalable (§5.5).
+///
+/// # Errors
+///
+/// Returns [`ChainError::InvalidParameter`] if `h == 0`, `q ∉ [0, 1]`,
+/// `k_n == 0`, `k_s == 0`, `k_s > d`, `h > d`, or if `q = 1` (the per-phase
+/// advance/drop probabilities would exceed one only through `x + y > 1`,
+/// which is rejected).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::chains::symphony_chain;
+///
+/// // More shortcuts mean better per-phase success.
+/// let sparse = symphony_chain(8, 0.2, 1, 1, 16)?.success_probability()?;
+/// let dense = symphony_chain(8, 0.2, 1, 4, 16)?.success_probability()?;
+/// assert!(dense > sparse);
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+pub fn symphony_chain(
+    h: u32,
+    q: f64,
+    near_neighbors: u32,
+    shortcuts: u32,
+    d: u32,
+) -> Result<RoutingChain, ChainError> {
+    validate_params(h, q)?;
+    if near_neighbors == 0 || shortcuts == 0 {
+        return Err(ChainError::InvalidParameter {
+            message: "Symphony needs at least one near neighbour and one shortcut".into(),
+        });
+    }
+    if d == 0 || shortcuts > d {
+        return Err(ChainError::InvalidParameter {
+            message: format!("identifier length d={d} must be positive and at least k_s={shortcuts}"),
+        });
+    }
+    if h > d {
+        return Err(ChainError::InvalidParameter {
+            message: format!("phase count h={h} cannot exceed identifier length d={d}"),
+        });
+    }
+    let x = f64::from(shortcuts) / f64::from(d);
+    let y = q.powi((near_neighbors + shortcuts) as i32);
+    if x + y > 1.0 + 1e-12 {
+        return Err(ChainError::InvalidParameter {
+            message: format!(
+                "advance probability k_s/d = {x} plus drop probability q^(k_n+k_s) = {y} exceeds one"
+            ),
+        });
+    }
+    let suboptimal = (1.0 - x - y).max(0.0);
+    // Maximum number of suboptimal hops per phase, ⌈d / (1 − q)⌉ (the paper's
+    // approximation), truncated for tractability when q → 1.
+    let max_suboptimal: u64 = if q >= 1.0 {
+        MAX_SUBOPTIMAL_STATES
+    } else {
+        ((f64::from(d) / (1.0 - q)).ceil() as u64).min(MAX_SUBOPTIMAL_STATES)
+    };
+
+    let mut builder = ChainBuilder::new();
+    let failure = builder.add_state("F");
+    let phase_entry: Vec<_> = (0..=h)
+        .map(|i| builder.add_state(format!("S{i}")))
+        .collect();
+    let success = phase_entry[h as usize];
+
+    for i in 0..h {
+        let next_phase = phase_entry[(i + 1) as usize];
+        let mut current = phase_entry[i as usize];
+        for position in 0..=max_suboptimal {
+            let is_last = position == max_suboptimal;
+            if is_last || suboptimal == 0.0 {
+                builder.add_transition(current, next_phase, x + suboptimal)?;
+                builder.add_transition(current, failure, y)?;
+                break;
+            }
+            builder.add_transition(current, next_phase, x)?;
+            builder.add_transition(current, failure, y)?;
+            let next_sub = builder.add_state(format!("({i},{})", position + 1));
+            builder.add_transition(current, next_sub, suboptimal)?;
+            current = next_sub;
+        }
+    }
+
+    let chain = builder.build()?;
+    Ok(RoutingChain::new(
+        chain,
+        phase_entry[0],
+        success,
+        failure,
+        h,
+        q,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Eq. 7 evaluated as the exact finite sum (before the paper's geometric
+    /// closed-form approximation).
+    fn q_sym(q: f64, kn: u32, ks: u32, d: u32) -> f64 {
+        let x = f64::from(ks) / f64::from(d);
+        let y = q.powi((kn + ks) as i32);
+        let z = 1.0 - x - y;
+        let max_j = ((f64::from(d) / (1.0 - q)).ceil() as u64).min(MAX_SUBOPTIMAL_STATES);
+        (0..=max_j).map(|j| y * z.powi(j as i32)).sum()
+    }
+
+    fn closed_form(h: u32, q: f64, kn: u32, ks: u32, d: u32) -> f64 {
+        (1.0 - q_sym(q, kn, ks, d)).powi(h as i32)
+    }
+
+    #[test]
+    fn matches_equation_seven() {
+        for &q in &[0.1, 0.3, 0.5, 0.7] {
+            for h in 1..=10u32 {
+                let chain = symphony_chain(h, q, 1, 1, 16).unwrap();
+                let got = chain.success_probability().unwrap();
+                let want = closed_form(h, q, 1, 1, 16);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "h={h} q={q}: chain {got} vs closed form {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_failure_still_takes_detours_but_never_drops() {
+        // With q = 0 messages are never dropped; success is certain.
+        let chain = symphony_chain(6, 0.0, 1, 1, 16).unwrap();
+        assert!((chain.success_probability().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_neighbors_improve_robustness() {
+        let q = 0.4;
+        let base = symphony_chain(8, q, 1, 1, 16).unwrap().success_probability().unwrap();
+        let more_near = symphony_chain(8, q, 4, 1, 16).unwrap().success_probability().unwrap();
+        let more_short = symphony_chain(8, q, 1, 4, 16).unwrap().success_probability().unwrap();
+        assert!(more_near > base);
+        assert!(more_short > base);
+    }
+
+    #[test]
+    fn per_phase_failure_is_constant_across_phases() {
+        // Ratio p(h+1)/p(h) should be the constant 1 - Q_sym.
+        let (q, kn, ks, d) = (0.3, 1, 1, 20);
+        let expected_ratio = 1.0 - q_sym(q, kn, ks, d);
+        let mut previous = 1.0;
+        for h in 1..=8u32 {
+            let p = symphony_chain(h, q, kn, ks, d)
+                .unwrap()
+                .success_probability()
+                .unwrap();
+            let ratio = p / previous;
+            assert!((ratio - expected_ratio).abs() < 1e-9, "h={h}");
+            previous = p;
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(symphony_chain(4, 0.2, 0, 1, 16).is_err());
+        assert!(symphony_chain(4, 0.2, 1, 0, 16).is_err());
+        assert!(symphony_chain(4, 0.2, 1, 17, 16).is_err());
+        assert!(symphony_chain(20, 0.2, 1, 1, 16).is_err());
+        assert!(symphony_chain(4, 0.2, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn expected_hops_reflect_suboptimal_detours() {
+        // With only shortcuts advancing phases (x = 1/16) and few failures the
+        // expected number of hops per phase is roughly 1/x.
+        let chain = symphony_chain(1, 0.05, 2, 1, 16).unwrap();
+        let hops = chain.expected_hops().unwrap();
+        assert!(hops > 5.0 && hops < 20.0, "hops = {hops}");
+    }
+}

@@ -1,0 +1,81 @@
+//! The tree (Plaxton) routing chain of Fig. 4(a).
+
+use super::{validate_params, RoutingChain};
+use crate::chain::{ChainBuilder, ChainError};
+
+/// Builds the tree-routing chain for a target `h` hops away under failure
+/// probability `q`.
+///
+/// At each state the single neighbour that corrects the leftmost differing
+/// bit must be alive; the message advances with probability `1 − q` and is
+/// dropped with probability `q` (§3.1 of the paper). The resulting success
+/// probability is `p(h, q) = (1 − q)^h`.
+///
+/// # Errors
+///
+/// Returns [`ChainError::InvalidParameter`] if `h == 0` or `q ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::chains::tree_chain;
+///
+/// let chain = tree_chain(10, 0.1)?;
+/// assert!((chain.success_probability()? - 0.9f64.powi(10)).abs() < 1e-12);
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+pub fn tree_chain(h: u32, q: f64) -> Result<RoutingChain, ChainError> {
+    validate_params(h, q)?;
+    let mut builder = ChainBuilder::new();
+    let failure = builder.add_state("F");
+    let states: Vec<_> = (0..=h).map(|i| builder.add_state(format!("S{i}"))).collect();
+    for i in 0..h as usize {
+        builder.add_transition(states[i], states[i + 1], 1.0 - q)?;
+        builder.add_transition(states[i], failure, q)?;
+    }
+    let chain = builder.build()?;
+    Ok(RoutingChain::new(
+        chain,
+        states[0],
+        states[h as usize],
+        failure,
+        h,
+        q,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_closed_form_for_grid() {
+        for h in 1..=20u32 {
+            for &q in &[0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+                let chain = tree_chain(h, q).unwrap();
+                let expected = (1.0 - q).powi(h as i32);
+                assert!(
+                    (chain.success_probability().unwrap() - expected).abs() < 1e-12,
+                    "h={h} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_count_is_linear_in_h() {
+        let chain = tree_chain(12, 0.3).unwrap();
+        // h+1 routing states plus the failure state.
+        assert_eq!(chain.markov().len(), 14);
+    }
+
+    #[test]
+    fn expected_hops_matches_truncated_geometric() {
+        // E[steps] = Σ_{i=0}^{h-1} (1-q)^i : each additional hop is attempted
+        // only if all previous hops succeeded.
+        let (h, q) = (6u32, 0.4f64);
+        let chain = tree_chain(h, q).unwrap();
+        let expected: f64 = (0..h).map(|i| (1.0 - q).powi(i as i32)).sum();
+        assert!((chain.expected_hops().unwrap() - expected).abs() < 1e-12);
+    }
+}

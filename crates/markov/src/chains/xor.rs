@@ -1,0 +1,166 @@
+//! The XOR (Kademlia) routing chain of Fig. 5(b).
+
+use super::{validate_params, RoutingChain};
+use crate::chain::{ChainBuilder, ChainError};
+
+/// Builds the XOR-routing chain for a target `h` phases away under failure
+/// probability `q`.
+///
+/// The chain tracks `(i, j)`: `i` phases advanced (ordered bits corrected) and
+/// `j` suboptimal hops taken inside the current phase. With `m = h − i` phases
+/// remaining and `j` lower-order bits already burned:
+///
+/// * the optimal neighbour is alive with probability `1 − q` → advance to
+///   phase `i + 1`;
+/// * all `m − j` useful neighbours are dead with probability `q^{m−j}` → the
+///   message is dropped;
+/// * otherwise (probability `q(1 − q^{m−j−1})`) a lower-order bit is corrected,
+///   moving to `(i, j+1)`. Progress made this way is *not* preserved across
+///   phases, which is the defining difference from ring routing (§3.3).
+///
+/// The induced per-phase failure probability matches Eq. 6 of the paper.
+///
+/// # Errors
+///
+/// Returns [`ChainError::InvalidParameter`] if `h == 0` or `q ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::chains::{tree_chain, xor_chain};
+///
+/// // Fallback routes make XOR strictly more robust than the tree geometry.
+/// let xor = xor_chain(8, 0.3)?.success_probability()?;
+/// let tree = tree_chain(8, 0.3)?.success_probability()?;
+/// assert!(xor > tree);
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+pub fn xor_chain(h: u32, q: f64) -> Result<RoutingChain, ChainError> {
+    validate_params(h, q)?;
+    let mut builder = ChainBuilder::new();
+    let failure = builder.add_state("F");
+    // phase_entry[i] is the state with i phases advanced and no suboptimal
+    // hops taken; phase_entry[h] is the success state.
+    let phase_entry: Vec<_> = (0..=h)
+        .map(|i| builder.add_state(format!("S{i}")))
+        .collect();
+    let success = phase_entry[h as usize];
+
+    for i in 0..h {
+        let m = h - i; // phases remaining
+        let next_phase = phase_entry[(i + 1) as usize];
+        // Suboptimal states (i, 1), (i, 2), ..., (i, m-1); (i, 0) is the entry.
+        let mut current = phase_entry[i as usize];
+        for j in 0..m {
+            let useful_left = m - j;
+            let drop = q.powi(useful_left as i32);
+            let advance = 1.0 - q;
+            let suboptimal = if useful_left >= 2 {
+                q * (1.0 - q.powi((useful_left - 1) as i32))
+            } else {
+                0.0
+            };
+            builder.add_transition(current, next_phase, advance)?;
+            builder.add_transition(current, failure, drop)?;
+            if suboptimal > 0.0 && j + 1 < m {
+                let next_sub = builder.add_state(format!("({i},{})", j + 1));
+                builder.add_transition(current, next_sub, suboptimal)?;
+                current = next_sub;
+            } else {
+                break;
+            }
+        }
+    }
+
+    let chain = builder.build()?;
+    Ok(RoutingChain::new(
+        chain,
+        phase_entry[0],
+        success,
+        failure,
+        h,
+        q,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct evaluation of Eq. 6: Q_xor(m) = q^m + Σ_{k=1}^{m−1} q^m ∏_{j=m−k}^{m−1} (1 − q^j).
+    fn q_xor(m: u32, q: f64) -> f64 {
+        let mut total = q.powi(m as i32);
+        for k in 1..m {
+            let mut product = 1.0;
+            for j in (m - k)..=(m - 1) {
+                product *= 1.0 - q.powi(j as i32);
+            }
+            total += q.powi(m as i32) * product;
+        }
+        total
+    }
+
+    fn closed_form(h: u32, q: f64) -> f64 {
+        (1..=h).map(|m| 1.0 - q_xor(m, q)).product()
+    }
+
+    #[test]
+    fn matches_equation_six_product() {
+        for h in 1..=16u32 {
+            for &q in &[0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
+                let chain = xor_chain(h, q).unwrap();
+                let got = chain.success_probability().unwrap();
+                let want = closed_form(h, q);
+                assert!((got - want).abs() < 1e-10, "h={h} q={q}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_phase_reduces_to_tree() {
+        // With one phase there is a single useful neighbour, exactly the tree case.
+        for &q in &[0.2, 0.6, 0.95] {
+            let chain = xor_chain(1, q).unwrap();
+            assert!((chain.success_probability().unwrap() - (1.0 - q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounded_between_tree_and_hypercube() {
+        // Suboptimal hops help over the tree but progress is not preserved, so
+        // XOR can never beat the hypercube where any correction order works.
+        for h in 2..=12u32 {
+            for &q in &[0.1, 0.4, 0.7] {
+                let xor = xor_chain(h, q).unwrap().success_probability().unwrap();
+                let tree = super::super::tree_chain(h, q)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap();
+                let cube = super::super::hypercube_chain(h, q)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap();
+                assert!(xor >= tree - 1e-12, "h={h} q={q}");
+                assert!(xor <= cube + 1e-12, "h={h} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_count_is_quadratic_in_h() {
+        let chain = xor_chain(10, 0.5).unwrap();
+        // 1 failure + (h+1) phase entries + Σ_{m=2}^{h} (m-1) suboptimal states.
+        let expected = 1 + 11 + (1..10).sum::<usize>();
+        assert_eq!(chain.markov().len(), expected);
+    }
+
+    #[test]
+    fn q_xor_is_a_probability() {
+        for m in 1..=20u32 {
+            for &q in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+                let value = q_xor(m, q);
+                assert!((0.0..=1.0 + 1e-12).contains(&value), "m={m} q={q}: {value}");
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Absorption analysis of acyclic routing chains.
+//!
+//! All five routing chains of the paper are feed-forward: every hop either
+//! advances a phase, burns one of a bounded number of suboptimal hops, or
+//! drops the message. Absorption probabilities can therefore be computed by a
+//! single memoised traversal rather than a linear solve.
+
+use crate::chain::{ChainError, MarkovChain, StateId};
+
+/// Probability of eventually being absorbed in `target` when starting from
+/// `start`.
+///
+/// # Errors
+///
+/// * [`ChainError::UnknownState`] if either state does not belong to the chain.
+/// * [`ChainError::NotAbsorbing`] if `target` is not an absorbing state.
+/// * [`ChainError::CycleDetected`] if the chain is not acyclic.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_markov::{ChainBuilder, solver::absorption_probability};
+///
+/// let mut b = ChainBuilder::new();
+/// let s0 = b.add_state("S0");
+/// let s1 = b.add_state("S1");
+/// let ok = b.add_state("ok");
+/// let fail = b.add_state("F");
+/// b.add_transition(s0, s1, 0.9)?;
+/// b.add_transition(s0, fail, 0.1)?;
+/// b.add_transition(s1, ok, 0.8)?;
+/// b.add_transition(s1, fail, 0.2)?;
+/// let chain = b.build()?;
+/// let p = absorption_probability(&chain, s0, ok)?;
+/// assert!((p - 0.72).abs() < 1e-12);
+/// # Ok::<(), dht_markov::ChainError>(())
+/// ```
+pub fn absorption_probability(
+    chain: &MarkovChain,
+    start: StateId,
+    target: StateId,
+) -> Result<f64, ChainError> {
+    let all = absorption_probabilities(chain, target)?;
+    all.get(start.index())
+        .copied()
+        .ok_or(ChainError::UnknownState {
+            state: start.index(),
+        })
+}
+
+/// Probability of eventual absorption in `target` from *every* state of the
+/// chain, indexed by state.
+///
+/// # Errors
+///
+/// See [`absorption_probability`].
+pub fn absorption_probabilities(
+    chain: &MarkovChain,
+    target: StateId,
+) -> Result<Vec<f64>, ChainError> {
+    if target.index() >= chain.len() {
+        return Err(ChainError::UnknownState {
+            state: target.index(),
+        });
+    }
+    if !chain.is_absorbing(target) {
+        return Err(ChainError::NotAbsorbing {
+            state: target.index(),
+        });
+    }
+    let order = topological_order(chain)?;
+    let mut prob = vec![0.0f64; chain.len()];
+    prob[target.index()] = 1.0;
+    // Process states in reverse topological order so every successor is final
+    // before its predecessors are evaluated.
+    for &state in order.iter().rev() {
+        if state == target.index() {
+            continue;
+        }
+        let transitions = chain.transitions(StateId(state));
+        if transitions.is_empty() {
+            continue; // other absorbing state, probability stays 0
+        }
+        prob[state] = transitions.iter().map(|&(to, p)| p * prob[to]).sum();
+    }
+    Ok(prob)
+}
+
+/// Expected number of steps before absorption (in any absorbing state) when
+/// starting from `start`.
+///
+/// For the routing chains this is the expected number of hops (tree,
+/// hypercube) or hops including suboptimal detours (XOR, ring, Symphony)
+/// before the message is either delivered or dropped.
+///
+/// # Errors
+///
+/// See [`absorption_probability`].
+pub fn expected_steps(chain: &MarkovChain, start: StateId) -> Result<f64, ChainError> {
+    if start.index() >= chain.len() {
+        return Err(ChainError::UnknownState {
+            state: start.index(),
+        });
+    }
+    let order = topological_order(chain)?;
+    let mut steps = vec![0.0f64; chain.len()];
+    for &state in order.iter().rev() {
+        let transitions = chain.transitions(StateId(state));
+        if transitions.is_empty() {
+            continue;
+        }
+        steps[state] = 1.0 + transitions.iter().map(|&(to, p)| p * steps[to]).sum::<f64>();
+    }
+    Ok(steps[start.index()])
+}
+
+/// Computes a topological order of the chain's states.
+///
+/// # Errors
+///
+/// Returns [`ChainError::CycleDetected`] if the chain contains a directed
+/// cycle (self-loops included).
+fn topological_order(chain: &MarkovChain) -> Result<Vec<usize>, ChainError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let n = chain.len();
+    let mut marks = vec![Mark::Unvisited; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS to avoid stack overflow on large ring chains.
+    for root in 0..n {
+        if marks[root] != Mark::Unvisited {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        marks[root] = Mark::InProgress;
+        while let Some(&mut (state, ref mut next_edge)) = stack.last_mut() {
+            let transitions = chain.transitions(StateId(state));
+            if *next_edge < transitions.len() {
+                let (to, _) = transitions[*next_edge];
+                *next_edge += 1;
+                match marks[to] {
+                    Mark::Unvisited => {
+                        marks[to] = Mark::InProgress;
+                        stack.push((to, 0));
+                    }
+                    Mark::InProgress => return Err(ChainError::CycleDetected { state: to }),
+                    Mark::Done => {}
+                }
+            } else {
+                marks[state] = Mark::Done;
+                order.push(state);
+                stack.pop();
+            }
+        }
+    }
+    order.reverse();
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+
+    fn two_coin_chain() -> (MarkovChain, StateId, StateId, StateId) {
+        let mut b = ChainBuilder::new();
+        let s0 = b.add_state("S0");
+        let s1 = b.add_state("S1");
+        let ok = b.add_state("ok");
+        let fail = b.add_state("F");
+        b.add_transition(s0, s1, 0.9).unwrap();
+        b.add_transition(s0, fail, 0.1).unwrap();
+        b.add_transition(s1, ok, 0.8).unwrap();
+        b.add_transition(s1, fail, 0.2).unwrap();
+        (b.build().unwrap(), s0, ok, fail)
+    }
+
+    #[test]
+    fn absorption_probability_of_two_step_chain() {
+        let (chain, s0, ok, fail) = two_coin_chain();
+        assert!((absorption_probability(&chain, s0, ok).unwrap() - 0.72).abs() < 1e-12);
+        assert!((absorption_probability(&chain, s0, fail).unwrap() - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_from_all_states() {
+        let (chain, _s0, ok, _fail) = two_coin_chain();
+        let probs = absorption_probabilities(&chain, ok).unwrap();
+        assert_eq!(probs.len(), 4);
+        assert!((probs[0] - 0.72).abs() < 1e-12);
+        assert!((probs[1] - 0.8).abs() < 1e-12);
+        assert_eq!(probs[2], 1.0);
+        assert_eq!(probs[3], 0.0);
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one() {
+        let (chain, s0, ok, fail) = two_coin_chain();
+        let p_ok = absorption_probability(&chain, s0, ok).unwrap();
+        let p_fail = absorption_probability(&chain, s0, fail).unwrap();
+        assert!((p_ok + p_fail - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_steps_of_two_step_chain() {
+        let (chain, s0, _ok, _fail) = two_coin_chain();
+        // One step always happens; a second happens with probability 0.9.
+        assert!((expected_steps(&chain, s0).unwrap() - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starting_at_absorbing_state() {
+        let (chain, _s0, ok, fail) = two_coin_chain();
+        assert_eq!(absorption_probability(&chain, ok, ok).unwrap(), 1.0);
+        assert_eq!(absorption_probability(&chain, fail, ok).unwrap(), 0.0);
+        assert_eq!(expected_steps(&chain, ok).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_absorbing_target() {
+        let (chain, s0, _ok, _fail) = two_coin_chain();
+        assert!(matches!(
+            absorption_probability(&chain, s0, s0),
+            Err(ChainError::NotAbsorbing { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_states() {
+        let (chain, _s0, ok, _fail) = two_coin_chain();
+        assert!(matches!(
+            absorption_probability(&chain, StateId(99), ok),
+            Err(ChainError::UnknownState { state: 99 })
+        ));
+        assert!(matches!(
+            absorption_probabilities(&chain, StateId(99)),
+            Err(ChainError::UnknownState { state: 99 })
+        ));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut b = ChainBuilder::new();
+        let a = b.add_state("a");
+        let c = b.add_state("c");
+        let sink = b.add_state("sink");
+        b.add_transition(a, c, 0.5).unwrap();
+        b.add_transition(a, sink, 0.5).unwrap();
+        b.add_transition(c, a, 0.5).unwrap();
+        b.add_transition(c, sink, 0.5).unwrap();
+        let chain = b.build().unwrap();
+        assert!(matches!(
+            absorption_probability(&chain, a, sink),
+            Err(ChainError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // A long linear chain exercises the iterative DFS.
+        let mut b = ChainBuilder::new();
+        let states: Vec<_> = (0..200_000).map(|i| b.add_state(format!("s{i}"))).collect();
+        for w in states.windows(2) {
+            b.add_transition(w[0], w[1], 1.0).unwrap();
+        }
+        let chain = b.build().unwrap();
+        let p = absorption_probability(&chain, states[0], *states.last().unwrap()).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Log-gamma, log-factorial and log-binomial coefficients.
+//!
+//! The hop-distance distributions of the tree, hypercube and XOR geometries
+//! are `n(h) = C(d, h)`; Fig. 7(a) of the paper evaluates them at `d = 100`,
+//! where the raw coefficients exceed `10^29`. All combinatorics here are
+//! therefore returned as natural logarithms.
+
+/// Lanczos coefficients (g = 7, n = 9), double precision.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEFFS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Computes `ln Γ(x)` for `x > 0` using the Lanczos approximation.
+///
+/// Accuracy is better than `1e-12` relative error over the domain used in this
+/// workspace (`x ∈ [1, 10^18]`).
+///
+/// # Panics
+///
+/// Panics if `x` is not strictly positive or is NaN.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::ln_gamma;
+///
+/// // Γ(5) = 4! = 24
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(!x.is_nan(), "ln_gamma: NaN input");
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEFFS[0];
+    for (i, &c) in LANCZOS_COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Computes `ln n!`.
+///
+/// Exact table lookup for `n ≤ 20`, Lanczos `ln Γ(n+1)` beyond that.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::ln_factorial;
+///
+/// assert_eq!(ln_factorial(0), 0.0);
+/// assert!((ln_factorial(10) - 3_628_800f64.ln()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    // 20! is the largest factorial representable exactly in u64/f64 integers.
+    const EXACT: [u64; 21] = [
+        1,
+        1,
+        2,
+        6,
+        24,
+        120,
+        720,
+        5_040,
+        40_320,
+        362_880,
+        3_628_800,
+        39_916_800,
+        479_001_600,
+        6_227_020_800,
+        87_178_291_200,
+        1_307_674_368_000,
+        20_922_789_888_000,
+        355_687_428_096_000,
+        6_402_373_705_728_000,
+        121_645_100_408_832_000,
+        2_432_902_008_176_640_000,
+    ];
+    if n <= 20 {
+        (EXACT[n as usize] as f64).ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Computes `ln C(n, k)`.
+///
+/// Returns `-∞` (log of zero) when `k > n`, matching the combinatorial
+/// convention that there are no such subsets.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::ln_binomial;
+///
+/// assert!((ln_binomial(100, 50).exp() - 1.0089134e29).abs() / 1.0089134e29 < 1e-6);
+/// assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+/// ```
+#[must_use]
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    // Use the smaller of k and n-k; both branches are equivalent but this keeps
+    // cancellation minimal for extreme k.
+    let k = k.min(n - k);
+    if k == 0 {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Computes the exact binomial coefficient `C(n, k)` as `u128`.
+///
+/// Intended for small instances such as the worked d=3 hypercube example
+/// (Fig. 1–3 of the paper) and for unit tests of [`ln_binomial`].
+///
+/// # Panics
+///
+/// Panics on intermediate overflow of `u128`; callers needing large
+/// coefficients should use [`ln_binomial`].
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::binomial::binomial_exact;
+///
+/// assert_eq!(binomial_exact(3, 2), 3);
+/// assert_eq!(binomial_exact(16, 8), 12_870);
+/// ```
+#[must_use]
+pub fn binomial_exact(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result
+            .checked_mul(u128::from(n - i))
+            .expect("binomial_exact: overflow");
+        result /= u128::from(i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(3) = 2, Γ(0.5) = sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(3.0) - 2f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument_matches_stirling() {
+        let x = 1e6f64;
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+            + 1.0 / (12.0 * x);
+        assert!((ln_gamma(x) - stirling).abs() / stirling.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn ln_gamma_rejects_non_positive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn factorial_exact_range_matches_gamma() {
+        for n in 0..=30u64 {
+            let via_gamma = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (ln_factorial(n) - via_gamma).abs() < 1e-10,
+                "mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_matches_exact_small_cases() {
+        for n in 0..=60u64 {
+            for k in 0..=n {
+                let exact = binomial_exact(n, k) as f64;
+                let approx = ln_binomial(n, k).exp();
+                assert!(
+                    (approx - exact).abs() / exact.max(1.0) < 1e-9,
+                    "C({n},{k}): {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in [10u64, 100, 1000] {
+            for k in 0..=n.min(40) {
+                assert!((ln_binomial(n, k) - ln_binomial(n, n - k)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two() {
+        // Σ_k C(d,k) = 2^d, checked in log space for d = 100.
+        let d = 100u64;
+        let mut acc = crate::logsum::LogSumExp::new();
+        for k in 0..=d {
+            acc.push(ln_binomial(d, k));
+        }
+        let expected = d as f64 * std::f64::consts::LN_2;
+        assert!((acc.sum() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_out_of_range_is_zero() {
+        assert_eq!(ln_binomial(5, 6), f64::NEG_INFINITY);
+        assert_eq!(binomial_exact(5, 6), 0);
+    }
+
+    #[test]
+    fn pascal_identity_holds() {
+        // C(n,k) = C(n-1,k-1) + C(n-1,k) — spot check in linear space.
+        for n in 2..=40u64 {
+            for k in 1..n {
+                let lhs = binomial_exact(n, k);
+                let rhs = binomial_exact(n - 1, k - 1) + binomial_exact(n - 1, k);
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Compensated (Kahan–Neumaier) summation.
+//!
+//! Monte-Carlo estimates in the simulation harness accumulate millions of
+//! small increments; compensated summation keeps the rounding error bounded
+//! independently of the number of terms.
+
+use serde::{Deserialize, Serialize};
+
+/// Neumaier-compensated floating-point accumulator.
+///
+/// Compared to plain Kahan summation, the Neumaier variant also handles the
+/// case where an incoming term is larger in magnitude than the running sum.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::KahanSum;
+///
+/// let mut acc = KahanSum::new();
+/// for _ in 0..1_000_000 {
+///     acc.add(0.1);
+/// }
+/// assert!((acc.sum() - 100_000.0).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an accumulator starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        KahanSum::default()
+    }
+
+    /// Creates an accumulator starting at `initial`.
+    #[must_use]
+    pub fn with_initial(initial: f64) -> Self {
+        KahanSum {
+            sum: initial,
+            compensation: 0.0,
+        }
+    }
+
+    /// Adds a term.
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Returns the compensated sum.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for value in iter {
+            self.add(value);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = KahanSum::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().sum(), 0.0);
+    }
+
+    #[test]
+    fn matches_exact_sum_of_integers() {
+        let acc: KahanSum = (1..=1000).map(f64::from).collect();
+        assert_eq!(acc.sum(), 500_500.0);
+    }
+
+    #[test]
+    fn more_accurate_than_naive_sum() {
+        let n = 10_000_000usize;
+        let term = 0.1f64;
+        let mut naive = 0.0f64;
+        let mut kahan = KahanSum::new();
+        for _ in 0..n {
+            naive += term;
+            kahan.add(term);
+        }
+        let exact = term * n as f64;
+        assert!((kahan.sum() - exact).abs() <= (naive - exact).abs());
+        assert!((kahan.sum() - exact).abs() < 1e-5);
+    }
+
+    #[test]
+    fn handles_term_larger_than_running_sum() {
+        let mut acc = KahanSum::new();
+        acc.add(1.0);
+        acc.add(1e100);
+        acc.add(1.0);
+        acc.add(-1e100);
+        assert_eq!(acc.sum(), 2.0);
+    }
+
+    #[test]
+    fn with_initial_offsets_the_sum() {
+        let mut acc = KahanSum::with_initial(10.0);
+        acc.add(2.5);
+        assert_eq!(acc.sum(), 12.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Numerical utilities underpinning the Reachable Component Method (RCM).
+//!
+//! The RCM paper (Kong et al., DSN 2006) evaluates routability expressions at
+//! system sizes as large as `N = 2^100` (Fig. 7a). At that scale the distance
+//! distribution `n(h) = C(100, h)` and the pair-count denominator
+//! `(1-q)·2^100 - 1` overflow any primitive float, so every quantity in this
+//! workspace that can become astronomically large or vanishingly small is
+//! carried in *log space*.
+//!
+//! This crate provides:
+//!
+//! * [`LogProb`] — a probability stored as its natural logarithm, with the
+//!   arithmetic needed by the analytical expressions (`ln(1-x)`, products,
+//!   log-sum-exp accumulation).
+//! * [`logsum`] — numerically stable log-sum-exp reduction.
+//! * [`binomial`] — `ln Γ`, `ln n!` and `ln C(n, k)` for arbitrary `n` up to
+//!   `u64::MAX` without overflow.
+//! * [`series`] — convergence probes for infinite series, used by the
+//!   scalability test of §5 of the paper (Knopp's theorem reduces
+//!   `∏(1 - Q(m)) > 0` to the convergence of `Σ Q(m)`).
+//! * [`stats`] — running statistics and normal-approximation confidence
+//!   intervals for the Monte-Carlo side of the reproduction.
+//! * [`kahan`] — compensated summation.
+//! * [`sweep`] — parameter-grid helpers shared by the experiment harnesses.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dht_mathkit::{binomial::ln_binomial, logsum::LogSumExp, LogProb};
+//!
+//! // Expected reachable-component size of a d=100 hypercube at q = 0.1,
+//! // normalised by the surviving population, without ever leaving log space.
+//! let d = 100u64;
+//! let q = 0.1f64;
+//! let ln_denominator = (1.0 - q).ln() + (d as f64) * std::f64::consts::LN_2;
+//! let mut acc = LogSumExp::new();
+//! for h in 1..=d {
+//!     let mut ln_p = 0.0;
+//!     for m in 1..=h {
+//!         ln_p += LogProb::from_linear(q.powi(m as i32)).ln_one_minus();
+//!     }
+//!     acc.push(ln_binomial(d, h) + ln_p - ln_denominator);
+//! }
+//! let routability = acc.sum().exp();
+//! assert!(routability > 0.98 && routability <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binomial;
+pub mod kahan;
+pub mod logprob;
+pub mod logsum;
+pub mod series;
+pub mod stats;
+pub mod sweep;
+
+pub use binomial::{ln_binomial, ln_factorial, ln_gamma};
+pub use kahan::KahanSum;
+pub use logprob::LogProb;
+pub use logsum::{log_sum_exp, LogSumExp};
+pub use series::{SeriesProbe, SeriesVerdict};
+pub use stats::{ConfidenceInterval, RunningStats};
+pub use sweep::{geomspace, linspace, percent_grid};

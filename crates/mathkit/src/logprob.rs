@@ -1,0 +1,370 @@
+//! Probabilities carried in log space.
+//!
+//! A [`LogProb`] stores `ln p` for a probability `p ∈ [0, 1]`. The type keeps
+//! the analytical expressions of the RCM paper numerically stable when `p` is
+//! astronomically small (e.g. the probability of surviving a `2^100`-hop walk)
+//! or extremely close to one (e.g. `1 - q^m` for large `m`).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// A probability stored as its natural logarithm.
+///
+/// The representation covers the closed interval `[0, 1]`: probability zero is
+/// stored as `-∞` and probability one as `0.0`. Values are validated at
+/// construction; see [`LogProb::from_linear`] and [`LogProb::from_ln`].
+///
+/// Multiplication of probabilities maps to addition in log space and is exact
+/// up to rounding; addition of probabilities uses log-sum-exp.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::LogProb;
+///
+/// let q = LogProb::from_linear(0.2);
+/// let success_three_hops = (q.complement()).powi(3);
+/// assert!((success_three_hops.to_linear() - 0.512).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LogProb(f64);
+
+impl LogProb {
+    /// Probability one (`ln 1 = 0`).
+    pub const ONE: LogProb = LogProb(0.0);
+    /// Probability zero (`ln 0 = -∞`).
+    pub const ZERO: LogProb = LogProb(f64::NEG_INFINITY);
+
+    /// Creates a log-probability from a linear-space probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN, negative, or greater than `1 + 1e-12`. Values in
+    /// `(1, 1 + 1e-12]` are clamped to one to absorb harmless rounding noise
+    /// from upstream arithmetic.
+    #[must_use]
+    pub fn from_linear(p: f64) -> Self {
+        assert!(!p.is_nan(), "probability must not be NaN");
+        assert!(p >= 0.0, "probability must be non-negative, got {p}");
+        assert!(p <= 1.0 + 1e-12, "probability must be at most 1, got {p}");
+        LogProb(p.min(1.0).ln())
+    }
+
+    /// Creates a log-probability directly from `ln p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ln_p` is NaN or positive beyond `1e-12` (which would denote a
+    /// probability greater than one). Small positive rounding noise is clamped.
+    #[must_use]
+    pub fn from_ln(ln_p: f64) -> Self {
+        assert!(!ln_p.is_nan(), "log-probability must not be NaN");
+        assert!(
+            ln_p <= 1e-12,
+            "log-probability must be at most 0 (probability at most 1), got {ln_p}"
+        );
+        LogProb(ln_p.min(0.0))
+    }
+
+    /// Returns `ln p`.
+    #[must_use]
+    pub fn ln(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the linear-space probability `p = exp(ln p)`.
+    ///
+    /// Underflows gracefully to `0.0` when `ln p` is very negative.
+    #[must_use]
+    pub fn to_linear(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// Returns `ln(1 - p)` computed stably.
+    ///
+    /// Uses `ln1p(-exp(ln p))` when `p` is small and `ln(-expm1(ln p))` when
+    /// `p` is close to one, which keeps full precision at both ends of the
+    /// interval. This is the workhorse behind every `∏ (1 - Q(m))` product in
+    /// the paper.
+    #[must_use]
+    pub fn ln_one_minus(self) -> f64 {
+        ln_one_minus_exp(self.0)
+    }
+
+    /// Returns the complement probability `1 - p` as a [`LogProb`].
+    #[must_use]
+    pub fn complement(self) -> LogProb {
+        LogProb(self.ln_one_minus())
+    }
+
+    /// Returns `p^k` (k-fold product with itself).
+    #[must_use]
+    pub fn powi(self, k: u32) -> LogProb {
+        if k == 0 {
+            LogProb::ONE
+        } else {
+            LogProb(self.0 * f64::from(k))
+        }
+    }
+
+    /// Returns `p^k` for an arbitrary non-negative real exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative or NaN.
+    #[must_use]
+    pub fn powf(self, k: f64) -> LogProb {
+        assert!(k >= 0.0 && !k.is_nan(), "exponent must be non-negative");
+        if k == 0.0 {
+            LogProb::ONE
+        } else {
+            LogProb(self.0 * k)
+        }
+    }
+
+    /// Returns `true` if the probability is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// Returns `true` if the probability is exactly one.
+    #[must_use]
+    pub fn is_one(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Adds two probabilities in log space (`ln(p_a + p_b)`).
+    ///
+    /// The result is clamped to probability one so that accumulating terms that
+    /// analytically sum to one does not escape the valid range through
+    /// floating-point drift.
+    #[must_use]
+    pub fn add_prob(self, other: LogProb) -> LogProb {
+        LogProb(log_add_exp(self.0, other.0).min(0.0))
+    }
+}
+
+impl Default for LogProb {
+    fn default() -> Self {
+        LogProb::ZERO
+    }
+}
+
+impl Eq for LogProb {}
+
+impl PartialOrd for LogProb {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LogProb {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Valid LogProb values are never NaN, so total order is well defined.
+        self.0.partial_cmp(&other.0).expect("LogProb is never NaN")
+    }
+}
+
+impl fmt::Display for LogProb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_linear())
+    }
+}
+
+impl Mul for LogProb {
+    type Output = LogProb;
+
+    fn mul(self, rhs: LogProb) -> LogProb {
+        // -inf + 0.0 is -inf, so zero * one stays zero as required.
+        LogProb(self.0 + rhs.0)
+    }
+}
+
+impl MulAssign for LogProb {
+    fn mul_assign(&mut self, rhs: LogProb) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for LogProb {
+    type Output = LogProb;
+
+    fn add(self, rhs: LogProb) -> LogProb {
+        self.add_prob(rhs)
+    }
+}
+
+impl AddAssign for LogProb {
+    fn add_assign(&mut self, rhs: LogProb) {
+        *self = self.add_prob(rhs);
+    }
+}
+
+impl From<LogProb> for f64 {
+    fn from(value: LogProb) -> f64 {
+        value.to_linear()
+    }
+}
+
+/// Computes `ln(1 - exp(x))` for `x <= 0` without catastrophic cancellation.
+///
+/// Follows the classic two-branch scheme of Mächler: for `x < -ln 2` the value
+/// `exp(x)` is small enough that `ln1p(-exp(x))` is accurate; otherwise
+/// `-expm1(x)` retains precision.
+///
+/// Returns `-∞` for `x == 0` (probability one has complement zero).
+///
+/// # Panics
+///
+/// Panics if `x` is positive or NaN.
+#[must_use]
+pub fn ln_one_minus_exp(x: f64) -> f64 {
+    assert!(!x.is_nan(), "ln_one_minus_exp: NaN input");
+    assert!(x <= 0.0, "ln_one_minus_exp requires x <= 0, got {x}");
+    if x == 0.0 {
+        f64::NEG_INFINITY
+    } else if x < -std::f64::consts::LN_2 {
+        (-x.exp()).ln_1p()
+    } else {
+        (-x.exp_m1()).ln()
+    }
+}
+
+/// Computes `ln(exp(a) + exp(b))` stably.
+#[must_use]
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_linear_round_trip() {
+        for &p in &[0.0, 1e-300, 1e-12, 0.25, 0.5, 0.999, 1.0] {
+            let lp = LogProb::from_linear(p);
+            assert!((lp.to_linear() - p).abs() <= 1e-15 * p.max(1.0));
+        }
+    }
+
+    #[test]
+    fn clamps_tiny_overshoot() {
+        let lp = LogProb::from_linear(1.0 + 1e-13);
+        assert!(lp.is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1")]
+    fn rejects_probability_above_one() {
+        let _ = LogProb::from_linear(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_probability() {
+        let _ = LogProb::from_linear(-0.1);
+    }
+
+    #[test]
+    fn complement_is_accurate_near_one() {
+        // 1 - (1 - 1e-18) would be 0 in linear arithmetic; log space keeps it.
+        let p = LogProb::from_ln(-1e-18);
+        let c = p.complement();
+        assert!((c.ln() - (-1e-18f64).ln_1p().ln()).abs() < 1e-6 || c.ln() < -40.0);
+        assert!(c.to_linear() > 0.0 && c.to_linear() < 1e-17);
+    }
+
+    #[test]
+    fn complement_is_accurate_near_zero() {
+        let p = LogProb::from_linear(1e-300);
+        let c = p.complement();
+        assert!(c.to_linear() <= 1.0 && c.to_linear() > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn multiplication_matches_linear() {
+        let a = LogProb::from_linear(0.3);
+        let b = LogProb::from_linear(0.4);
+        assert!(((a * b).to_linear() - 0.12).abs() < 1e-14);
+    }
+
+    #[test]
+    fn addition_matches_linear() {
+        let a = LogProb::from_linear(0.3);
+        let b = LogProb::from_linear(0.4);
+        assert!(((a + b).to_linear() - 0.7).abs() < 1e-14);
+    }
+
+    #[test]
+    fn addition_clamps_to_one() {
+        let a = LogProb::from_linear(0.6);
+        let b = LogProb::from_linear(0.5);
+        assert!((a + b).is_one());
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        let p = LogProb::from_linear(0.37);
+        assert_eq!(p * LogProb::ONE, p);
+        assert!((p * LogProb::ZERO).is_zero());
+        assert_eq!(p + LogProb::ZERO, p);
+        assert!(LogProb::ZERO.is_zero());
+        assert!(LogProb::ONE.is_one());
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let p = LogProb::from_linear(0.85);
+        let mut acc = LogProb::ONE;
+        for _ in 0..7 {
+            acc *= p;
+        }
+        assert!((p.powi(7).ln() - acc.ln()).abs() < 1e-12);
+        assert!(p.powi(0).is_one());
+    }
+
+    #[test]
+    fn ordering_follows_probability() {
+        let small = LogProb::from_linear(0.1);
+        let large = LogProb::from_linear(0.9);
+        assert!(small < large);
+        assert!(LogProb::ZERO < small);
+        assert!(large < LogProb::ONE);
+    }
+
+    #[test]
+    fn log_add_exp_handles_neg_infinity() {
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, -1.0), -1.0);
+        assert_eq!(log_add_exp(-1.0, f64::NEG_INFINITY), -1.0);
+        assert_eq!(
+            log_add_exp(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn ln_one_minus_exp_branches_agree_at_crossover() {
+        let x = -std::f64::consts::LN_2;
+        let left = (-(x - 1e-9f64).exp()).ln_1p();
+        let right = (-(x + 1e-9f64).exp_m1()).ln();
+        assert!((left - right).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_prints_linear_probability() {
+        assert_eq!(format!("{}", LogProb::from_linear(0.5)), "0.5");
+        assert_eq!(format!("{}", LogProb::ZERO), "0");
+    }
+}

@@ -1,0 +1,192 @@
+//! Numerically stable log-sum-exp reduction.
+//!
+//! The routability formula (Eq. 3 of the paper) sums `n(h)·p(h,q)` over up to
+//! `d = 100` hop classes whose magnitudes span hundreds of orders of
+//! magnitude. [`LogSumExp`] accumulates such terms given only their logarithms.
+
+/// Streaming log-sum-exp accumulator.
+///
+/// Terms are pushed as natural logarithms; [`LogSumExp::sum`] returns the
+/// natural logarithm of the sum of the corresponding linear-space values.
+///
+/// Internally the accumulator tracks the running maximum and rescales the
+/// partial sum whenever a new maximum arrives, so the reduction is stable for
+/// any input ordering.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::LogSumExp;
+///
+/// let mut acc = LogSumExp::new();
+/// for x in [0.25f64, 0.5, 0.125] {
+///     acc.push(x.ln());
+/// }
+/// assert!((acc.sum().exp() - 0.875).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogSumExp {
+    max: f64,
+    scaled_sum: f64,
+    count: usize,
+}
+
+impl LogSumExp {
+    /// Creates an empty accumulator. The sum of no terms is `ln 0 = -∞`.
+    #[must_use]
+    pub fn new() -> Self {
+        LogSumExp {
+            max: f64::NEG_INFINITY,
+            scaled_sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Adds a term given as its natural logarithm.
+    ///
+    /// `-∞` terms (linear value zero) are accepted and ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ln_term` is NaN.
+    pub fn push(&mut self, ln_term: f64) {
+        assert!(!ln_term.is_nan(), "LogSumExp: NaN term");
+        self.count += 1;
+        if ln_term == f64::NEG_INFINITY {
+            return;
+        }
+        if ln_term <= self.max {
+            self.scaled_sum += (ln_term - self.max).exp();
+        } else {
+            // New maximum: rescale the existing partial sum.
+            self.scaled_sum = if self.max == f64::NEG_INFINITY {
+                1.0
+            } else {
+                self.scaled_sum * (self.max - ln_term).exp() + 1.0
+            };
+            self.max = ln_term;
+        }
+    }
+
+    /// Number of terms pushed so far (including zero terms).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if no terms have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Returns the natural logarithm of the accumulated sum.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        if self.max == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            self.max + self.scaled_sum.ln()
+        }
+    }
+}
+
+impl Extend<f64> for LogSumExp {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for term in iter {
+            self.push(term);
+        }
+    }
+}
+
+impl FromIterator<f64> for LogSumExp {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = LogSumExp::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Computes `ln Σ exp(xᵢ)` over a slice of log-space terms.
+///
+/// Convenience wrapper around [`LogSumExp`] for non-streaming call sites.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::log_sum_exp;
+///
+/// let terms = [(-1000.0f64), -1000.0, -1000.0];
+/// let s = log_sum_exp(&terms);
+/// assert!((s - (-1000.0 + 3f64.ln())).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn log_sum_exp(terms: &[f64]) -> f64 {
+    terms.iter().copied().collect::<LogSumExp>().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero_probability() {
+        assert_eq!(LogSumExp::new().sum(), f64::NEG_INFINITY);
+        assert!(LogSumExp::new().is_empty());
+    }
+
+    #[test]
+    fn matches_linear_sum_for_moderate_terms() {
+        let values = [0.1f64, 0.2, 0.3, 0.05];
+        let logs: Vec<f64> = values.iter().map(|v| v.ln()).collect();
+        let expected: f64 = values.iter().sum();
+        assert!((log_sum_exp(&logs).exp() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_for_huge_magnitudes() {
+        // Terms around e^800 would overflow linear f64 arithmetic.
+        let logs = [800.0f64, 800.0 + (2f64).ln()];
+        let s = log_sum_exp(&logs);
+        assert!((s - (800.0 + (3f64).ln())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stable_for_tiny_magnitudes() {
+        let logs = [-5000.0f64, -5000.0, -5000.0, -5000.0];
+        let s = log_sum_exp(&logs);
+        assert!((s - (-5000.0 + (4f64).ln())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ignores_zero_terms() {
+        let logs = [f64::NEG_INFINITY, (0.5f64).ln(), f64::NEG_INFINITY];
+        assert!((log_sum_exp(&logs).exp() - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn order_independent() {
+        let mut logs: Vec<f64> = (1..=50).map(|k| -(f64::from(k) * 13.7)).collect();
+        let forward = log_sum_exp(&logs);
+        logs.reverse();
+        let backward = log_sum_exp(&logs);
+        assert!((forward - backward).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_and_from_iterator_agree() {
+        let logs = [-3.0f64, -2.0, -1.0];
+        let from_iter: LogSumExp = logs.iter().copied().collect();
+        let mut extended = LogSumExp::new();
+        extended.extend(logs.iter().copied());
+        assert!((from_iter.sum() - extended.sum()).abs() < 1e-15);
+        assert_eq!(from_iter.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let mut acc = LogSumExp::new();
+        acc.push(f64::NAN);
+    }
+}

@@ -1,0 +1,249 @@
+//! Numerical probes for the convergence of infinite series.
+//!
+//! Section 5 of the paper reduces DHT scalability to the convergence of
+//! `Σ Q(m)` via Knopp's theorem: the infinite product `∏ (1 - Q(m))` has a
+//! positive limit iff the series of phase-failure probabilities converges.
+//!
+//! [`SeriesProbe`] implements a conservative numerical version of that test.
+//! Closed-form geometries also carry an analytical verdict in the core crate;
+//! the probe exists to validate those verdicts and to classify user-supplied
+//! geometries for which no closed form is known.
+
+use crate::kahan::KahanSum;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a numerical convergence probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeriesVerdict {
+    /// The partial sums stabilised and the terms decay fast enough that the
+    /// estimated tail is below the probe tolerance.
+    Converges,
+    /// The terms do not decay (or decay slower than the harmonic series over
+    /// the probed range); the series is deemed divergent.
+    Diverges,
+    /// The probe could not decide within its term budget.
+    Inconclusive,
+}
+
+/// Configuration and execution of a series-convergence probe.
+///
+/// The probe sums `terms(m)` for `m = 1..=max_terms` and applies two
+/// complementary criteria:
+///
+/// * **Convergence**: the last term is below `tolerance` *and* the recent
+///   terms decay at least geometrically (ratio bounded away from one), so the
+///   geometric tail bound is below `tolerance`.
+/// * **Divergence**: the terms fail to decay — the tail average of the last
+///   window is not smaller than the window before it — or any single term is
+///   bounded below by a positive constant across the final window.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::{SeriesProbe, SeriesVerdict};
+///
+/// let probe = SeriesProbe::default();
+/// // Σ q^m converges for q < 1 (hypercube geometry, §5.2 of the paper).
+/// assert_eq!(probe.classify(|m| 0.3f64.powi(m as i32)), SeriesVerdict::Converges);
+/// // A constant term diverges (Symphony geometry, §5.5).
+/// assert_eq!(probe.classify(|_| 0.05), SeriesVerdict::Diverges);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesProbe {
+    /// Maximum number of terms to examine.
+    pub max_terms: u32,
+    /// Absolute tolerance on the estimated tail for declaring convergence.
+    pub tolerance: f64,
+    /// Window length used for decay/stagnation detection.
+    pub window: u32,
+}
+
+impl Default for SeriesProbe {
+    fn default() -> Self {
+        SeriesProbe {
+            max_terms: 4096,
+            tolerance: 1e-12,
+            window: 64,
+        }
+    }
+}
+
+impl SeriesProbe {
+    /// Creates a probe with an explicit term budget and tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_terms < 16` or `tolerance` is not strictly positive.
+    #[must_use]
+    pub fn new(max_terms: u32, tolerance: f64) -> Self {
+        assert!(max_terms >= 16, "probe needs at least 16 terms");
+        assert!(
+            tolerance > 0.0 && tolerance.is_finite(),
+            "tolerance must be positive and finite"
+        );
+        SeriesProbe {
+            max_terms,
+            tolerance,
+            window: (max_terms / 16).clamp(8, 256),
+        }
+    }
+
+    /// Classifies the series `Σ_{m≥1} terms(m)`.
+    ///
+    /// `terms(m)` must return a non-negative finite value; the paper's `Q(m)`
+    /// are probabilities so this always holds for well-formed geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term is negative, NaN or infinite.
+    pub fn classify<F>(&self, mut terms: F) -> SeriesVerdict
+    where
+        F: FnMut(u32) -> f64,
+    {
+        let window = self.window.max(2) as usize;
+        let mut recent: Vec<f64> = Vec::with_capacity(window);
+        let mut previous_window_sum = f64::INFINITY;
+        let mut last_term = f64::INFINITY;
+
+        for m in 1..=self.max_terms {
+            let t = terms(m);
+            assert!(
+                t >= 0.0 && t.is_finite(),
+                "series term Q({m}) must be a finite non-negative number, got {t}"
+            );
+            last_term = t;
+            recent.push(t);
+            if recent.len() == window {
+                let window_sum: f64 = recent.iter().copied().collect::<KahanSum>().sum();
+                // No decay across consecutive windows ⇒ the terms are bounded
+                // below by a positive constant (within tolerance) ⇒ divergence.
+                if window_sum >= previous_window_sum * 0.999
+                    && window_sum > self.tolerance * window as f64
+                {
+                    return SeriesVerdict::Diverges;
+                }
+                previous_window_sum = window_sum;
+                recent.clear();
+            }
+            if t < self.tolerance {
+                // Check at least geometric decay over a short lookahead so the
+                // tail bound Σ_{k>m} t·r^k ≤ t·r/(1-r) is valid.
+                let mut ratio_max: f64 = 0.0;
+                let mut prev = t;
+                let mut decayed = true;
+                for k in 1..=8u32 {
+                    let next = terms(m + k);
+                    assert!(
+                        next >= 0.0 && next.is_finite(),
+                        "series term Q({}) must be finite and non-negative",
+                        m + k
+                    );
+                    if prev > 0.0 {
+                        ratio_max = ratio_max.max(next / prev);
+                    } else if next > 0.0 {
+                        decayed = false;
+                    }
+                    prev = next;
+                }
+                if decayed && ratio_max < 0.95 {
+                    let tail_bound = if ratio_max > 0.0 {
+                        t * ratio_max / (1.0 - ratio_max)
+                    } else {
+                        0.0
+                    };
+                    if tail_bound < self.tolerance {
+                        return SeriesVerdict::Converges;
+                    }
+                }
+            }
+        }
+        // Budget exhausted: if the last term is still macroscopic the series is
+        // behaving like a divergent one over every scale we can see.
+        if last_term > 1e-6 {
+            SeriesVerdict::Diverges
+        } else {
+            SeriesVerdict::Inconclusive
+        }
+    }
+
+    /// Returns the partial sum `Σ_{m=1}^{terms} f(m)` with compensated
+    /// accumulation, useful for diagnostics and reports.
+    pub fn partial_sum<F>(&self, mut terms: F, count: u32) -> f64
+    where
+        F: FnMut(u32) -> f64,
+    {
+        let mut acc = KahanSum::new();
+        for m in 1..=count.min(self.max_terms) {
+            acc.add(terms(m));
+        }
+        acc.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_series_converges() {
+        let probe = SeriesProbe::default();
+        for &q in &[0.05, 0.3, 0.6, 0.9] {
+            assert_eq!(
+                probe.classify(|m| f64::powi(q, m as i32)),
+                SeriesVerdict::Converges,
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_series_diverges() {
+        let probe = SeriesProbe::default();
+        for &c in &[1e-3, 0.1, 0.9] {
+            assert_eq!(probe.classify(|_| c), SeriesVerdict::Diverges, "c={c}");
+        }
+    }
+
+    #[test]
+    fn m_times_geometric_converges() {
+        // XOR geometry terms behave like m·q^m (§5.3).
+        let probe = SeriesProbe::default();
+        assert_eq!(
+            probe.classify(|m| f64::from(m) * 0.4f64.powi(m as i32)),
+            SeriesVerdict::Converges
+        );
+    }
+
+    #[test]
+    fn harmonic_series_is_not_declared_convergent() {
+        let probe = SeriesProbe::new(4096, 1e-12);
+        let verdict = probe.classify(|m| 1.0 / f64::from(m));
+        assert_ne!(verdict, SeriesVerdict::Converges);
+    }
+
+    #[test]
+    fn zero_series_converges() {
+        let probe = SeriesProbe::default();
+        assert_eq!(probe.classify(|_| 0.0), SeriesVerdict::Converges);
+    }
+
+    #[test]
+    fn partial_sum_matches_closed_form() {
+        let probe = SeriesProbe::default();
+        let s = probe.partial_sum(|m| 0.5f64.powi(m as i32), 20);
+        assert!((s - (1.0 - 0.5f64.powi(20))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16")]
+    fn rejects_tiny_budget() {
+        let _ = SeriesProbe::new(4, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn rejects_negative_terms() {
+        let probe = SeriesProbe::default();
+        let _ = probe.classify(|_| -1.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Running statistics and confidence intervals.
+//!
+//! The simulation half of the reproduction (Fig. 6) estimates routability by
+//! sampling source/destination pairs. These helpers provide streaming mean,
+//! variance and normal-approximation confidence intervals so every reported
+//! simulation point carries an uncertainty estimate.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::RunningStats;
+///
+/// let stats: RunningStats = [2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+///     .into_iter()
+///     .collect();
+/// assert!((stats.mean() - 5.0).abs() < 1e-12);
+/// assert!((stats.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "observation must not be NaN");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no observations were pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Unbiased sample variance (`n-1` denominator); 0 when fewer than two
+    /// observations exist.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); 0 when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation confidence interval for the mean at the given
+    /// confidence level (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `(0, 1)`.
+    #[must_use]
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        let z = standard_normal_quantile(0.5 + level / 2.0);
+        let half_width = z * self.standard_error();
+        ConfidenceInterval {
+            mean: self.mean,
+            lower: self.mean - half_width,
+            upper: self.mean + half_width,
+            level,
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut stats = RunningStats::new();
+        stats.extend(iter);
+        stats
+    }
+}
+
+/// A symmetric confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Returns `true` if the interval contains `value`.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Used for routability estimates, which are success fractions over sampled
+/// pairs; Wilson behaves sensibly even when the success count is 0 or equals
+/// the number of trials.
+///
+/// # Panics
+///
+/// Panics if `successes > trials`, if `trials == 0`, or if `level ∉ (0,1)`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::stats::wilson_interval;
+///
+/// let ci = wilson_interval(90, 100, 0.95);
+/// assert!(ci.lower > 0.8 && ci.upper < 0.96);
+/// assert!(ci.contains(0.9));
+/// ```
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, level: f64) -> ConfidenceInterval {
+    assert!(trials > 0, "wilson_interval requires at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    let n = trials as f64;
+    let p_hat = successes as f64 / n;
+    let z = standard_normal_quantile(0.5 + level / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p_hat + z2 / (2.0 * n)) / denom;
+    let half = z * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ConfidenceInterval {
+        mean: p_hat,
+        lower: (centre - half).max(0.0),
+        upper: (centre + half).min(1.0),
+        level,
+    }
+}
+
+/// Quantile function of the standard normal distribution.
+///
+/// Acklam's rational approximation; absolute error below `1.2e-9` over (0, 1),
+/// which is far tighter than the Monte-Carlo noise it is compared against.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+#[must_use]
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let stats = RunningStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.sample_variance(), 0.0);
+        assert_eq!(stats.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn known_dataset() {
+        let stats: RunningStats = [2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(stats.count(), 8);
+        assert!((stats.mean() - 5.0).abs() < 1e-12);
+        assert!((stats.population_variance() - 4.0).abs() < 1e-12);
+        assert!((stats.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(stats.min(), 2.0);
+        assert_eq!(stats.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: RunningStats = data.iter().copied().collect();
+        let left: RunningStats = data[..400].iter().copied().collect();
+        let mut merged = left;
+        let right: RunningStats = data[400..].iter().copied().collect();
+        merged.merge(&right);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-10);
+        assert!((merged.sample_variance() - whole.sample_variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats: RunningStats = [1.0f64, 2.0, 3.0].into_iter().collect();
+        let before = stats;
+        stats.merge(&RunningStats::new());
+        assert_eq!(stats, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantile_matches_known_values() {
+        assert!((standard_normal_quantile(0.5)).abs() < 1e-9);
+        assert!((standard_normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((standard_normal_quantile(0.841_344_746) - 1.0).abs() < 1e-6);
+        assert!((standard_normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..100 {
+            small.push(f64::from(i % 10));
+        }
+        for i in 0..10_000 {
+            large.push(f64::from(i % 10));
+        }
+        let ci_small = small.confidence_interval(0.95);
+        let ci_large = large.confidence_interval(0.95);
+        assert!(ci_large.half_width() < ci_small.half_width());
+        assert!(ci_small.contains(ci_small.mean));
+    }
+
+    #[test]
+    fn wilson_interval_bounds_are_sane() {
+        let ci = wilson_interval(0, 50, 0.95);
+        assert_eq!(ci.mean, 0.0);
+        assert!(ci.lower >= 0.0 && ci.upper > 0.0 && ci.upper < 0.2);
+        let ci = wilson_interval(50, 50, 0.95);
+        assert!(ci.lower > 0.9 && ci.upper <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn wilson_rejects_impossible_counts() {
+        let _ = wilson_interval(10, 5, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_observation() {
+        let mut stats = RunningStats::new();
+        stats.push(f64::NAN);
+    }
+}

@@ -1,0 +1,181 @@
+//! Parameter-grid helpers for the experiment harnesses.
+//!
+//! Every figure in the paper is a sweep over either the failure probability
+//! `q` (Fig. 6, 7a) or the system size `N` (Fig. 7b). These helpers build the
+//! grids used by the `dht-experiments` crate and the benches.
+
+/// Returns `count` evenly spaced values covering `[start, end]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `count < 2` or either bound is not finite.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::linspace;
+///
+/// assert_eq!(linspace(0.0, 1.0, 5), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+#[must_use]
+pub fn linspace(start: f64, end: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "linspace requires at least two points");
+    assert!(
+        start.is_finite() && end.is_finite(),
+        "linspace bounds must be finite"
+    );
+    let step = (end - start) / (count - 1) as f64;
+    (0..count)
+        .map(|i| {
+            if i == count - 1 {
+                end
+            } else {
+                start + step * i as f64
+            }
+        })
+        .collect()
+}
+
+/// Returns `count` geometrically spaced values covering `[start, end]`
+/// inclusive.
+///
+/// # Panics
+///
+/// Panics if `count < 2`, if either bound is non-positive, or if either bound
+/// is not finite.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::geomspace;
+///
+/// let grid = geomspace(1e3, 1e6, 4);
+/// assert!((grid[1] - 1e4).abs() / 1e4 < 1e-12);
+/// assert_eq!(grid.len(), 4);
+/// ```
+#[must_use]
+pub fn geomspace(start: f64, end: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "geomspace requires at least two points");
+    assert!(
+        start > 0.0 && end > 0.0 && start.is_finite() && end.is_finite(),
+        "geomspace bounds must be positive and finite"
+    );
+    let ln_start = start.ln();
+    let ln_step = (end.ln() - ln_start) / (count - 1) as f64;
+    (0..count)
+        .map(|i| {
+            if i == count - 1 {
+                end
+            } else {
+                (ln_start + ln_step * i as f64).exp()
+            }
+        })
+        .collect()
+}
+
+/// The failure-probability grid used throughout the paper's figures:
+/// `0%, step%, 2·step%, …, max%`, returned as probabilities in `[0, 1)`.
+///
+/// Fig. 6 and 7(a) plot q from 0 to 90% in 5–10% increments; the default call
+/// `percent_grid(90, 5)` reproduces that x-axis.
+///
+/// # Panics
+///
+/// Panics if `step_percent == 0` or `max_percent >= 100`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::percent_grid;
+///
+/// let grid = percent_grid(90, 10);
+/// assert_eq!(grid.len(), 10);
+/// assert_eq!(grid[0], 0.0);
+/// assert!((grid[9] - 0.9).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn percent_grid(max_percent: u32, step_percent: u32) -> Vec<f64> {
+    assert!(step_percent > 0, "step must be positive");
+    assert!(max_percent < 100, "failure probability must stay below 100%");
+    (0..=max_percent)
+        .step_by(step_percent as usize)
+        .map(|p| f64::from(p) / 100.0)
+        .collect()
+}
+
+/// Powers of two `2^lo ..= 2^hi` as `u64` system sizes (Fig. 7b x-axis).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi >= 64`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_mathkit::sweep::power_of_two_sizes;
+///
+/// assert_eq!(power_of_two_sizes(3, 5), vec![8, 16, 32]);
+/// ```
+#[must_use]
+pub fn power_of_two_sizes(lo: u32, hi: u32) -> Vec<u64> {
+    assert!(lo <= hi, "lo must not exceed hi");
+    assert!(hi < 64, "2^hi must fit in u64");
+    (lo..=hi).map(|b| 1u64 << b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_are_exact() {
+        let grid = linspace(0.1, 0.9, 17);
+        assert_eq!(grid.first().copied(), Some(0.1));
+        assert_eq!(grid.last().copied(), Some(0.9));
+        assert_eq!(grid.len(), 17);
+        // Monotone increasing.
+        assert!(grid.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn linspace_descending_works() {
+        let grid = linspace(1.0, 0.0, 3);
+        assert_eq!(grid, vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn geomspace_ratio_is_constant() {
+        let grid = geomspace(2.0, 2048.0, 11);
+        for w in grid.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn percent_grid_matches_paper_axis() {
+        let grid = percent_grid(90, 5);
+        assert_eq!(grid.len(), 19);
+        assert_eq!(grid[0], 0.0);
+        assert!((grid[18] - 0.9).abs() < 1e-12);
+        assert!(grid.iter().all(|&q| (0.0..1.0).contains(&q)));
+    }
+
+    #[test]
+    fn power_of_two_sizes_covers_paper_range() {
+        let sizes = power_of_two_sizes(10, 16);
+        assert_eq!(sizes.first().copied(), Some(1024));
+        assert_eq!(sizes.last().copied(), Some(65536));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn linspace_rejects_single_point() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 100%")]
+    fn percent_grid_rejects_certain_failure() {
+        let _ = percent_grid(100, 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! The CAN-style hypercube overlay (§3.2 of the paper).
+
+use crate::failure::FailureMask;
+use crate::traits::{validate_bits, Overlay, OverlayError};
+use dht_id::{distance::hamming, KeySpace, NodeId};
+
+/// A binary hypercube overlay: node identifiers are coordinates in a
+/// `d`-dimensional binary space and each node is connected to the `d` nodes
+/// that differ from it in exactly one bit.
+///
+/// Routing is greedy on the Hamming distance and may correct the differing
+/// bits in any order, which is what makes the geometry robust: a hop fails
+/// only when *all* neighbours that would correct a bit are down.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_overlay::{CanOverlay, FailureMask, Overlay, RouteOutcome, route};
+///
+/// let overlay = CanOverlay::build(3)?; // the 8-node cube of Fig. 1
+/// let space = overlay.key_space();
+/// let mask = FailureMask::none(space);
+/// let outcome = route(&overlay, space.wrap(0b011), space.wrap(0b100), &mask);
+/// assert_eq!(outcome, RouteOutcome::Delivered { hops: 3 });
+/// # Ok::<(), dht_overlay::OverlayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CanOverlay {
+    space: KeySpace,
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl CanOverlay {
+    /// Builds the fully populated `d`-dimensional binary hypercube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
+    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    pub fn build(bits: u32) -> Result<Self, OverlayError> {
+        let space = validate_bits(bits)?;
+        let tables = space
+            .iter_ids()
+            .map(|node| {
+                (0..bits)
+                    .map(|bit| node.flip_bit(bit).expect("bit index is within the key space"))
+                    .collect()
+            })
+            .collect();
+        Ok(CanOverlay { space, tables })
+    }
+}
+
+impl Overlay for CanOverlay {
+    fn geometry_name(&self) -> &'static str {
+        "hypercube"
+    }
+
+    fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.tables[node.value() as usize]
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        let current_distance = hamming(current, target);
+        // Any alive neighbour that corrects one of the differing bits is a
+        // valid greedy hop; prefer the one correcting the highest-order bit to
+        // keep the choice deterministic.
+        self.neighbors(current)
+            .iter()
+            .copied()
+            .filter(|&n| alive.is_alive(n) && hamming(n, target) < current_distance)
+            .min_by_key(|n| n.value() ^ target.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{route, RouteOutcome};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn every_node_has_d_neighbors_at_hamming_distance_one() {
+        let overlay = CanOverlay::build(6).unwrap();
+        let space = overlay.key_space();
+        for node in space.iter_ids() {
+            let neighbors = overlay.neighbors(node);
+            assert_eq!(neighbors.len(), 6);
+            for &n in neighbors {
+                assert_eq!(hamming(node, n), 1);
+            }
+        }
+        assert_eq!(overlay.edge_count(), 64 * 6);
+    }
+
+    #[test]
+    fn perfect_network_routes_in_hamming_distance_hops() {
+        let overlay = CanOverlay::build(8).unwrap();
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            let expected = hamming(source, target);
+            assert_eq!(
+                route(&overlay, source, target, &mask),
+                RouteOutcome::Delivered { hops: expected }
+            );
+        }
+    }
+
+    #[test]
+    fn figure_one_worked_example() {
+        // Fig. 1–3: routing from 011 to 100 in the 8-node cube crosses three
+        // dimensions; 3 choices for the first hop, 2 for the second, 1 last.
+        let overlay = CanOverlay::build(3).unwrap();
+        let space = overlay.key_space();
+        let source = space.wrap(0b011);
+        assert_eq!(overlay.neighbors(source).len(), 3);
+        let mask = FailureMask::none(space);
+        assert_eq!(
+            route(&overlay, source, space.wrap(0b100), &mask),
+            RouteOutcome::Delivered { hops: 3 }
+        );
+    }
+
+    #[test]
+    fn routes_around_a_failed_intermediate() {
+        let overlay = CanOverlay::build(3).unwrap();
+        let space = overlay.key_space();
+        // Kill one of the three possible first hops from 011 to 100; the
+        // greedy rule must pick another dimension and still deliver.
+        let mask = FailureMask::from_failed_nodes(space, [space.wrap(0b111)]);
+        assert_eq!(
+            route(&overlay, space.wrap(0b011), space.wrap(0b100), &mask),
+            RouteOutcome::Delivered { hops: 3 }
+        );
+    }
+
+    #[test]
+    fn drops_when_every_corrective_neighbor_failed() {
+        let overlay = CanOverlay::build(3).unwrap();
+        let space = overlay.key_space();
+        // All three neighbours of 011 that make progress towards 100 are
+        // 111, 001 and 010; failing them strands the message immediately.
+        let mask = FailureMask::from_failed_nodes(
+            space,
+            [space.wrap(0b111), space.wrap(0b001), space.wrap(0b010)],
+        );
+        match route(&overlay, space.wrap(0b011), space.wrap(0b100), &mask) {
+            RouteOutcome::Dropped { hops, stuck_at } => {
+                assert_eq!(hops, 0);
+                assert_eq!(stuck_at, space.wrap(0b011));
+            }
+            other => panic!("expected drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_spaces() {
+        assert!(CanOverlay::build(0).is_err());
+        assert!(CanOverlay::build(40).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! The Chord-style ring overlay (§3.4 of the paper).
+
+use crate::failure::FailureMask;
+use crate::traits::{validate_bits, Overlay, OverlayError};
+use dht_id::{distance::ring_distance, KeySpace, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the finger targets are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChordVariant {
+    /// Classic Chord: the `i`-th finger of node `a` points exactly at
+    /// `a + 2^{i−1} (mod 2^d)`.
+    Deterministic,
+    /// Randomised Chord, the variant the paper analyses: the `i`-th finger is
+    /// drawn uniformly from clockwise distance `[2^{i−1}, 2^i)`.
+    Randomized,
+}
+
+/// A ring overlay with `d` fingers per node and greedy clockwise routing.
+///
+/// Routing forwards the message to the alive finger that is closest to the
+/// target without overshooting it. When the optimal finger is dead a shorter
+/// finger still makes progress, and — unlike XOR routing — the progress made
+/// by such suboptimal hops is preserved in later phases, which is why the
+/// analytical expression of §4.3.3 is only a lower bound on routability.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_overlay::{ChordOverlay, ChordVariant, Overlay};
+///
+/// let overlay = ChordOverlay::build(12, ChordVariant::Deterministic)?;
+/// let space = overlay.key_space();
+/// assert_eq!(overlay.neighbors(space.wrap(0)).len(), 12);
+/// # Ok::<(), dht_overlay::OverlayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChordOverlay {
+    space: KeySpace,
+    variant: ChordVariant,
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl ChordOverlay {
+    /// Builds a deterministic-finger overlay (no randomness needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
+    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    pub fn build(bits: u32, variant: ChordVariant) -> Result<Self, OverlayError> {
+        match variant {
+            ChordVariant::Deterministic => Self::build_impl(bits, variant, |_, _| 0),
+            ChordVariant::Randomized => Err(OverlayError::InvalidParameter {
+                message: "randomised fingers need an RNG; use build_randomized".into(),
+            }),
+        }
+    }
+
+    /// Builds a randomised-finger overlay (the paper's variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
+    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    pub fn build_randomized<R: Rng + ?Sized>(
+        bits: u32,
+        rng: &mut R,
+    ) -> Result<Self, OverlayError> {
+        Self::build_impl(bits, ChordVariant::Randomized, |span, _finger| {
+            if span <= 1 {
+                0
+            } else {
+                rng.gen_range(0..span)
+            }
+        })
+    }
+
+    fn build_impl<F>(
+        bits: u32,
+        variant: ChordVariant,
+        mut offset_within_span: F,
+    ) -> Result<Self, OverlayError>
+    where
+        F: FnMut(u64, u32) -> u64,
+    {
+        let space = validate_bits(bits)?;
+        let tables = space
+            .iter_ids()
+            .map(|node| {
+                (1..=bits)
+                    .map(|finger| {
+                        // Finger `finger` covers clockwise distance
+                        // [2^{finger-1}, 2^finger).
+                        let base = 1u64 << (finger - 1);
+                        let span = base; // width of the interval
+                        let distance = base + offset_within_span(span, finger);
+                        space.wrap(node.value().wrapping_add(distance))
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(ChordOverlay {
+            space,
+            variant,
+            tables,
+        })
+    }
+
+    /// Which finger-selection variant this overlay was built with.
+    #[must_use]
+    pub fn variant(&self) -> ChordVariant {
+        self.variant
+    }
+
+    /// The `i`-th finger (1-based, covering distance `[2^{i−1}, 2^i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `finger` is zero or exceeds `d`, or `node` is outside the key
+    /// space.
+    #[must_use]
+    pub fn finger(&self, node: NodeId, finger: u32) -> NodeId {
+        assert!(finger >= 1, "fingers are 1-based");
+        self.tables[node.value() as usize][(finger - 1) as usize]
+    }
+}
+
+impl Overlay for ChordOverlay {
+    fn geometry_name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.tables[node.value() as usize]
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        let remaining = ring_distance(current, target);
+        // Greedy without overshooting: the finger must land within the arc
+        // (current, target], and among those the one closest to the target
+        // (i.e. the longest admissible finger) wins.
+        self.neighbors(current)
+            .iter()
+            .copied()
+            .filter(|&n| {
+                alive.is_alive(n) && {
+                    let advance = ring_distance(current, n);
+                    advance > 0 && advance <= remaining
+                }
+            })
+            .min_by_key(|&n| ring_distance(n, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{route, RouteOutcome};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn deterministic_fingers_are_powers_of_two_away() {
+        let overlay = ChordOverlay::build(8, ChordVariant::Deterministic).unwrap();
+        let space = overlay.key_space();
+        for node in space.iter_ids().step_by(17) {
+            for finger in 1..=8u32 {
+                let distance = ring_distance(node, overlay.finger(node, finger));
+                assert_eq!(distance, 1 << (finger - 1));
+            }
+        }
+        assert_eq!(overlay.variant(), ChordVariant::Deterministic);
+    }
+
+    #[test]
+    fn randomized_fingers_stay_within_their_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let overlay = ChordOverlay::build_randomized(10, &mut rng).unwrap();
+        let space = overlay.key_space();
+        for node in space.iter_ids().step_by(41) {
+            for finger in 1..=10u32 {
+                let distance = ring_distance(node, overlay.finger(node, finger));
+                let lower = 1u64 << (finger - 1);
+                let upper = 1u64 << finger;
+                assert!(
+                    distance >= lower && distance < upper,
+                    "finger {finger}: distance {distance} outside [{lower}, {upper})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_network_routes_within_d_hops() {
+        for overlay in [
+            ChordOverlay::build(10, ChordVariant::Deterministic).unwrap(),
+            ChordOverlay::build_randomized(10, &mut ChaCha8Rng::seed_from_u64(8)).unwrap(),
+        ] {
+            let space = overlay.key_space();
+            let mask = FailureMask::none(space);
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            for _ in 0..200 {
+                let source = space.random_id(&mut rng);
+                let target = space.random_id(&mut rng);
+                match route(&overlay, source, target, &mask) {
+                    RouteOutcome::Delivered { hops } => assert!(hops <= 10),
+                    other => panic!("route failed without failures: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_overshoots_the_target() {
+        let overlay = ChordOverlay::build(10, ChordVariant::Deterministic).unwrap();
+        let space = overlay.key_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mask = FailureMask::sample(space, 0.3, &mut rng);
+        for _ in 0..100 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            if mask.is_failed(source) || mask.is_failed(target) {
+                continue;
+            }
+            let mut current = source;
+            let mut remaining = ring_distance(current, target);
+            while let Some(next) = overlay.next_hop(current, target, &mask) {
+                let next_remaining = ring_distance(next, target);
+                assert!(next_remaining < remaining, "hops must make clockwise progress");
+                current = next;
+                remaining = next_remaining;
+                if current == target {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suboptimal_progress_is_preserved() {
+        // The §4.3.3 discussion: killing the long finger forces a shorter
+        // first hop, but the route still completes because the progress is
+        // kept. Deterministic fingers make the scenario easy to construct.
+        let overlay = ChordOverlay::build(8, ChordVariant::Deterministic).unwrap();
+        let space = overlay.key_space();
+        let source = space.wrap(0);
+        let target = space.wrap(0b1100_0000); // distance 192
+        // The optimal first hop is the 128-finger; kill it.
+        let optimal = overlay.finger(source, 8);
+        let mask = FailureMask::from_failed_nodes(space, [optimal]);
+        match route(&overlay, source, target, &mask) {
+            RouteOutcome::Delivered { hops } => assert!(hops >= 2),
+            other => panic!("expected delivery around the failed finger, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drops_only_when_no_finger_makes_progress() {
+        let overlay = ChordOverlay::build(6, ChordVariant::Deterministic).unwrap();
+        let space = overlay.key_space();
+        let source = space.wrap(0);
+        let target = space.wrap(1);
+        // The only way to reach a target at distance 1 is the 1-finger.
+        let mask = FailureMask::from_failed_nodes(space, [overlay.finger(source, 1)]);
+        assert_eq!(
+            route(&overlay, source, target, &mask),
+            RouteOutcome::TargetFailed
+        );
+        // Distance 3: the optimal route uses the 2-finger then the 1-finger.
+        // Killing the source's 2-finger forces a short first hop, after which
+        // the intermediate node's own 2-finger completes the route.
+        let target = space.wrap(3);
+        let mask = FailureMask::from_failed_nodes(space, [overlay.finger(source, 2)]);
+        assert_eq!(
+            route(&overlay, source, target, &mask),
+            RouteOutcome::Delivered { hops: 2 }
+        );
+    }
+
+    #[test]
+    fn build_variant_mismatch_is_rejected() {
+        assert!(ChordOverlay::build(8, ChordVariant::Randomized).is_err());
+        assert!(ChordOverlay::build(0, ChordVariant::Deterministic).is_err());
+    }
+}

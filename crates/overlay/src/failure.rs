@@ -1,0 +1,239 @@
+//! Frozen node-failure patterns (the static resilience model).
+
+use dht_id::{KeySpace, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A frozen set of failed nodes over a fully populated identifier space.
+///
+/// The paper's failure model removes each node independently with probability
+/// `q` and keeps every surviving node's routing table unchanged. A
+/// [`FailureMask`] captures one such removal pattern; routing functions query
+/// it on every hop.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::KeySpace;
+/// use dht_overlay::FailureMask;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let space = KeySpace::new(10)?;
+/// let mut rng = ChaCha8Rng::seed_from_u64(7);
+/// let mask = FailureMask::sample(space, 0.25, &mut rng);
+/// let observed = mask.failed_count() as f64 / space.population() as f64;
+/// assert!((observed - 0.25).abs() < 0.1);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureMask {
+    space: KeySpace,
+    failed: Vec<bool>,
+    failed_count: u64,
+}
+
+impl FailureMask {
+    /// Creates a mask with no failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space has more than `2^32` identifiers (such spaces are
+    /// analytical-only; see [`crate::traits::MAX_OVERLAY_BITS`]).
+    #[must_use]
+    pub fn none(space: KeySpace) -> Self {
+        assert!(
+            space.bits() <= 32,
+            "failure masks materialise every node; {}-bit spaces are analytical-only",
+            space.bits()
+        );
+        FailureMask {
+            space,
+            failed: vec![false; space.population() as usize],
+            failed_count: 0,
+        }
+    }
+
+    /// Samples a mask in which every node fails independently with
+    /// probability `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]` or the space is larger than `2^32`.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(space: KeySpace, q: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&q), "failure probability must be in [0,1]");
+        let mut mask = FailureMask::none(space);
+        for slot in mask.failed.iter_mut() {
+            if rng.gen_bool(q) {
+                *slot = true;
+                mask.failed_count += 1;
+            }
+        }
+        mask
+    }
+
+    /// Creates a mask from an explicit list of failed identifiers.
+    ///
+    /// Identifiers outside the space are ignored; duplicates count once.
+    #[must_use]
+    pub fn from_failed_nodes<I>(space: KeySpace, nodes: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut mask = FailureMask::none(space);
+        for node in nodes {
+            let index = node.value() as usize;
+            if node.bits() == space.bits() && !mask.failed[index] {
+                mask.failed[index] = true;
+                mask.failed_count += 1;
+            }
+        }
+        mask
+    }
+
+    /// The identifier space this mask covers.
+    #[must_use]
+    pub fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    /// Returns `true` if `node` failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the mask's key space.
+    #[must_use]
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        assert_eq!(
+            node.bits(),
+            self.space.bits(),
+            "node belongs to a different key space"
+        );
+        self.failed[node.value() as usize]
+    }
+
+    /// Returns `true` if `node` survived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the mask's key space.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        !self.is_failed(node)
+    }
+
+    /// Number of failed nodes.
+    #[must_use]
+    pub fn failed_count(&self) -> u64 {
+        self.failed_count
+    }
+
+    /// Number of surviving nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> u64 {
+        self.space.population() - self.failed_count
+    }
+
+    /// Iterates over the surviving node identifiers in ascending order.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let bits = self.space.bits();
+        self.failed.iter().enumerate().filter_map(move |(index, &failed)| {
+            if failed {
+                None
+            } else {
+                Some(NodeId::from_raw(index as u64, bits).expect("index fits the key space"))
+            }
+        })
+    }
+
+    /// Marks a single node as failed (idempotent). Useful for targeted-failure
+    /// experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the mask's key space.
+    pub fn fail_node(&mut self, node: NodeId) {
+        assert_eq!(
+            node.bits(),
+            self.space.bits(),
+            "node belongs to a different key space"
+        );
+        let slot = &mut self.failed[node.value() as usize];
+        if !*slot {
+            *slot = true;
+            self.failed_count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space(bits: u32) -> KeySpace {
+        KeySpace::new(bits).unwrap()
+    }
+
+    #[test]
+    fn empty_mask_has_everyone_alive() {
+        let mask = FailureMask::none(space(8));
+        assert_eq!(mask.failed_count(), 0);
+        assert_eq!(mask.alive_count(), 256);
+        assert_eq!(mask.alive_nodes().count(), 256);
+        assert!(mask.is_alive(space(8).wrap(17)));
+    }
+
+    #[test]
+    fn sampling_matches_probability_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mask = FailureMask::sample(space(14), 0.3, &mut rng);
+        let fraction = mask.failed_count() as f64 / 16384.0;
+        assert!((fraction - 0.3).abs() < 0.02, "fraction = {fraction}");
+        assert_eq!(mask.alive_count() + mask.failed_count(), 16384);
+    }
+
+    #[test]
+    fn sampling_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(FailureMask::sample(space(8), 0.0, &mut rng).failed_count(), 0);
+        assert_eq!(FailureMask::sample(space(8), 1.0, &mut rng).failed_count(), 256);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let a = FailureMask::sample(space(10), 0.4, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = FailureMask::sample(space(10), 0.4, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_failures_and_fail_node() {
+        let s = space(6);
+        let mut mask = FailureMask::from_failed_nodes(s, [s.wrap(1), s.wrap(5), s.wrap(1)]);
+        assert_eq!(mask.failed_count(), 2);
+        assert!(mask.is_failed(s.wrap(1)));
+        assert!(mask.is_alive(s.wrap(2)));
+        mask.fail_node(s.wrap(2));
+        mask.fail_node(s.wrap(2));
+        assert_eq!(mask.failed_count(), 3);
+    }
+
+    #[test]
+    fn alive_nodes_are_exactly_the_complement() {
+        let s = space(5);
+        let mask = FailureMask::from_failed_nodes(s, (0..16).map(|v| s.wrap(v)));
+        let alive: Vec<u64> = mask.alive_nodes().map(|n| n.value()).collect();
+        assert_eq!(alive, (16..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "different key space")]
+    fn mismatched_space_panics() {
+        let mask = FailureMask::none(space(5));
+        let other = KeySpace::new(6).unwrap();
+        let _ = mask.is_failed(other.wrap(3));
+    }
+}

@@ -1,0 +1,246 @@
+//! The Kademlia-style XOR overlay (§3.3 of the paper).
+
+use crate::failure::FailureMask;
+use crate::traits::{validate_bits, Overlay, OverlayError};
+use dht_id::{distance::xor_distance, KeySpace, NodeId};
+use rand::Rng;
+
+/// An XOR-metric overlay modelling the basic Kademlia geometry: one contact
+/// per bucket.
+///
+/// The `i`-th contact of a node is drawn uniformly from XOR distance
+/// `[2^{d−i}, 2^{d−i+1})`, which (as §3.3 of the paper notes) is the same as
+/// matching the node's first `i − 1` bits, flipping the `i`-th, and choosing
+/// the remaining bits at random — structurally a Plaxton table. The
+/// difference is the forwarding rule: the message goes to whichever alive
+/// contact is XOR-closest to the target, so when the optimal contact is dead
+/// a lower-order bucket can still make progress.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_overlay::{KademliaOverlay, Overlay};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(2);
+/// let overlay = KademliaOverlay::build(12, &mut rng)?;
+/// assert_eq!(overlay.node_count(), 4096);
+/// # Ok::<(), dht_overlay::OverlayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KademliaOverlay {
+    space: KeySpace,
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl KademliaOverlay {
+    /// Builds the fully populated XOR overlay with one random contact per
+    /// bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
+    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    pub fn build<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
+        let space = validate_bits(bits)?;
+        let tables = space
+            .iter_ids()
+            .map(|node| {
+                (0..bits)
+                    .map(|bucket| {
+                        // Bucket `bucket` (0 = widest): flip bit `bucket`,
+                        // randomise everything below it.
+                        let random_suffix = space.random_id(rng);
+                        node.flip_bit(bucket)
+                            .expect("bucket index is within the key space")
+                            .splice_prefix(bucket + 1, random_suffix)
+                            .expect("identifier widths match")
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(KademliaOverlay { space, tables })
+    }
+
+    /// The contact stored in bucket `bucket` (0 = the bucket covering the far
+    /// half of the identifier space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= d` or `node` is outside the key space.
+    #[must_use]
+    pub fn bucket_contact(&self, node: NodeId, bucket: u32) -> NodeId {
+        self.tables[node.value() as usize][bucket as usize]
+    }
+}
+
+impl Overlay for KademliaOverlay {
+    fn geometry_name(&self) -> &'static str {
+        "xor"
+    }
+
+    fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.tables[node.value() as usize]
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        let current_distance = xor_distance(current, target);
+        self.neighbors(current)
+            .iter()
+            .copied()
+            .filter(|&n| alive.is_alive(n) && xor_distance(n, target) < current_distance)
+            .min_by_key(|&n| xor_distance(n, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{route, RouteOutcome};
+    use dht_id::prefix::common_prefix_len;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(bits: u32, seed: u64) -> KademliaOverlay {
+        KademliaOverlay::build(bits, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn bucket_contacts_cover_the_right_distance_ranges() {
+        let overlay = build(10, 1);
+        let space = overlay.key_space();
+        for node in space.iter_ids().step_by(37) {
+            for bucket in 0..10u32 {
+                let contact = overlay.bucket_contact(node, bucket);
+                let distance = xor_distance(node, contact);
+                let lower = 1u64 << (9 - bucket);
+                let upper = 1u64 << (10 - bucket);
+                assert!(
+                    distance >= lower && distance < upper,
+                    "bucket {bucket}: distance {distance} outside [{lower}, {upper})"
+                );
+                assert_eq!(common_prefix_len(node, contact), bucket);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_network_resolves_one_bit_per_hop() {
+        let overlay = build(12, 2);
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..200 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            match route(&overlay, source, target, &mask) {
+                RouteOutcome::Delivered { hops } => assert!(hops <= 12),
+                other => panic!("route failed without failures: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn xor_distance_strictly_decreases_along_the_route() {
+        let overlay = build(12, 3);
+        let space = overlay.key_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mask = FailureMask::sample(space, 0.2, &mut rng);
+        let mut checked = 0;
+        for _ in 0..100 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            if mask.is_failed(source) || mask.is_failed(target) {
+                continue;
+            }
+            let mut current = source;
+            let mut distance = xor_distance(current, target);
+            while let Some(next) = overlay.next_hop(current, target, &mask) {
+                let next_distance = xor_distance(next, target);
+                assert!(next_distance < distance);
+                current = next;
+                distance = next_distance;
+                if current == target {
+                    break;
+                }
+            }
+            checked += 1;
+        }
+        assert!(checked > 20, "not enough surviving pairs to be meaningful");
+    }
+
+    #[test]
+    fn falls_back_to_lower_order_buckets_under_failure() {
+        // Fig. 5(a) scenario: the optimal first contact is dead but a
+        // lower-order contact keeps the message moving.
+        let overlay = build(10, 4);
+        let space = overlay.key_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut observed_fallback = false;
+        for _ in 0..200 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            if source == target {
+                continue;
+            }
+            let optimal_bucket = common_prefix_len(source, target);
+            let optimal = overlay.bucket_contact(source, optimal_bucket);
+            if optimal == target {
+                continue;
+            }
+            let mask = FailureMask::from_failed_nodes(space, [optimal]);
+            if let Some(next) = overlay.next_hop(source, target, &mask) {
+                assert_ne!(next, optimal);
+                assert!(xor_distance(next, target) < xor_distance(source, target));
+                observed_fallback = true;
+            }
+        }
+        assert!(observed_fallback, "never exercised the fallback path");
+    }
+
+    #[test]
+    fn more_robust_than_the_tree_overlay_under_the_same_failures() {
+        let bits = 10;
+        let seed = 77;
+        let kademlia = build(bits, seed);
+        let tree = crate::plaxton::PlaxtonOverlay::build(
+            bits,
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        )
+        .unwrap();
+        let space = kademlia.key_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let mask = FailureMask::sample(space, 0.3, &mut rng);
+        let mut kademlia_ok = 0u32;
+        let mut tree_ok = 0u32;
+        for _ in 0..2000 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            if mask.is_failed(source) || mask.is_failed(target) {
+                continue;
+            }
+            if route(&kademlia, source, target, &mask).is_delivered() {
+                kademlia_ok += 1;
+            }
+            if route(&tree, source, target, &mask).is_delivered() {
+                tree_ok += 1;
+            }
+        }
+        assert!(
+            kademlia_ok > tree_ok,
+            "XOR fallback should beat the tree: {kademlia_ok} vs {tree_ok}"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_spaces() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(KademliaOverlay::build(0, &mut rng).is_err());
+        assert!(KademliaOverlay::build(33, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Executable DHT overlay networks with static-resilience routing.
+//!
+//! The RCM paper validates its analytical predictions against protocol
+//! simulations (the data points of Fig. 6, originally from Gummadi et al.,
+//! SIGCOMM'03). This crate rebuilds that simulation substrate: it constructs
+//! the *basic* routing geometry of each of the five DHTs over a fully
+//! populated identifier space and routes messages greedily across a frozen
+//! failure pattern — the *static resilience* model:
+//!
+//! * nodes fail independently with probability `q` ([`FailureMask`]);
+//! * routing tables are **not** repaired (hence "static");
+//! * messages are forwarded greedily with no backtracking;
+//! * a message is dropped as soon as no alive neighbour makes progress.
+//!
+//! The five overlays are [`PlaxtonOverlay`] (tree), [`CanOverlay`]
+//! (hypercube), [`KademliaOverlay`] (XOR), [`ChordOverlay`] (ring) and
+//! [`SymphonyOverlay`] (small world). All of them implement [`Overlay`], and
+//! [`route`] drives any of them hop by hop.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dht_overlay::{route, FailureMask, KademliaOverlay, Overlay, RouteOutcome};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let overlay = KademliaOverlay::build(10, &mut rng)?; // 2^10 nodes
+//! let space = overlay.key_space();
+//! let mask = FailureMask::sample(space, 0.1, &mut rng);
+//! let source = space.wrap(17);
+//! let target = space.wrap(900);
+//! if mask.is_alive(source) && mask.is_alive(target) {
+//!     match route(&overlay, source, target, &mask) {
+//!         RouteOutcome::Delivered { hops } => assert!(hops <= 10),
+//!         RouteOutcome::Dropped { .. } => {}
+//!         other => panic!("unexpected outcome {other:?}"),
+//!     }
+//! }
+//! # Ok::<(), dht_overlay::OverlayError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod can;
+pub mod chord;
+pub mod failure;
+pub mod kademlia;
+pub mod plaxton;
+pub mod router;
+pub mod symphony;
+pub mod traits;
+
+pub use can::CanOverlay;
+pub use chord::{ChordOverlay, ChordVariant};
+pub use failure::FailureMask;
+pub use kademlia::KademliaOverlay;
+pub use plaxton::PlaxtonOverlay;
+pub use router::{route, route_with_limit, RouteOutcome};
+pub use symphony::SymphonyOverlay;
+pub use traits::{Overlay, OverlayError};

@@ -1,0 +1,202 @@
+//! The Plaxton-style tree overlay (§3.1 of the paper).
+
+use crate::failure::FailureMask;
+use crate::traits::{validate_bits, Overlay, OverlayError};
+use dht_id::{prefix::highest_differing_bit, KeySpace, NodeId};
+use rand::Rng;
+
+/// A prefix-routing (tree) overlay in the style of Plaxton, Tapestry and
+/// Pastry's routing table (without leaf sets — the paper analyses the basic
+/// geometry).
+///
+/// The `i`-th routing-table entry of a node matches its first `i − 1` bits,
+/// differs in the `i`-th bit, and has uniformly random lower-order bits.
+/// Routing must correct the highest-order differing bit on every hop; if that
+/// single neighbour has failed the message is dropped, which is what makes
+/// the geometry fragile (`Q(m) = q`).
+///
+/// # Example
+///
+/// ```rust
+/// use dht_overlay::{Overlay, PlaxtonOverlay};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(5);
+/// let overlay = PlaxtonOverlay::build(8, &mut rng)?;
+/// assert_eq!(overlay.node_count(), 256);
+/// assert_eq!(overlay.neighbors(overlay.key_space().wrap(0)).len(), 8);
+/// # Ok::<(), dht_overlay::OverlayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlaxtonOverlay {
+    space: KeySpace,
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl PlaxtonOverlay {
+    /// Builds the fully populated tree overlay, drawing the random suffix of
+    /// every routing-table entry from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
+    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    pub fn build<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
+        let space = validate_bits(bits)?;
+        let tables = space
+            .iter_ids()
+            .map(|node| {
+                (0..bits)
+                    .map(|level| prefix_neighbor(space, node, level, rng))
+                    .collect()
+            })
+            .collect();
+        Ok(PlaxtonOverlay { space, tables })
+    }
+
+    /// The routing-table entry that corrects bit `level` (0 = most
+    /// significant), i.e. the entry consulted when the current node and the
+    /// target first differ at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= d` or `node` is outside the key space.
+    #[must_use]
+    pub fn entry_for_level(&self, node: NodeId, level: u32) -> NodeId {
+        self.tables[node.value() as usize][level as usize]
+    }
+}
+
+/// Builds the neighbour that matches `node` on bits `0..level`, differs at
+/// `level`, and is random below it.
+fn prefix_neighbor<R: Rng + ?Sized>(
+    space: KeySpace,
+    node: NodeId,
+    level: u32,
+    rng: &mut R,
+) -> NodeId {
+    let random_suffix = space.random_id(rng);
+    node.flip_bit(level)
+        .expect("level is within the key space")
+        .splice_prefix(level + 1, random_suffix)
+        .expect("identifier widths match")
+}
+
+impl Overlay for PlaxtonOverlay {
+    fn geometry_name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.tables[node.value() as usize]
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        let level = highest_differing_bit(current, target)?;
+        let entry = self.entry_for_level(current, level);
+        // If the entry happens not to share the target's next bits that is
+        // fine — it corrects the highest-order bit, and later hops fix the
+        // rest — but it must be alive, otherwise the protocol has no fallback.
+        alive.is_alive(entry).then_some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{route, RouteOutcome};
+    use dht_id::prefix::common_prefix_len;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(bits: u32, seed: u64) -> PlaxtonOverlay {
+        PlaxtonOverlay::build(bits, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn table_entries_have_the_prefix_property() {
+        let overlay = build(8, 1);
+        let space = overlay.key_space();
+        for node in space.iter_ids() {
+            for level in 0..8u32 {
+                let entry = overlay.entry_for_level(node, level);
+                assert!(common_prefix_len(node, entry) == level, "prefix must break exactly at the level");
+                assert_ne!(entry.bit(level).unwrap(), node.bit(level).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_network_always_delivers_within_d_hops() {
+        let overlay = build(10, 2);
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..200 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            match route(&overlay, source, target, &mask) {
+                RouteOutcome::Delivered { hops } => assert!(hops <= 10),
+                other => panic!("route failed without failures: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn each_hop_extends_the_matched_prefix() {
+        let overlay = build(10, 3);
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        let target = space.wrap(0b1100110011);
+        let mut current = space.wrap(0b0011001100);
+        let mut matched = common_prefix_len(current, target);
+        while current != target {
+            let next = overlay.next_hop(current, target, &mask).unwrap();
+            let next_matched = common_prefix_len(next, target);
+            assert!(next_matched > matched);
+            matched = next_matched;
+            current = next;
+        }
+    }
+
+    #[test]
+    fn drops_exactly_when_the_required_entry_failed() {
+        let overlay = build(8, 4);
+        let space = overlay.key_space();
+        let source = space.wrap(0b0000_0000);
+        let target = space.wrap(0b1000_0000);
+        let required = overlay.entry_for_level(source, 0);
+        let mask = FailureMask::from_failed_nodes(space, [required]);
+        match route(&overlay, source, target, &mask) {
+            RouteOutcome::Dropped { hops: 0, stuck_at } => assert_eq!(stuck_at, source),
+            RouteOutcome::TargetFailed => {
+                // The random entry may coincide with the target itself, in
+                // which case the failure is reported as a target failure.
+                assert_eq!(required, target);
+            }
+            other => panic!("expected an immediate drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic_per_seed() {
+        let a = build(8, 9);
+        let b = build(8, 9);
+        let space = a.key_space();
+        for node in space.iter_ids() {
+            assert_eq!(a.neighbors(node), b.neighbors(node));
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_spaces() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(PlaxtonOverlay::build(0, &mut rng).is_err());
+        assert!(PlaxtonOverlay::build(63, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Hop-by-hop routing driver shared by all overlays.
+
+use crate::failure::FailureMask;
+use crate::traits::Overlay;
+use dht_id::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of routing one message under a frozen failure pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteOutcome {
+    /// The message reached the target.
+    Delivered {
+        /// Number of hops taken (0 when source == target).
+        hops: u32,
+    },
+    /// No alive neighbour made progress; the message was dropped.
+    Dropped {
+        /// Hops taken before the drop.
+        hops: u32,
+        /// The node holding the message when it was dropped.
+        stuck_at: NodeId,
+    },
+    /// The source node itself had failed, so no message was ever sent.
+    SourceFailed,
+    /// The target node had failed; under the static model the message cannot
+    /// be delivered regardless of the path taken.
+    TargetFailed,
+    /// The hop limit was exceeded — with strictly-greedy protocols this
+    /// indicates a protocol-implementation bug rather than a routing failure,
+    /// and the integration tests assert it never occurs.
+    HopLimitExceeded {
+        /// The configured hop limit.
+        limit: u32,
+    },
+}
+
+impl RouteOutcome {
+    /// Returns `true` for [`RouteOutcome::Delivered`].
+    #[must_use]
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, RouteOutcome::Delivered { .. })
+    }
+
+    /// Number of hops taken, if the message was delivered.
+    #[must_use]
+    pub fn hops(&self) -> Option<u32> {
+        match self {
+            RouteOutcome::Delivered { hops } => Some(*hops),
+            _ => None,
+        }
+    }
+}
+
+/// Default hop-limit multiplier: greedy protocols route in at most `d` phases
+/// but may take suboptimal hops inside each phase (Symphony in particular), so
+/// the driver allows a generous multiple of the population size's bit length.
+fn default_hop_limit(bits: u32) -> u32 {
+    // Symphony needs O(log^2 N / k_s) hops in expectation; 64·d covers every
+    // realistic run at the sizes an overlay can materialise.
+    64 * bits.max(1)
+}
+
+/// Routes a message from `source` to `target` under `mask` with the default
+/// hop limit.
+///
+/// See [`route_with_limit`] for details.
+#[must_use]
+pub fn route<O>(overlay: &O, source: NodeId, target: NodeId, mask: &FailureMask) -> RouteOutcome
+where
+    O: Overlay + ?Sized,
+{
+    route_with_limit(
+        overlay,
+        source,
+        target,
+        mask,
+        default_hop_limit(overlay.key_space().bits()),
+    )
+}
+
+/// Routes a message from `source` to `target` under `mask`, giving up after
+/// `hop_limit` hops.
+///
+/// The driver repeatedly asks the overlay for its greedy next hop among alive
+/// neighbours. There is no backtracking: the first time the overlay returns
+/// `None` the message is dropped, exactly as in the paper's model.
+///
+/// # Panics
+///
+/// Panics if `source` or `target` do not belong to the overlay's key space.
+#[must_use]
+pub fn route_with_limit<O>(
+    overlay: &O,
+    source: NodeId,
+    target: NodeId,
+    mask: &FailureMask,
+    hop_limit: u32,
+) -> RouteOutcome
+where
+    O: Overlay + ?Sized,
+{
+    let space = overlay.key_space();
+    assert_eq!(source.bits(), space.bits(), "source is from a different key space");
+    assert_eq!(target.bits(), space.bits(), "target is from a different key space");
+
+    if mask.is_failed(source) {
+        return RouteOutcome::SourceFailed;
+    }
+    if mask.is_failed(target) {
+        return RouteOutcome::TargetFailed;
+    }
+    let mut current = source;
+    let mut hops = 0u32;
+    while current != target {
+        if hops >= hop_limit {
+            return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+        }
+        match overlay.next_hop(current, target, mask) {
+            Some(next) => {
+                debug_assert!(
+                    mask.is_alive(next),
+                    "overlay {} forwarded to a failed node",
+                    overlay.geometry_name()
+                );
+                current = next;
+                hops += 1;
+            }
+            None => {
+                return RouteOutcome::Dropped {
+                    hops,
+                    stuck_at: current,
+                }
+            }
+        }
+    }
+    RouteOutcome::Delivered { hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_id::KeySpace;
+
+    /// A toy line overlay: node v's only neighbour is v+1. Useful to exercise
+    /// the driver without pulling in a real geometry.
+    struct LineOverlay {
+        space: KeySpace,
+        tables: Vec<Vec<NodeId>>,
+    }
+
+    impl LineOverlay {
+        fn new(bits: u32) -> Self {
+            let space = KeySpace::new(bits).unwrap();
+            let tables = space
+                .iter_ids()
+                .map(|node| {
+                    if node.value() + 1 <= space.max_value() {
+                        vec![space.wrap(node.value() + 1)]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            LineOverlay { space, tables }
+        }
+    }
+
+    impl Overlay for LineOverlay {
+        fn geometry_name(&self) -> &'static str {
+            "line"
+        }
+        fn key_space(&self) -> KeySpace {
+            self.space
+        }
+        fn neighbors(&self, node: NodeId) -> &[NodeId] {
+            &self.tables[node.value() as usize]
+        }
+        fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+            self.neighbors(current)
+                .iter()
+                .copied()
+                .find(|&n| alive.is_alive(n) && n.value() <= target.value())
+        }
+    }
+
+    #[test]
+    fn delivers_along_the_line() {
+        let overlay = LineOverlay::new(4);
+        let mask = FailureMask::none(overlay.key_space());
+        let outcome = route(&overlay, overlay.space.wrap(2), overlay.space.wrap(9), &mask);
+        assert_eq!(outcome, RouteOutcome::Delivered { hops: 7 });
+        assert!(outcome.is_delivered());
+        assert_eq!(outcome.hops(), Some(7));
+    }
+
+    #[test]
+    fn self_route_takes_zero_hops() {
+        let overlay = LineOverlay::new(4);
+        let mask = FailureMask::none(overlay.key_space());
+        let node = overlay.space.wrap(5);
+        assert_eq!(route(&overlay, node, node, &mask), RouteOutcome::Delivered { hops: 0 });
+    }
+
+    #[test]
+    fn source_and_target_failures_are_reported() {
+        let overlay = LineOverlay::new(4);
+        let space = overlay.key_space();
+        let mask = FailureMask::from_failed_nodes(space, [space.wrap(3), space.wrap(12)]);
+        assert_eq!(
+            route(&overlay, space.wrap(3), space.wrap(9), &mask),
+            RouteOutcome::SourceFailed
+        );
+        assert_eq!(
+            route(&overlay, space.wrap(1), space.wrap(12), &mask),
+            RouteOutcome::TargetFailed
+        );
+    }
+
+    #[test]
+    fn drop_reports_the_stuck_node() {
+        let overlay = LineOverlay::new(4);
+        let space = overlay.key_space();
+        // Failing node 6 cuts every path from below 6 to above 6.
+        let mask = FailureMask::from_failed_nodes(space, [space.wrap(6)]);
+        match route(&overlay, space.wrap(2), space.wrap(10), &mask) {
+            RouteOutcome::Dropped { hops, stuck_at } => {
+                assert_eq!(stuck_at, space.wrap(5));
+                assert_eq!(hops, 3);
+            }
+            other => panic!("expected a drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hop_limit_is_enforced() {
+        let overlay = LineOverlay::new(4);
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        assert_eq!(
+            route_with_limit(&overlay, space.wrap(0), space.wrap(15), &mask, 5),
+            RouteOutcome::HopLimitExceeded { limit: 5 }
+        );
+    }
+
+    #[test]
+    fn outcome_round_trips_through_serde() {
+        let space = KeySpace::new(4).unwrap();
+        let outcome = RouteOutcome::Dropped {
+            hops: 3,
+            stuck_at: space.wrap(7),
+        };
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: RouteOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(outcome, back);
+    }
+}

@@ -1,0 +1,272 @@
+//! The Symphony-style small-world overlay (§3.5 of the paper).
+
+use crate::failure::FailureMask;
+use crate::traits::{validate_bits, Overlay, OverlayError};
+use dht_id::{distance::ring_distance, KeySpace, NodeId};
+use rand::Rng;
+
+/// A one-dimensional small-world overlay in the style of Symphony.
+///
+/// Every node keeps `k_n` near neighbours (its immediate clockwise
+/// successors) and `k_s` long-range shortcuts whose clockwise distance is
+/// drawn from the harmonic distribution `P(distance = x) ∝ 1/x` — Kleinberg's
+/// exponent for a 1-D small world, which is what gives Symphony its
+/// `O(log^2 N)` expected path length.
+///
+/// Routing is greedy on the clockwise distance and never overshoots the
+/// target; when all of a node's connections have failed the message is
+/// dropped.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_overlay::{Overlay, SymphonyOverlay};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(4);
+/// let overlay = SymphonyOverlay::build(10, 1, 1, &mut rng)?;
+/// assert_eq!(overlay.neighbors(overlay.key_space().wrap(0)).len(), 2);
+/// # Ok::<(), dht_overlay::OverlayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymphonyOverlay {
+    space: KeySpace,
+    near_neighbors: u32,
+    shortcuts: u32,
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl SymphonyOverlay {
+    /// Builds the fully populated small-world overlay with `near_neighbors`
+    /// clockwise successors and `shortcuts` harmonic shortcuts per node.
+    ///
+    /// # Errors
+    ///
+    /// * [`OverlayError::UnsupportedBits`] if `bits` is zero or larger than
+    ///   [`crate::traits::MAX_OVERLAY_BITS`].
+    /// * [`OverlayError::InvalidParameter`] if either connection count is
+    ///   zero, or `near_neighbors >= 2^bits`.
+    pub fn build<R: Rng + ?Sized>(
+        bits: u32,
+        near_neighbors: u32,
+        shortcuts: u32,
+        rng: &mut R,
+    ) -> Result<Self, OverlayError> {
+        let space = validate_bits(bits)?;
+        if near_neighbors == 0 || shortcuts == 0 {
+            return Err(OverlayError::InvalidParameter {
+                message: format!(
+                    "Symphony needs at least one near neighbour and one shortcut, got k_n={near_neighbors}, k_s={shortcuts}"
+                ),
+            });
+        }
+        if u64::from(near_neighbors) >= space.population() {
+            return Err(OverlayError::InvalidParameter {
+                message: format!(
+                    "{near_neighbors} near neighbours do not fit a population of {}",
+                    space.population()
+                ),
+            });
+        }
+        let population = space.population();
+        let tables = space
+            .iter_ids()
+            .map(|node| {
+                let mut table: Vec<NodeId> = (1..=u64::from(near_neighbors))
+                    .map(|step| space.wrap(node.value().wrapping_add(step)))
+                    .collect();
+                for _ in 0..shortcuts {
+                    let distance = harmonic_distance(population, rng);
+                    table.push(space.wrap(node.value().wrapping_add(distance)));
+                }
+                table
+            })
+            .collect();
+        Ok(SymphonyOverlay {
+            space,
+            near_neighbors,
+            shortcuts,
+            tables,
+        })
+    }
+
+    /// Number of near neighbours per node (`k_n`).
+    #[must_use]
+    pub fn near_neighbors(&self) -> u32 {
+        self.near_neighbors
+    }
+
+    /// Number of shortcuts per node (`k_s`).
+    #[must_use]
+    pub fn shortcuts(&self) -> u32 {
+        self.shortcuts
+    }
+}
+
+/// Draws a clockwise distance in `[1, population)` from the harmonic
+/// distribution `P(x) ∝ 1/x` using inverse-transform sampling on the
+/// continuous approximation `x = e^{U·ln population}`.
+fn harmonic_distance<R: Rng + ?Sized>(population: u64, rng: &mut R) -> u64 {
+    let ln_n = (population as f64).ln();
+    let sample = (rng.gen::<f64>() * ln_n).exp();
+    // Clamp into [1, population - 1] to stay on the ring.
+    (sample.floor() as u64).clamp(1, population - 1)
+}
+
+impl Overlay for SymphonyOverlay {
+    fn geometry_name(&self) -> &'static str {
+        "symphony"
+    }
+
+    fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.tables[node.value() as usize]
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        let remaining = ring_distance(current, target);
+        self.neighbors(current)
+            .iter()
+            .copied()
+            .filter(|&n| {
+                alive.is_alive(n) && {
+                    let advance = ring_distance(current, n);
+                    advance > 0 && advance <= remaining
+                }
+            })
+            .min_by_key(|&n| ring_distance(n, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{route, RouteOutcome};
+    use dht_mathkit::RunningStats;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(bits: u32, kn: u32, ks: u32, seed: u64) -> SymphonyOverlay {
+        SymphonyOverlay::build(bits, kn, ks, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn table_sizes_match_parameters() {
+        let overlay = build(10, 2, 3, 1);
+        let space = overlay.key_space();
+        assert_eq!(overlay.near_neighbors(), 2);
+        assert_eq!(overlay.shortcuts(), 3);
+        for node in space.iter_ids().step_by(57) {
+            assert_eq!(overlay.neighbors(node).len(), 5);
+        }
+    }
+
+    #[test]
+    fn near_neighbors_are_the_immediate_successors() {
+        let overlay = build(8, 3, 1, 2);
+        let space = overlay.key_space();
+        let node = space.wrap(250);
+        let neighbors = overlay.neighbors(node);
+        assert_eq!(neighbors[0], space.wrap(251));
+        assert_eq!(neighbors[1], space.wrap(252));
+        assert_eq!(neighbors[2], space.wrap(253));
+    }
+
+    #[test]
+    fn shortcut_distances_follow_a_heavy_tail() {
+        // The harmonic distribution has roughly uniform mass per distance
+        // octave, so ln(distance) should be roughly uniform on [0, ln N).
+        let overlay = build(14, 1, 1, 3);
+        let space = overlay.key_space();
+        let mut stats = RunningStats::new();
+        for node in space.iter_ids() {
+            let shortcut = overlay.neighbors(node)[1];
+            stats.push((ring_distance(node, shortcut) as f64).ln());
+        }
+        let ln_n = (space.population() as f64).ln();
+        let expected_mean = ln_n / 2.0;
+        assert!(
+            (stats.mean() - expected_mean).abs() < 0.35,
+            "mean ln-distance {} vs expected {expected_mean}",
+            stats.mean()
+        );
+        assert!(stats.max() > ln_n * 0.8, "no long shortcuts were drawn");
+    }
+
+    #[test]
+    fn perfect_network_always_delivers() {
+        let overlay = build(10, 1, 1, 4);
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..100 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            assert!(
+                route(&overlay, source, target, &mask).is_delivered(),
+                "greedy ring routing cannot fail without failures"
+            );
+        }
+    }
+
+    #[test]
+    fn path_length_scales_like_log_squared() {
+        // O(log^2 N / k_s) expected hops: for N = 2^12 and k_s = 1 that is on
+        // the order of 100 hops; with k_s = 4 it drops well below that.
+        let sparse = build(12, 1, 1, 5);
+        let dense = build(12, 1, 4, 5);
+        let space = sparse.key_space();
+        let mask = FailureMask::none(space);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut sparse_hops = RunningStats::new();
+        let mut dense_hops = RunningStats::new();
+        for _ in 0..300 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            if let RouteOutcome::Delivered { hops } = route(&sparse, source, target, &mask) {
+                sparse_hops.push(f64::from(hops));
+            }
+            if let RouteOutcome::Delivered { hops } = route(&dense, source, target, &mask) {
+                dense_hops.push(f64::from(hops));
+            }
+        }
+        assert!(sparse_hops.mean() > dense_hops.mean());
+        assert!(
+            sparse_hops.mean() < 12.0 * 12.0,
+            "expected O(log^2 N) hops, got {}",
+            sparse_hops.mean()
+        );
+    }
+
+    #[test]
+    fn drops_when_all_connections_of_a_node_fail() {
+        let overlay = build(8, 1, 1, 7);
+        let space = overlay.key_space();
+        let source = space.wrap(10);
+        let target = space.wrap(200);
+        // Fail every neighbour of the source: the very first hop has nowhere
+        // to go.
+        let mask = FailureMask::from_failed_nodes(space, overlay.neighbors(source).to_vec());
+        match route(&overlay, source, target, &mask) {
+            RouteOutcome::Dropped { hops: 0, stuck_at } => assert_eq!(stuck_at, source),
+            RouteOutcome::TargetFailed => {
+                // Possible if a neighbour of the source happens to be the target.
+                assert!(overlay.neighbors(source).contains(&target));
+            }
+            other => panic!("expected an immediate drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(SymphonyOverlay::build(8, 0, 1, &mut rng).is_err());
+        assert!(SymphonyOverlay::build(8, 1, 0, &mut rng).is_err());
+        assert!(SymphonyOverlay::build(2, 4, 1, &mut rng).is_err());
+        assert!(SymphonyOverlay::build(0, 1, 1, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`Overlay`] abstraction shared by the five executable DHTs.
+
+use crate::failure::FailureMask;
+use dht_id::{KeySpace, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while building or querying an overlay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlayError {
+    /// The identifier length is outside the supported range.
+    ///
+    /// Overlays materialise every node of the fully populated space, so the
+    /// practical ceiling is well below the 64-bit limit of [`dht_id`].
+    UnsupportedBits {
+        /// The rejected identifier length.
+        bits: u32,
+        /// The largest supported identifier length for this overlay.
+        max_bits: u32,
+    },
+    /// A node identifier does not belong to the overlay's key space.
+    UnknownNode {
+        /// The offending identifier value.
+        value: u64,
+    },
+    /// A protocol parameter was invalid (e.g. zero Symphony shortcuts).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::UnsupportedBits { bits, max_bits } => write!(
+                f,
+                "overlay construction supports at most {max_bits}-bit identifier spaces, got {bits}"
+            ),
+            OverlayError::UnknownNode { value } => {
+                write!(f, "node {value} does not belong to this overlay")
+            }
+            OverlayError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// Largest identifier length an executable overlay will materialise.
+///
+/// `2^22` nodes with ~22 neighbours each is roughly 700 MB of routing state;
+/// anything larger belongs to the analytical crates, not a simulator.
+pub const MAX_OVERLAY_BITS: u32 = 22;
+
+/// An executable DHT overlay over a fully populated identifier space.
+///
+/// Implementors expose their routing table ([`Overlay::neighbors`]) and their
+/// greedy forwarding rule ([`Overlay::next_hop`]); the free function
+/// [`crate::route`] drives the latter hop by hop under a frozen
+/// [`FailureMask`].
+pub trait Overlay {
+    /// Short name of the routing geometry (matches the analytical crate),
+    /// e.g. `"xor"`.
+    fn geometry_name(&self) -> &'static str;
+
+    /// The identifier space the overlay populates.
+    fn key_space(&self) -> KeySpace;
+
+    /// Number of nodes (always the full population `2^d`).
+    fn node_count(&self) -> u64 {
+        self.key_space().population()
+    }
+
+    /// The routing-table entries of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `node` does not belong to the overlay's
+    /// key space; use [`KeySpace::wrap`] or validated construction upstream.
+    fn neighbors(&self, node: NodeId) -> &[NodeId];
+
+    /// The greedy next hop from `current` towards `target`, honouring the
+    /// protocol's own notion of progress, restricted to alive neighbours.
+    ///
+    /// Returns `None` when no alive neighbour makes progress — under the
+    /// static-resilience model the message is then dropped (no backtracking,
+    /// §4.1 of the paper).
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId>;
+
+    /// Total number of directed routing-table entries in the overlay.
+    fn edge_count(&self) -> u64 {
+        let space = self.key_space();
+        space
+            .iter_ids()
+            .map(|node| self.neighbors(node).len() as u64)
+            .sum()
+    }
+}
+
+/// Validates an identifier length against [`MAX_OVERLAY_BITS`].
+pub(crate) fn validate_bits(bits: u32) -> Result<KeySpace, OverlayError> {
+    if bits == 0 || bits > MAX_OVERLAY_BITS {
+        return Err(OverlayError::UnsupportedBits {
+            bits,
+            max_bits: MAX_OVERLAY_BITS,
+        });
+    }
+    KeySpace::new(bits).map_err(|_| OverlayError::UnsupportedBits {
+        bits,
+        max_bits: MAX_OVERLAY_BITS,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_bits_accepts_reasonable_sizes() {
+        assert!(validate_bits(1).is_ok());
+        assert!(validate_bits(16).is_ok());
+        assert!(validate_bits(MAX_OVERLAY_BITS).is_ok());
+    }
+
+    #[test]
+    fn validate_bits_rejects_extremes() {
+        assert_eq!(
+            validate_bits(0),
+            Err(OverlayError::UnsupportedBits {
+                bits: 0,
+                max_bits: MAX_OVERLAY_BITS
+            })
+        );
+        assert!(validate_bits(MAX_OVERLAY_BITS + 1).is_err());
+        assert!(validate_bits(64).is_err());
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let err = OverlayError::UnsupportedBits {
+            bits: 40,
+            max_bits: 22,
+        };
+        assert!(err.to_string().contains("40"));
+        assert!(err.to_string().contains("22"));
+        let err = OverlayError::InvalidParameter {
+            message: "shortcuts must be positive".into(),
+        };
+        assert!(err.to_string().contains("shortcuts"));
+    }
+}

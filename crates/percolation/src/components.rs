@@ -1,0 +1,208 @@
+//! Connected components of the surviving overlay graph.
+
+use crate::union_find::UnionFind;
+use dht_id::NodeId;
+use dht_overlay::{FailureMask, Overlay};
+
+/// The component structure of an overlay restricted to surviving nodes.
+///
+/// Routing-table edges are treated as undirected for this analysis: if either
+/// endpoint can name the other, the pair is "connected" in the percolation
+/// sense, which is the most generous notion of connectivity and therefore the
+/// cleanest upper bound on what any routing protocol could reach.
+#[derive(Debug, Clone)]
+pub struct ComponentStructure {
+    /// Component label per node; `None` for failed nodes.
+    component_of: Vec<Option<u32>>,
+    /// Size of each component, indexed by label.
+    component_sizes: Vec<u64>,
+    alive_count: u64,
+}
+
+impl ComponentStructure {
+    /// Size of the component containing `node`, or `None` if the node failed.
+    #[must_use]
+    pub fn component_size(&self, node: NodeId) -> Option<u64> {
+        self.component_of[node.value() as usize].map(|label| self.component_sizes[label as usize])
+    }
+
+    /// Returns `true` if both nodes survived and lie in the same component.
+    #[must_use]
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        match (
+            self.component_of[a.value() as usize],
+            self.component_of[b.value() as usize],
+        ) {
+            (Some(la), Some(lb)) => la == lb,
+            _ => false,
+        }
+    }
+
+    /// Number of distinct surviving components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.component_sizes.len()
+    }
+
+    /// Size of the largest surviving component.
+    #[must_use]
+    pub fn largest_component_size(&self) -> u64 {
+        self.component_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest component size as a fraction of the surviving nodes
+    /// (0 when nothing survived).
+    #[must_use]
+    pub fn giant_component_fraction(&self) -> f64 {
+        if self.alive_count == 0 {
+            0.0
+        } else {
+            self.largest_component_size() as f64 / self.alive_count as f64
+        }
+    }
+
+    /// Number of surviving nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> u64 {
+        self.alive_count
+    }
+}
+
+/// Computes the connected components of `overlay` under `mask`.
+///
+/// # Panics
+///
+/// Panics if the overlay and mask cover different key spaces.
+#[must_use]
+pub fn connected_components<O>(overlay: &O, mask: &FailureMask) -> ComponentStructure
+where
+    O: Overlay + ?Sized,
+{
+    let space = overlay.key_space();
+    assert_eq!(
+        space.bits(),
+        mask.key_space().bits(),
+        "overlay and failure mask cover different key spaces"
+    );
+    let population = space.population() as usize;
+    let mut union_find = UnionFind::new(population);
+    let mut alive = vec![false; population];
+    for node in mask.alive_nodes() {
+        alive[node.value() as usize] = true;
+    }
+    for node in space.iter_ids() {
+        if !alive[node.value() as usize] {
+            continue;
+        }
+        for &neighbor in overlay.neighbors(node) {
+            if alive[neighbor.value() as usize] {
+                union_find.union(node.value() as usize, neighbor.value() as usize);
+            }
+        }
+    }
+    // Finalise the union-find into dense component labels restricted to alive
+    // nodes, so later queries are O(1) and immutable.
+    let mut component_of = vec![None; population];
+    let mut label_of_root: Vec<Option<u32>> = vec![None; population];
+    let mut component_sizes = Vec::new();
+    for index in 0..population {
+        if !alive[index] {
+            continue;
+        }
+        let root = union_find.find(index);
+        let label = match label_of_root[root] {
+            Some(label) => label,
+            None => {
+                let label = component_sizes.len() as u32;
+                label_of_root[root] = Some(label);
+                component_sizes.push(0u64);
+                label
+            }
+        };
+        component_of[index] = Some(label);
+        component_sizes[label as usize] += 1;
+    }
+    ComponentStructure {
+        component_of,
+        component_sizes,
+        alive_count: mask.alive_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_overlay::CanOverlay;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn intact_overlay_is_one_component() {
+        let overlay = CanOverlay::build(6).unwrap();
+        let mask = FailureMask::none(overlay.key_space());
+        let components = connected_components(&overlay, &mask);
+        assert_eq!(components.largest_component_size(), 64);
+        assert_eq!(components.giant_component_fraction(), 1.0);
+        assert_eq!(components.component_count(), 1);
+        let space = overlay.key_space();
+        assert!(components.same_component(space.wrap(0), space.wrap(63)));
+        assert_eq!(components.component_size(space.wrap(5)), Some(64));
+    }
+
+    #[test]
+    fn failed_nodes_are_outside_every_component() {
+        let overlay = CanOverlay::build(5).unwrap();
+        let space = overlay.key_space();
+        let mask = FailureMask::from_failed_nodes(space, [space.wrap(7)]);
+        let components = connected_components(&overlay, &mask);
+        assert_eq!(components.component_size(space.wrap(7)), None);
+        assert!(!components.same_component(space.wrap(7), space.wrap(6)));
+        assert_eq!(components.alive_count(), 31);
+        assert_eq!(components.largest_component_size(), 31);
+    }
+
+    #[test]
+    fn moderate_failure_keeps_a_giant_component() {
+        // The hypercube's percolation threshold is far above q = 0.3, so the
+        // surviving graph should stay essentially fully connected.
+        let overlay = CanOverlay::build(10).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut rng);
+        let components = connected_components(&overlay, &mask);
+        assert!(components.giant_component_fraction() > 0.95);
+    }
+
+    #[test]
+    fn extreme_failure_fragments_the_graph() {
+        let overlay = CanOverlay::build(10).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mask = FailureMask::sample(overlay.key_space(), 0.95, &mut rng);
+        let components = connected_components(&overlay, &mask);
+        assert!(
+            components.giant_component_fraction() < 0.5,
+            "fraction = {}",
+            components.giant_component_fraction()
+        );
+        assert!(components.component_count() > 1);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_alive_count() {
+        let overlay = CanOverlay::build(9).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mask = FailureMask::sample(overlay.key_space(), 0.6, &mut rng);
+        let components = connected_components(&overlay, &mask);
+        let total: u64 = overlay
+            .key_space()
+            .iter_ids()
+            .filter_map(|node| components.component_size(node))
+            .sum();
+        // Summing per-node sizes counts each component size times its member
+        // count; instead verify via the distinct-label invariant.
+        assert!(total >= components.alive_count());
+        assert_eq!(
+            components.component_sizes.iter().sum::<u64>(),
+            components.alive_count()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Connectivity, reachable components and percolation thresholds for DHT
+//! overlays.
+//!
+//! Section 1 of the RCM paper contrasts *routability* with plain graph
+//! connectivity: percolation theory predicts when the overlay fragments, but
+//! "all pairs belonging to the same connected component need not be reachable
+//! under failure" because the routing protocol constrains which edges a
+//! message may use. This crate provides the connectivity side of that
+//! comparison:
+//!
+//! * [`UnionFind`] and [`connected_components`] — component structure of the
+//!   surviving overlay graph (edges used in either direction);
+//! * [`reachable_component`] — the set of destinations a root can actually
+//!   route to, which is always a subset of its connected component;
+//! * [`percolation_threshold`] — a bisection estimate of the failure
+//!   probability at which the giant component collapses, i.e. `1 − p_c`.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dht_overlay::{CanOverlay, FailureMask, Overlay};
+//! use dht_percolation::{connected_components, reachable_component};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let overlay = CanOverlay::build(8)?;
+//! let mut rng = ChaCha8Rng::seed_from_u64(3);
+//! let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut rng);
+//! let components = connected_components(&overlay, &mask);
+//! let root = mask.alive_nodes().next().unwrap();
+//! let reachable = reachable_component(&overlay, root, &mask);
+//! // The reachable component never exceeds the connected component.
+//! assert!(reachable.len() as u64 <= components.component_size(root).unwrap());
+//! # Ok::<(), dht_overlay::OverlayError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod components;
+pub mod reachable;
+pub mod threshold;
+pub mod union_find;
+
+pub use components::{connected_components, ComponentStructure};
+pub use reachable::{reachable_component, reachable_fraction};
+pub use threshold::{percolation_threshold, ThresholdEstimate};
+pub use union_find::UnionFind;

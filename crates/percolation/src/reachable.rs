@@ -1,0 +1,121 @@
+//! Reachable components: the set of destinations a root can actually route
+//! to, as opposed to the set it is merely connected to.
+
+use dht_id::NodeId;
+use dht_overlay::{route, FailureMask, Overlay};
+
+/// Computes the reachable component of `root`: every surviving node that the
+/// routing protocol actually delivers to from `root` under the frozen failure
+/// pattern (§4.1, step 1 of the paper).
+///
+/// The root itself is not included (matching `E[S]`, which counts *other*
+/// reachable nodes). The result is always a subset of the root's connected
+/// component.
+///
+/// # Panics
+///
+/// Panics if `root` does not belong to the overlay's key space.
+#[must_use]
+pub fn reachable_component<O>(overlay: &O, root: NodeId, mask: &FailureMask) -> Vec<NodeId>
+where
+    O: Overlay + ?Sized,
+{
+    if mask.is_failed(root) {
+        return Vec::new();
+    }
+    mask.alive_nodes()
+        .filter(|&destination| destination != root)
+        .filter(|&destination| route(overlay, root, destination, mask).is_delivered())
+        .collect()
+}
+
+/// The size of the root's reachable component divided by the number of other
+/// surviving nodes — the per-root analogue of routability.
+///
+/// Returns 0 when the root failed or no other node survived.
+#[must_use]
+pub fn reachable_fraction<O>(overlay: &O, root: NodeId, mask: &FailureMask) -> f64
+where
+    O: Overlay + ?Sized,
+{
+    let others = mask.alive_count().saturating_sub(1);
+    if others == 0 || mask.is_failed(root) {
+        return 0.0;
+    }
+    reachable_component(overlay, root, mask).len() as f64 / others as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use dht_overlay::{CanOverlay, KademliaOverlay, PlaxtonOverlay};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn intact_overlay_reaches_everyone() {
+        let overlay = CanOverlay::build(6).unwrap();
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        let root = space.wrap(21);
+        let reachable = reachable_component(&overlay, root, &mask);
+        assert_eq!(reachable.len(), 63);
+        assert!((reachable_fraction(&overlay, root, &mask) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_root_reaches_nothing() {
+        let overlay = CanOverlay::build(5).unwrap();
+        let space = overlay.key_space();
+        let root = space.wrap(3);
+        let mask = FailureMask::from_failed_nodes(space, [root]);
+        assert!(reachable_component(&overlay, root, &mask).is_empty());
+        assert_eq!(reachable_fraction(&overlay, root, &mask), 0.0);
+    }
+
+    #[test]
+    fn reachable_component_is_subset_of_connected_component() {
+        // The central observation of §1 of the paper, checked on the tree
+        // overlay where the gap is widest.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let overlay = PlaxtonOverlay::build(9, &mut rng).unwrap();
+        let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut rng);
+        let components = connected_components(&overlay, &mask);
+        let mut checked = 0;
+        for root in mask.alive_nodes().take(20) {
+            let reachable = reachable_component(&overlay, root, &mask);
+            let component = components.component_size(root).unwrap();
+            // +1 because the component size includes the root itself.
+            assert!(
+                (reachable.len() as u64) + 1 <= component,
+                "reachable {} vs component {component}",
+                reachable.len()
+            );
+            for destination in &reachable {
+                assert!(components.same_component(root, *destination));
+            }
+            checked += 1;
+        }
+        assert_eq!(checked, 20);
+    }
+
+    #[test]
+    fn xor_reaches_more_than_tree_under_identical_failures() {
+        let seed = 7;
+        let tree = PlaxtonOverlay::build(9, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let xor = KademliaOverlay::build(9, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mask = FailureMask::sample(tree.key_space(), 0.3, &mut rng);
+        let mut tree_total = 0usize;
+        let mut xor_total = 0usize;
+        for root in mask.alive_nodes().take(30) {
+            tree_total += reachable_component(&tree, root, &mask).len();
+            xor_total += reachable_component(&xor, root, &mask).len();
+        }
+        assert!(
+            xor_total > tree_total,
+            "XOR fallback routing should reach more nodes: {xor_total} vs {tree_total}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Percolation-threshold estimation.
+//!
+//! §1 of the paper invokes site percolation: once the failure probability
+//! exceeds `1 − p_c` the overlay fragments and routability necessarily goes
+//! to zero. This module estimates that critical failure probability for an
+//! executable overlay by bisection on the giant-component fraction.
+
+use crate::components::connected_components;
+use dht_overlay::{FailureMask, Overlay};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of a percolation-threshold estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdEstimate {
+    /// Estimated critical failure probability `q_c = 1 − p_c`: below it a
+    /// giant component persists, above it the graph fragments.
+    pub critical_failure_probability: f64,
+    /// Giant-component fraction threshold used as the fragmentation criterion.
+    pub fraction_threshold: f64,
+    /// Number of bisection iterations performed.
+    pub iterations: u32,
+    /// Trials averaged per probed point.
+    pub trials: u32,
+}
+
+/// Estimates the critical failure probability of `overlay` by bisection.
+///
+/// A point `q` is considered "still percolating" when the average
+/// giant-component fraction over `trials` independent failure patterns is at
+/// least `fraction_threshold` (0.5 is the customary choice for finite
+/// systems). The bisection runs for `iterations` steps, giving a resolution
+/// of `2^{-iterations}`.
+///
+/// # Panics
+///
+/// Panics if `fraction_threshold` is not in `(0, 1)`, or `trials` or
+/// `iterations` is zero.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_overlay::CanOverlay;
+/// use dht_percolation::percolation_threshold;
+///
+/// let overlay = CanOverlay::build(10)?;
+/// let estimate = percolation_threshold(&overlay, 0.5, 12, 3, 42);
+/// // A 10-dimensional hypercube stays connected well past 50% failures.
+/// assert!(estimate.critical_failure_probability > 0.5);
+/// # Ok::<(), dht_overlay::OverlayError>(())
+/// ```
+#[must_use]
+pub fn percolation_threshold<O>(
+    overlay: &O,
+    fraction_threshold: f64,
+    iterations: u32,
+    trials: u32,
+    seed: u64,
+) -> ThresholdEstimate
+where
+    O: Overlay + ?Sized,
+{
+    assert!(
+        fraction_threshold > 0.0 && fraction_threshold < 1.0,
+        "fraction threshold must be in (0, 1)"
+    );
+    assert!(iterations > 0, "at least one bisection iteration is required");
+    assert!(trials > 0, "at least one trial per point is required");
+
+    let percolates = |q: f64, salt: u64| -> bool {
+        let mut total = 0.0;
+        for trial in 0..trials {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ (salt.wrapping_mul(0x9E37_79B9)) ^ u64::from(trial));
+            let mask = FailureMask::sample(overlay.key_space(), q, &mut rng);
+            total += connected_components(overlay, &mask).giant_component_fraction();
+        }
+        total / f64::from(trials) >= fraction_threshold
+    };
+
+    let mut low = 0.0f64; // known (or assumed) percolating
+    let mut high = 1.0f64; // known fragmented (everything failed)
+    for iteration in 0..iterations {
+        let mid = (low + high) / 2.0;
+        if percolates(mid, u64::from(iteration) + 1) {
+            low = mid;
+        } else {
+            high = mid;
+        }
+    }
+    ThresholdEstimate {
+        critical_failure_probability: (low + high) / 2.0,
+        fraction_threshold,
+        iterations,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_overlay::{CanOverlay, SymphonyOverlay};
+
+    #[test]
+    fn hypercube_threshold_is_high() {
+        let overlay = CanOverlay::build(10).unwrap();
+        let estimate = percolation_threshold(&overlay, 0.5, 10, 2, 7);
+        assert!(
+            estimate.critical_failure_probability > 0.5,
+            "got {}",
+            estimate.critical_failure_probability
+        );
+        assert!(estimate.critical_failure_probability < 1.0);
+        assert_eq!(estimate.iterations, 10);
+    }
+
+    #[test]
+    fn sparse_symphony_fragments_earlier_than_the_hypercube() {
+        // A ring with one successor and one shortcut (degree ~2 out-edges,
+        // ~4 undirected) falls apart at a much lower failure rate than a
+        // 10-regular hypercube.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let symphony = SymphonyOverlay::build(10, 1, 1, &mut rng).unwrap();
+        let hypercube = CanOverlay::build(10).unwrap();
+        let symphony_estimate = percolation_threshold(&symphony, 0.5, 8, 2, 11);
+        let hypercube_estimate = percolation_threshold(&hypercube, 0.5, 8, 2, 11);
+        assert!(
+            symphony_estimate.critical_failure_probability
+                < hypercube_estimate.critical_failure_probability
+        );
+    }
+
+    #[test]
+    fn estimates_are_reproducible() {
+        let overlay = CanOverlay::build(8).unwrap();
+        let a = percolation_threshold(&overlay, 0.5, 8, 2, 5);
+        let b = percolation_threshold(&overlay, 0.5, 8, 2, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction threshold")]
+    fn rejects_invalid_threshold() {
+        let overlay = CanOverlay::build(4).unwrap();
+        let _ = percolation_threshold(&overlay, 1.5, 4, 1, 0);
+    }
+}

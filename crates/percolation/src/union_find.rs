@@ -1,0 +1,174 @@
+//! Disjoint-set (union–find) structure with path compression and union by
+//! size.
+
+/// A disjoint-set forest over `n` elements identified by index.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_percolation::UnionFind;
+///
+/// let mut uf = UnionFind::new(5);
+/// uf.union(0, 1);
+/// uf.union(3, 4);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 3));
+/// assert_eq!(uf.component_size(4), 2);
+/// assert_eq!(uf.component_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton components.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x`'s component (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut current = x;
+        while self.parent[current] != root {
+            let next = self.parent[current];
+            self.parent[current] = root;
+            current = next;
+        }
+        root
+    }
+
+    /// Merges the components of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let mut root_a = self.find(a);
+        let mut root_b = self.find(b);
+        if root_a == root_b {
+            return false;
+        }
+        if self.size[root_a] < self.size[root_b] {
+            std::mem::swap(&mut root_a, &mut root_b);
+        }
+        self.parent[root_b] = root_a;
+        self.size[root_a] += self.size[root_b];
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the component containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+
+    /// Size of the largest component (0 for an empty structure).
+    #[must_use]
+    pub fn largest_component_size(&self) -> usize {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(index, &parent)| index == parent)
+            .map(|(index, _)| self.size[index])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_construction() {
+        let uf = UnionFind::new(4);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.component_count(), 4);
+        assert_eq!(uf.largest_component_size(), 1);
+        assert!(!uf.is_empty());
+        assert!(UnionFind::new(0).is_empty());
+    }
+
+    #[test]
+    fn unions_merge_components() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.component_count(), 4);
+        assert_eq!(uf.component_size(2), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 5));
+    }
+
+    #[test]
+    fn largest_component_tracks_merges() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..4 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.largest_component_size(), 5);
+        for i in 6..9 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.largest_component_size(), 5);
+        uf.union(4, 6);
+        assert_eq!(uf.largest_component_size(), 9);
+    }
+
+    #[test]
+    fn find_is_idempotent_and_consistent() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..100 {
+            assert_eq!(uf.find(i), root);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.component_size(42), 100);
+    }
+}

@@ -1,0 +1,245 @@
+//! A simple churn extension of the static model.
+//!
+//! The paper analyses a *static* failure pattern and notes that the
+//! applicability of the results to dynamic conditions (churn) "is currently
+//! under study" (§1). This module provides the natural simulation-side
+//! extension: nodes toggle between alive and failed over a sequence of
+//! rounds while routing tables stay frozen, and routability is measured per
+//! round. It is exercised by the `churn_timeline` example and by tests; no
+//! figure of the paper depends on it.
+
+use crate::config::SimError;
+use crate::pair_sampler::PairSampler;
+use crate::rng::SeedSequence;
+use dht_overlay::{route, FailureMask, Overlay};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a churn simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Probability that an alive node fails during one round.
+    pub failure_rate: f64,
+    /// Probability that a failed node recovers during one round.
+    pub recovery_rate: f64,
+    /// Number of rounds to simulate.
+    pub rounds: u32,
+    /// Pairs sampled per round.
+    pub pairs_per_round: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// Creates a churn configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfiguration`] if either rate is outside
+    /// `[0, 1]` or `rounds == 0`.
+    pub fn new(failure_rate: f64, recovery_rate: f64, rounds: u32) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&failure_rate) || failure_rate.is_nan() {
+            return Err(SimError::InvalidConfiguration {
+                message: format!("failure rate must lie in [0, 1], got {failure_rate}"),
+            });
+        }
+        if !(0.0..=1.0).contains(&recovery_rate) || recovery_rate.is_nan() {
+            return Err(SimError::InvalidConfiguration {
+                message: format!("recovery rate must lie in [0, 1], got {recovery_rate}"),
+            });
+        }
+        if rounds == 0 {
+            return Err(SimError::InvalidConfiguration {
+                message: "a churn simulation needs at least one round".into(),
+            });
+        }
+        Ok(ChurnConfig {
+            failure_rate,
+            recovery_rate,
+            rounds,
+            pairs_per_round: 2_000,
+            seed: 0,
+        })
+    }
+
+    /// Sets the number of pairs sampled per round.
+    #[must_use]
+    pub fn with_pairs_per_round(mut self, pairs: u64) -> Self {
+        self.pairs_per_round = pairs.max(1);
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The long-run fraction of failed nodes this churn process converges to,
+    /// `failure_rate / (failure_rate + recovery_rate)`.
+    #[must_use]
+    pub fn stationary_failure_fraction(&self) -> f64 {
+        if self.failure_rate + self.recovery_rate == 0.0 {
+            0.0
+        } else {
+            self.failure_rate / (self.failure_rate + self.recovery_rate)
+        }
+    }
+}
+
+/// Routability measured in one churn round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnRound {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Fraction of nodes failed at measurement time.
+    pub failed_fraction: f64,
+    /// Measured routability among survivors for this round.
+    pub routability: f64,
+    /// Pairs attempted this round.
+    pub pairs_attempted: u64,
+}
+
+/// Runs a churn simulation on an overlay with frozen routing tables.
+#[derive(Debug, Clone)]
+pub struct ChurnExperiment {
+    config: ChurnConfig,
+}
+
+impl ChurnExperiment {
+    /// Creates a churn experiment runner.
+    #[must_use]
+    pub fn new(config: ChurnConfig) -> Self {
+        ChurnExperiment { config }
+    }
+
+    /// The configuration this runner executes.
+    #[must_use]
+    pub fn config(&self) -> &ChurnConfig {
+        &self.config
+    }
+
+    /// Simulates the churn process and measures routability each round.
+    pub fn run<O>(&self, overlay: &O) -> Vec<ChurnRound>
+    where
+        O: Overlay + ?Sized,
+    {
+        let space = overlay.key_space();
+        let seeds = SeedSequence::new(self.config.seed);
+        let mut churn_rng = seeds.child_rng(0);
+        let mut pair_rng = seeds.child_rng(1);
+        let mut mask = FailureMask::none(space);
+        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+
+        for round in 0..self.config.rounds {
+            // Evolve the alive/failed state of every node by one round.
+            let mut next = FailureMask::none(space);
+            for node in space.iter_ids() {
+                let currently_failed = mask.is_failed(node);
+                let fails_now = if currently_failed {
+                    !churn_rng.gen_bool(self.config.recovery_rate)
+                } else {
+                    churn_rng.gen_bool(self.config.failure_rate)
+                };
+                if fails_now {
+                    next.fail_node(node);
+                }
+            }
+            mask = next;
+
+            let failed_fraction = mask.failed_count() as f64 / space.population() as f64;
+            let (routability, attempted) = match PairSampler::new(&mask) {
+                Some(sampler) => {
+                    let mut delivered = 0u64;
+                    let pairs = sampler.sample_many(self.config.pairs_per_round, &mut pair_rng);
+                    for (source, target) in &pairs {
+                        if route(overlay, *source, *target, &mask).is_delivered() {
+                            delivered += 1;
+                        }
+                    }
+                    (delivered as f64 / pairs.len() as f64, pairs.len() as u64)
+                }
+                None => (0.0, 0),
+            };
+            rounds.push(ChurnRound {
+                round,
+                failed_fraction,
+                routability,
+                pairs_attempted: attempted,
+            });
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_overlay::{CanOverlay, KademliaOverlay};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn configuration_is_validated() {
+        assert!(ChurnConfig::new(1.5, 0.5, 10).is_err());
+        assert!(ChurnConfig::new(0.5, -0.1, 10).is_err());
+        assert!(ChurnConfig::new(0.1, 0.5, 0).is_err());
+        let config = ChurnConfig::new(0.1, 0.3, 5).unwrap();
+        assert!((config.stationary_failure_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_reaches_the_stationary_failure_fraction() {
+        let overlay = CanOverlay::build(10).unwrap();
+        let config = ChurnConfig::new(0.2, 0.2, 30)
+            .unwrap()
+            .with_pairs_per_round(200)
+            .with_seed(4);
+        let rounds = ChurnExperiment::new(config).run(&overlay);
+        assert_eq!(rounds.len(), 30);
+        let late_average: f64 = rounds[20..].iter().map(|r| r.failed_fraction).sum::<f64>() / 10.0;
+        assert!(
+            (late_average - 0.5).abs() < 0.1,
+            "stationary fraction should be ~0.5, got {late_average}"
+        );
+    }
+
+    #[test]
+    fn zero_churn_keeps_perfect_routability() {
+        let overlay = CanOverlay::build(8).unwrap();
+        let config = ChurnConfig::new(0.0, 1.0, 5)
+            .unwrap()
+            .with_pairs_per_round(100)
+            .with_seed(1);
+        let rounds = ChurnExperiment::new(config).run(&overlay);
+        for round in rounds {
+            assert_eq!(round.failed_fraction, 0.0);
+            assert_eq!(round.routability, 1.0);
+        }
+    }
+
+    #[test]
+    fn routability_degrades_as_churn_accumulates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let overlay = KademliaOverlay::build(10, &mut rng).unwrap();
+        // Failure without recovery: the failed fraction ramps up over rounds
+        // and routability must fall accordingly.
+        let config = ChurnConfig::new(0.15, 0.0, 10)
+            .unwrap()
+            .with_pairs_per_round(500)
+            .with_seed(8);
+        let rounds = ChurnExperiment::new(config).run(&overlay);
+        assert!(rounds.last().unwrap().failed_fraction > rounds[0].failed_fraction);
+        assert!(rounds.last().unwrap().routability < rounds[0].routability);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let overlay = CanOverlay::build(8).unwrap();
+        let config = ChurnConfig::new(0.1, 0.2, 8).unwrap().with_seed(3);
+        let a = ChurnExperiment::new(config).run(&overlay);
+        let b = ChurnExperiment::new(config).run(&overlay);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sampling of source/destination pairs among surviving nodes.
+
+use dht_id::NodeId;
+use dht_overlay::FailureMask;
+use rand::Rng;
+
+/// Samples ordered source/destination pairs uniformly among the surviving
+/// nodes of a failure pattern.
+///
+/// Routability (Definition 1 of the paper) is a statement about ordered pairs
+/// of *surviving* nodes; the sampler therefore draws both endpoints from the
+/// alive set and never returns a pair with `source == target`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::KeySpace;
+/// use dht_overlay::FailureMask;
+/// use dht_sim::PairSampler;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let space = KeySpace::new(8)?;
+/// let mut rng = ChaCha8Rng::seed_from_u64(5);
+/// let mask = FailureMask::sample(space, 0.5, &mut rng);
+/// let sampler = PairSampler::new(&mask).expect("enough survivors");
+/// let (source, target) = sampler.sample(&mut rng);
+/// assert!(mask.is_alive(source) && mask.is_alive(target));
+/// assert_ne!(source, target);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PairSampler {
+    alive: Vec<NodeId>,
+}
+
+impl PairSampler {
+    /// Builds a sampler over the surviving nodes of `mask`.
+    ///
+    /// Returns `None` when fewer than two nodes survive (no pair exists).
+    #[must_use]
+    pub fn new(mask: &FailureMask) -> Option<Self> {
+        let alive: Vec<NodeId> = mask.alive_nodes().collect();
+        if alive.len() < 2 {
+            None
+        } else {
+            Some(PairSampler { alive })
+        }
+    }
+
+    /// Number of surviving nodes the sampler draws from.
+    #[must_use]
+    pub fn survivor_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Draws one ordered pair of distinct surviving nodes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (NodeId, NodeId) {
+        let source_index = rng.gen_range(0..self.alive.len());
+        // Draw the target from the remaining n-1 slots to guarantee
+        // distinctness without rejection loops.
+        let mut target_index = rng.gen_range(0..self.alive.len() - 1);
+        if target_index >= source_index {
+            target_index += 1;
+        }
+        (self.alive[source_index], self.alive[target_index])
+    }
+
+    /// Draws `count` ordered pairs.
+    pub fn sample_many<R: Rng + ?Sized>(&self, count: u64, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_id::KeySpace;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space(bits: u32) -> KeySpace {
+        KeySpace::new(bits).unwrap()
+    }
+
+    #[test]
+    fn samples_are_alive_and_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mask = FailureMask::sample(space(10), 0.4, &mut rng);
+        let sampler = PairSampler::new(&mask).unwrap();
+        for _ in 0..1000 {
+            let (source, target) = sampler.sample(&mut rng);
+            assert!(mask.is_alive(source));
+            assert!(mask.is_alive(target));
+            assert_ne!(source, target);
+        }
+    }
+
+    #[test]
+    fn survivor_count_matches_mask() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mask = FailureMask::sample(space(10), 0.25, &mut rng);
+        let sampler = PairSampler::new(&mask).unwrap();
+        assert_eq!(sampler.survivor_count() as u64, mask.alive_count());
+    }
+
+    #[test]
+    fn too_few_survivors_yields_none() {
+        let s = space(3);
+        // Fail everyone but node 0.
+        let mask = FailureMask::from_failed_nodes(s, (1..8).map(|v| s.wrap(v)));
+        assert!(PairSampler::new(&mask).is_none());
+        // Two survivors are enough.
+        let mask = FailureMask::from_failed_nodes(s, (2..8).map(|v| s.wrap(v)));
+        let sampler = PairSampler::new(&mask).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (a, b) = sampler.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sample_many_returns_requested_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mask = FailureMask::sample(space(8), 0.1, &mut rng);
+        let sampler = PairSampler::new(&mask).unwrap();
+        assert_eq!(sampler.sample_many(257, &mut rng).len(), 257);
+    }
+
+    #[test]
+    fn sampling_covers_the_survivor_set() {
+        // With enough draws every survivor should appear as a source.
+        let s = space(5);
+        let mask = FailureMask::none(s);
+        let sampler = PairSampler::new(&mask).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut seen = vec![false; 32];
+        for _ in 0..2000 {
+            let (source, _) = sampler.sample(&mut rng);
+            seen[source.value() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampling must cover all nodes");
+    }
+}

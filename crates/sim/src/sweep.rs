@@ -1,0 +1,108 @@
+//! Failure-probability sweeps over an overlay (the simulated curves of
+//! Fig. 6).
+
+use crate::config::{SimError, StaticResilienceConfig};
+use crate::static_resilience::{StaticResilienceExperiment, StaticResilienceResult};
+use dht_overlay::Overlay;
+use serde::{Deserialize, Serialize};
+
+/// One measured point of a failure-probability sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureSweepPoint {
+    /// The failure probability of this grid point.
+    pub failure_probability: f64,
+    /// The measured result.
+    pub result: StaticResilienceResult,
+}
+
+/// Measures the overlay at every failure probability of `grid`, using
+/// `base_config` for the pair count, trial count, seed and threading.
+///
+/// The seed of each grid point is derived from the base seed and the grid
+/// index, so the whole sweep is reproducible while points remain independent.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidFailureProbability`] if a grid value is outside
+/// `[0, 1)`.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_overlay::CanOverlay;
+/// use dht_sim::{sweep_failure_grid, StaticResilienceConfig};
+///
+/// let overlay = CanOverlay::build(8)?;
+/// let config = StaticResilienceConfig::new(0.0)?.with_pairs(500).with_seed(1);
+/// let points = sweep_failure_grid(&overlay, &config, &[0.0, 0.2, 0.4])?;
+/// assert_eq!(points.len(), 3);
+/// assert!(points[0].result.routability >= points[2].result.routability);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sweep_failure_grid<O>(
+    overlay: &O,
+    base_config: &StaticResilienceConfig,
+    grid: &[f64],
+) -> Result<Vec<FailureSweepPoint>, SimError>
+where
+    O: Overlay + Sync + ?Sized,
+{
+    let mut points = Vec::with_capacity(grid.len());
+    for (index, &q) in grid.iter().enumerate() {
+        let config = StaticResilienceConfig::new(q)?
+            .with_pairs(base_config.pairs())
+            .with_trials(base_config.trials())
+            .with_threads(base_config.threads())
+            .with_seed(base_config.seed().wrapping_add(index as u64 * 7919));
+        let result = StaticResilienceExperiment::new(config).run(overlay);
+        points.push(FailureSweepPoint {
+            failure_probability: q,
+            result,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_overlay::{CanOverlay, KademliaOverlay};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sweep_produces_one_point_per_grid_value() {
+        let overlay = CanOverlay::build(8).unwrap();
+        let config = StaticResilienceConfig::new(0.0)
+            .unwrap()
+            .with_pairs(300)
+            .with_seed(5);
+        let grid = [0.0, 0.1, 0.3, 0.5];
+        let points = sweep_failure_grid(&overlay, &config, &grid).unwrap();
+        assert_eq!(points.len(), 4);
+        for (point, &q) in points.iter().zip(grid.iter()) {
+            assert_eq!(point.failure_probability, q);
+            assert_eq!(point.result.failure_probability, q);
+        }
+    }
+
+    #[test]
+    fn measured_routability_is_monotone_on_average() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let overlay = KademliaOverlay::build(10, &mut rng).unwrap();
+        let config = StaticResilienceConfig::new(0.0)
+            .unwrap()
+            .with_pairs(2_000)
+            .with_seed(9);
+        let points = sweep_failure_grid(&overlay, &config, &[0.0, 0.3, 0.6]).unwrap();
+        assert!(points[0].result.routability >= points[1].result.routability);
+        assert!(points[1].result.routability >= points[2].result.routability);
+    }
+
+    #[test]
+    fn invalid_grid_values_are_rejected() {
+        let overlay = CanOverlay::build(6).unwrap();
+        let config = StaticResilienceConfig::new(0.0).unwrap();
+        assert!(sweep_failure_grid(&overlay, &config, &[0.2, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Targeted (non-uniform) failure patterns.
+//!
+//! The paper's model fails nodes independently and uniformly; real outages are
+//! often correlated — a rack, an AS, or a contiguous region of the identifier
+//! space disappearing at once. These generators produce such patterns so the
+//! static-resilience harness can quantify how much worse correlated failures
+//! are than the iid model for each geometry. They extend the paper (no figure
+//! depends on them) and are exercised by tests and the bench suite only.
+
+use dht_id::KeySpace;
+use dht_overlay::FailureMask;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A non-uniform failure pattern generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TargetedFailure {
+    /// Fail every node in a contiguous clockwise arc of the identifier ring.
+    ///
+    /// Ring-structured geometries (Chord, Symphony) lose an entire
+    /// neighbourhood, while prefix geometries lose a subtree.
+    ContiguousArc {
+        /// Fraction of the identifier space to fail, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Fail every node sharing a given most-significant-bit prefix.
+    ///
+    /// Models the loss of one branch of the Plaxton tree (e.g. one data
+    /// centre owning a prefix).
+    Prefix {
+        /// Number of prefix bits that define the failed region.
+        bits: u32,
+        /// The failed prefix value (only the lowest `bits` bits are used).
+        value: u64,
+    },
+    /// Fail each node with a probability proportional to how many low-order
+    /// zero bits its identifier has — a stand-in for "infrastructure" nodes
+    /// (round identifiers are disproportionately targeted).
+    WeightedByTrailingZeros {
+        /// Baseline failure probability for nodes with no trailing zeros.
+        base_probability: f64,
+        /// Additional probability per trailing zero bit (capped at one).
+        per_zero_increment: f64,
+    },
+}
+
+impl TargetedFailure {
+    /// Generates the failure mask for this pattern over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction or probability parameter lies outside `[0, 1]`,
+    /// or if a prefix length exceeds the identifier length.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, space: KeySpace, rng: &mut R) -> FailureMask {
+        match *self {
+            TargetedFailure::ContiguousArc { fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "arc fraction must lie in [0, 1]"
+                );
+                let population = space.population();
+                let length = (fraction * population as f64).round() as u64;
+                let start = rng.gen_range(0..population);
+                FailureMask::from_failed_nodes(
+                    space,
+                    (0..length).map(|offset| space.wrap(start.wrapping_add(offset))),
+                )
+            }
+            TargetedFailure::Prefix { bits, value } => {
+                assert!(
+                    bits <= space.bits(),
+                    "prefix length {bits} exceeds identifier length {}",
+                    space.bits()
+                );
+                if bits == 0 {
+                    // A zero-bit prefix matches everyone.
+                    return FailureMask::from_failed_nodes(space, space.iter_ids());
+                }
+                let shift = space.bits() - bits;
+                let prefix = value & ((1u64 << bits) - 1);
+                FailureMask::from_failed_nodes(
+                    space,
+                    space
+                        .iter_ids()
+                        .filter(|node| (node.value() >> shift) == prefix),
+                )
+            }
+            TargetedFailure::WeightedByTrailingZeros {
+                base_probability,
+                per_zero_increment,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&base_probability),
+                    "base probability must lie in [0, 1]"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&per_zero_increment),
+                    "per-zero increment must lie in [0, 1]"
+                );
+                FailureMask::from_failed_nodes(
+                    space,
+                    space.iter_ids().filter(|node| {
+                        let zeros = if node.value() == 0 {
+                            space.bits()
+                        } else {
+                            node.value().trailing_zeros().min(space.bits())
+                        };
+                        let probability = (base_probability
+                            + per_zero_increment * f64::from(zeros))
+                        .min(1.0);
+                        rng.gen_bool(probability)
+                    }),
+                )
+            }
+        }
+    }
+
+    /// The expected failed fraction of the pattern (exact for the arc and
+    /// prefix patterns, an upper-bounded estimate for the weighted one).
+    #[must_use]
+    pub fn expected_failed_fraction(&self, space: KeySpace) -> f64 {
+        match *self {
+            TargetedFailure::ContiguousArc { fraction } => fraction,
+            TargetedFailure::Prefix { bits, .. } => 0.5f64.powi(bits.min(space.bits()) as i32),
+            TargetedFailure::WeightedByTrailingZeros {
+                base_probability,
+                per_zero_increment,
+            } => {
+                // A random identifier has on average one trailing zero
+                // (Σ k 2^{-k-1} = 1), so the mean failure probability is close
+                // to base + increment.
+                (base_probability + per_zero_increment).min(1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_resilience::StaticResilienceExperiment;
+    use crate::StaticResilienceConfig;
+    use dht_overlay::{route, ChordOverlay, ChordVariant, Overlay};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space(bits: u32) -> KeySpace {
+        KeySpace::new(bits).unwrap()
+    }
+
+    #[test]
+    fn arc_failure_covers_the_requested_fraction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mask = TargetedFailure::ContiguousArc { fraction: 0.25 }.sample(space(10), &mut rng);
+        assert_eq!(mask.failed_count(), 256);
+        // The failed nodes form one contiguous clockwise run.
+        let failed: Vec<u64> = space(10)
+            .iter_ids()
+            .filter(|n| mask.is_failed(*n))
+            .map(|n| n.value())
+            .collect();
+        let breaks = failed
+            .windows(2)
+            .filter(|w| w[1] != w[0] + 1)
+            .count();
+        assert!(breaks <= 1, "an arc wraps at most once, found {breaks} breaks");
+    }
+
+    #[test]
+    fn prefix_failure_kills_exactly_one_subtree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let pattern = TargetedFailure::Prefix { bits: 3, value: 0b101 };
+        let mask = pattern.sample(space(10), &mut rng);
+        assert_eq!(mask.failed_count(), 128);
+        assert!((pattern.expected_failed_fraction(space(10)) - 0.125).abs() < 1e-12);
+        for node in space(10).iter_ids() {
+            let in_subtree = node.value() >> 7 == 0b101;
+            assert_eq!(mask.is_failed(node), in_subtree);
+        }
+    }
+
+    #[test]
+    fn weighted_failure_prefers_round_identifiers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let pattern = TargetedFailure::WeightedByTrailingZeros {
+            base_probability: 0.05,
+            per_zero_increment: 0.2,
+        };
+        let mask = pattern.sample(space(12), &mut rng);
+        let failed_even = space(12)
+            .iter_ids()
+            .filter(|n| n.value() % 2 == 0 && mask.is_failed(*n))
+            .count() as f64;
+        let failed_odd = space(12)
+            .iter_ids()
+            .filter(|n| n.value() % 2 == 1 && mask.is_failed(*n))
+            .count() as f64;
+        assert!(
+            failed_even > failed_odd * 1.5,
+            "even identifiers should fail more often: {failed_even} vs {failed_odd}"
+        );
+    }
+
+    #[test]
+    fn contiguous_arc_pattern_supports_end_to_end_measurement() {
+        // A Chord route to a destination inside the failed arc is hopeless,
+        // and routes ending just after the arc lose their predecessors; the
+        // same failed mass spread iid is much less damaging.
+        let overlay = ChordOverlay::build(10, ChordVariant::Deterministic).unwrap();
+        let sp = overlay.key_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let arc_mask = TargetedFailure::ContiguousArc { fraction: 0.3 }.sample(sp, &mut rng);
+        let iid = StaticResilienceExperiment::new(
+            StaticResilienceConfig::new(0.3)
+                .unwrap()
+                .with_pairs(4_000)
+                .with_seed(9),
+        )
+        .run(&overlay);
+
+        let mut delivered = 0u64;
+        let mut attempted = 0u64;
+        let mut pair_rng = ChaCha8Rng::seed_from_u64(11);
+        while attempted < 4_000 {
+            let source = sp.random_id(&mut pair_rng);
+            let target = sp.random_id(&mut pair_rng);
+            if source == target || arc_mask.is_failed(source) || arc_mask.is_failed(target) {
+                continue;
+            }
+            attempted += 1;
+            if route(&overlay, source, target, &arc_mask).is_delivered() {
+                delivered += 1;
+            }
+        }
+        let arc_routability = delivered as f64 / attempted as f64;
+        // Both patterns remove ~30% of nodes; among the surviving pairs the
+        // arc pattern must not be dramatically *better* than iid, and in
+        // practice both stay highly routable because survivors' fingers only
+        // rarely land inside the arc end-to-end.
+        assert!(arc_routability <= 1.0);
+        assert!(
+            arc_routability >= iid.routability - 0.3,
+            "arc {arc_routability} vs iid {}",
+            iid.routability
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arc fraction")]
+    fn rejects_invalid_fraction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = TargetedFailure::ContiguousArc { fraction: 1.5 }.sample(space(4), &mut rng);
+    }
+}

@@ -1,0 +1,75 @@
+//! Compare all five DHT routing geometries head-to-head, analytically and in
+//! simulation, across a failure-probability sweep — a miniature Fig. 6 that
+//! also covers Symphony and prints the result as an ASCII table.
+//!
+//! Run with: `cargo run --release --example compare_geometries [bits]`
+
+use dht_rcm::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits: u32 = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse())
+        .transpose()?
+        .unwrap_or(12);
+    let grid = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let size = SystemSize::power_of_two(bits)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    // Build one executable overlay per geometry.
+    let overlays: Vec<(Geometry, Box<dyn Overlay + Sync>)> = vec![
+        (
+            Geometry::tree(),
+            Box::new(PlaxtonOverlay::build(bits, &mut rng)?),
+        ),
+        (Geometry::hypercube(), Box::new(CanOverlay::build(bits)?)),
+        (
+            Geometry::xor(),
+            Box::new(KademliaOverlay::build(bits, &mut rng)?),
+        ),
+        (
+            Geometry::ring(),
+            Box::new(ChordOverlay::build(bits, ChordVariant::Deterministic)?),
+        ),
+        (
+            Geometry::symphony(1, 1)?,
+            Box::new(SymphonyOverlay::build(bits, 1, 1, &mut rng)?),
+        ),
+    ];
+
+    println!("Failed paths (%) at N = 2^{bits}: analytical / simulated");
+    print!("{:<12}", "geometry");
+    for q in grid {
+        print!("{:>16}", format!("q = {q:.1}"));
+    }
+    println!();
+
+    for (geometry, overlay) in &overlays {
+        print!("{:<12}", geometry.name());
+        for &q in &grid {
+            let analytical = geometry
+                .routability(size, q)
+                .map(|r| r.failed_path_percent)
+                .unwrap_or(f64::NAN);
+            let config = StaticResilienceConfig::new(q)?
+                .with_pairs(5_000)
+                .with_threads(2)
+                .with_seed(2006 + (q * 100.0) as u64);
+            let simulated = StaticResilienceExperiment::new(config).run(overlay.as_ref());
+            print!(
+                "{:>16}",
+                format!("{analytical:>5.1} / {:>5.1}", simulated.failed_path_percent)
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading the table: the tree and Symphony columns blow up quickly — the\n\
+         unscalable class of Section 5 — while hypercube, XOR and ring degrade\n\
+         gracefully, exactly the ordering of Fig. 6/7 of the paper."
+    );
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! The paper's motivating deployment: eDonkey/Kad, a Kademlia-based network
+//! with millions of transient users.
+//!
+//! This example asks the question a deployment engineer would ask: *how much
+//! of the network remains mutually routable as the user population churns in
+//! and out?* It answers it twice — analytically at true eDonkey scale
+//! (millions to billions of nodes, where only the RCM closed forms can go)
+//! and by measurement on the largest overlay that fits in memory — and shows
+//! why Kademlia's XOR geometry was the right choice compared to a tree or a
+//! minimal small-world network.
+//!
+//! Run with: `cargo run --release --example edonkey_scale`
+
+use dht_rcm::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Transient P2P users: a sizeable fraction is unreachable at any moment.
+    let failure_probability = 0.25;
+
+    println!("== eDonkey-scale analysis (Kademlia / XOR geometry) ==\n");
+
+    // 1. Analytical routability from 10^3 up to 10^9 nodes.
+    println!(
+        "Analytical routability at q = {failure_probability} as the network grows:"
+    );
+    println!("{:>14} {:>12} {:>12} {:>12}", "nodes", "xor", "tree", "symphony");
+    for bits in [10u32, 14, 18, 22, 26, 30] {
+        let size = SystemSize::power_of_two(bits)?;
+        let xor = Geometry::xor().routability(size, failure_probability)?;
+        let tree = Geometry::tree().routability(size, failure_probability)?;
+        let symphony = Geometry::symphony(1, 1)?.routability(size, failure_probability)?;
+        println!(
+            "{:>14} {:>12.4} {:>12.4} {:>12.4}",
+            format!("2^{bits}"),
+            xor.routability,
+            tree.routability,
+            symphony.routability
+        );
+    }
+    println!(
+        "\nThe XOR column barely moves while tree and Symphony collapse — the\n\
+         scalable/unscalable split that lets eDonkey operate at global scale.\n"
+    );
+
+    // 2. Measure a large Kademlia overlay (2^18 = 262 144 nodes).
+    let bits = 18;
+    println!("Measuring an executable Kademlia overlay with 2^{bits} nodes...");
+    let mut rng = ChaCha8Rng::seed_from_u64(2006);
+    let overlay = KademliaOverlay::build(bits, &mut rng)?;
+    let config = StaticResilienceConfig::new(failure_probability)?
+        .with_pairs(50_000)
+        .with_threads(8)
+        .with_seed(11);
+    let measured = StaticResilienceExperiment::new(config).run(&overlay);
+    let predicted =
+        Geometry::xor().routability(SystemSize::power_of_two(bits)?, failure_probability)?;
+    println!(
+        "  predicted routability {:.4}, measured {:.4} (±{:.4}), mean path length {:.2} hops",
+        predicted.routability,
+        measured.routability,
+        measured.confidence.half_width(),
+        measured.mean_hops
+    );
+
+    // 3. What would it take for Symphony to serve the same population?
+    println!("\nSymphony connections needed for 95% routability at q = {failure_probability}:");
+    for bits in [16u32, 20, 24] {
+        let size = SystemSize::power_of_two(bits)?;
+        let mut found = None;
+        'search: for total in 2..=24u32 {
+            for shortcuts in 1..total {
+                let near = total - shortcuts;
+                let geometry = Geometry::symphony(near, shortcuts)?;
+                if geometry.routability(size, failure_probability)?.routability >= 0.95 {
+                    found = Some((near, shortcuts));
+                    break 'search;
+                }
+            }
+        }
+        match found {
+            Some((near, shortcuts)) => println!(
+                "  2^{bits} nodes: k_n = {near}, k_s = {shortcuts} (degree {})",
+                near + shortcuts
+            ),
+            None => println!("  2^{bits} nodes: not reachable with 24 connections"),
+        }
+    }
+    println!(
+        "\nThe required degree keeps growing with the population — Symphony can be\n\
+         provisioned for a target size but not for unbounded growth, which is\n\
+         exactly Definition 2's notion of unscalability."
+    );
+    Ok(())
+}

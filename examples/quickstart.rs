@@ -1,0 +1,63 @@
+//! Quickstart: predict routability analytically, then measure it on an
+//! executable overlay and compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dht_rcm::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = 14; // 16 384 nodes — large enough to be interesting, fast to build
+    let failure_probability = 0.3;
+
+    println!("== Reachable Component Method quickstart ==");
+    println!("system size: 2^{bits} nodes, node failure probability: {failure_probability}\n");
+
+    // 1. Analytical prediction for every geometry the paper studies.
+    let size = SystemSize::power_of_two(bits)?;
+    println!("{:<12} {:>22} {:>14}", "geometry", "analytical routability", "failed paths %");
+    for geometry in Geometry::all_with_default_parameters() {
+        let report = geometry.routability(size, failure_probability)?;
+        println!(
+            "{:<12} {:>22.4} {:>14.2}",
+            geometry.to_string(),
+            report.routability,
+            report.failed_path_percent
+        );
+    }
+
+    // 2. Measure the XOR (Kademlia) overlay under the same conditions.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let overlay = KademliaOverlay::build(bits, &mut rng)?;
+    let config = StaticResilienceConfig::new(failure_probability)?
+        .with_pairs(20_000)
+        .with_trials(2)
+        .with_threads(4)
+        .with_seed(7);
+    let measured = StaticResilienceExperiment::new(config).run(&overlay);
+    let predicted = Geometry::xor().routability(size, failure_probability)?;
+
+    println!("\nXOR (Kademlia) routing, analysis vs measurement:");
+    println!("  predicted routability: {:.4}", predicted.routability);
+    println!(
+        "  measured  routability: {:.4}  (95% CI ±{:.4}, {} pairs, mean {:.1} hops)",
+        measured.routability,
+        measured.confidence.half_width(),
+        measured.pairs_attempted,
+        measured.mean_hops
+    );
+
+    // 3. The scalability verdict of Section 5.
+    println!("\nScalability classification at q = {failure_probability}:");
+    for geometry in Geometry::all_with_default_parameters() {
+        let verdict = geometry.scalability(failure_probability)?;
+        println!(
+            "  {:<12} analytic: {:<12} numeric probe: {:?}",
+            geometry.name(),
+            verdict.analytic.to_string(),
+            verdict.numeric
+        );
+    }
+    Ok(())
+}

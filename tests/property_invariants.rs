@@ -1,0 +1,154 @@
+//! Property-based tests of the workspace's core invariants, spanning the
+//! analytical crates and the executable overlays.
+
+use dht_rcm::analysis::{ln_success_probability, success_probability};
+use dht_rcm::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        Just(Geometry::tree()),
+        Just(Geometry::hypercube()),
+        Just(Geometry::xor()),
+        Just(Geometry::ring()),
+        (1u32..4, 1u32..4).prop_map(|(kn, ks)| Geometry::symphony(kn, ks).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routability is always a probability.
+    #[test]
+    fn routability_is_a_probability(
+        geometry in any_geometry(),
+        bits in 4u32..40,
+        q in 0.0f64..0.85,
+    ) {
+        let size = SystemSize::power_of_two(bits).unwrap();
+        match geometry.routability(size, q) {
+            Ok(report) => {
+                prop_assert!((0.0..=1.0).contains(&report.routability));
+                prop_assert!((0.0..=100.0).contains(&report.failed_path_percent));
+            }
+            Err(RcmError::DegenerateSystem { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        }
+    }
+
+    /// Routability never increases when the failure probability increases.
+    #[test]
+    fn routability_is_monotone_in_failure_probability(
+        geometry in any_geometry(),
+        bits in 8u32..32,
+        q in 0.0f64..0.7,
+        delta in 0.01f64..0.2,
+    ) {
+        let size = SystemSize::power_of_two(bits).unwrap();
+        let lower = geometry.routability(size, q);
+        let higher = geometry.routability(size, (q + delta).min(0.89));
+        if let (Ok(lower), Ok(higher)) = (lower, higher) {
+            prop_assert!(higher.routability <= lower.routability + 1e-9);
+        }
+    }
+
+    /// p(h, q) is non-increasing in the distance h.
+    #[test]
+    fn phase_success_is_monotone_in_distance(
+        geometry in any_geometry(),
+        q in 0.0f64..0.95,
+        d in 4u32..48,
+    ) {
+        let mut previous = 1.0f64;
+        for h in 1..=d {
+            let p = success_probability(&geometry, d, h, q).unwrap();
+            prop_assert!(p <= previous + 1e-12, "h={h}: {p} > {previous}");
+            previous = p;
+        }
+    }
+
+    /// The log-space and linear-space evaluations agree.
+    #[test]
+    fn log_and_linear_phase_success_agree(
+        geometry in any_geometry(),
+        q in 0.0f64..0.9,
+        h in 1u32..24,
+    ) {
+        let ln_p = ln_success_probability(&geometry, 24, h, q).unwrap();
+        let p = success_probability(&geometry, 24, h, q).unwrap();
+        prop_assert!((ln_p.exp() - p).abs() < 1e-12);
+    }
+
+    /// Without failures every overlay delivers every message.
+    #[test]
+    fn overlays_always_deliver_without_failures(
+        seed in 0u64..1000,
+        bits in 4u32..9,
+        source in 0u64..512,
+        target in 0u64..512,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let overlays: Vec<Box<dyn Overlay>> = vec![
+            Box::new(CanOverlay::build(bits).unwrap()),
+            Box::new(PlaxtonOverlay::build(bits, &mut rng).unwrap()),
+            Box::new(KademliaOverlay::build(bits, &mut rng).unwrap()),
+            Box::new(ChordOverlay::build(bits, ChordVariant::Deterministic).unwrap()),
+            Box::new(SymphonyOverlay::build(bits, 1, 1, &mut rng).unwrap()),
+        ];
+        for overlay in &overlays {
+            let space = overlay.key_space();
+            let mask = FailureMask::none(space);
+            let outcome = route(
+                overlay.as_ref(),
+                space.wrap(source),
+                space.wrap(target),
+                &mask,
+            );
+            prop_assert!(
+                outcome.is_delivered(),
+                "{} failed to deliver {source} -> {target} without failures: {outcome:?}",
+                overlay.geometry_name()
+            );
+        }
+    }
+
+    /// The reachable component is a subset of the connected component, for
+    /// every geometry and failure pattern.
+    #[test]
+    fn reachable_is_subset_of_connected(
+        seed in 0u64..200,
+        q in 0.0f64..0.6,
+        root in 0u64..256,
+    ) {
+        let bits = 8u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let overlay = KademliaOverlay::build(bits, &mut rng).unwrap();
+        let mask = FailureMask::sample(overlay.key_space(), q, &mut rng);
+        let root = overlay.key_space().wrap(root);
+        prop_assume!(mask.is_alive(root));
+        let components = connected_components(&overlay, &mask);
+        let reachable = reachable_component(&overlay, root, &mask);
+        let component_size = components.component_size(root).unwrap();
+        prop_assert!((reachable.len() as u64) < component_size.max(1) + 1);
+        for destination in reachable {
+            prop_assert!(components.same_component(root, destination));
+        }
+    }
+
+    /// Failure masks never report more failures than nodes and keep counts
+    /// consistent.
+    #[test]
+    fn failure_mask_counts_are_consistent(
+        seed in 0u64..500,
+        bits in 2u32..12,
+        q in 0.0f64..1.0,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mask = FailureMask::sample(space, q, &mut rng);
+        prop_assert_eq!(mask.alive_count() + mask.failed_count(), space.population());
+        prop_assert_eq!(mask.alive_nodes().count() as u64, mask.alive_count());
+    }
+}
