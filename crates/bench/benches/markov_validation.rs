@@ -12,7 +12,12 @@ fn bench_chain_solve(c: &mut Criterion) {
     let h = 16u32;
     let q = 0.3f64;
     group.bench_function(BenchmarkId::from_parameter("tree"), |b| {
-        b.iter(|| tree_chain(black_box(h), black_box(q)).unwrap().success_probability().unwrap())
+        b.iter(|| {
+            tree_chain(black_box(h), black_box(q))
+                .unwrap()
+                .success_probability()
+                .unwrap()
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("hypercube"), |b| {
         b.iter(|| {
@@ -23,10 +28,20 @@ fn bench_chain_solve(c: &mut Criterion) {
         })
     });
     group.bench_function(BenchmarkId::from_parameter("xor"), |b| {
-        b.iter(|| xor_chain(black_box(h), black_box(q)).unwrap().success_probability().unwrap())
+        b.iter(|| {
+            xor_chain(black_box(h), black_box(q))
+                .unwrap()
+                .success_probability()
+                .unwrap()
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("ring"), |b| {
-        b.iter(|| ring_chain(black_box(h), black_box(q)).unwrap().success_probability().unwrap())
+        b.iter(|| {
+            ring_chain(black_box(h), black_box(q))
+                .unwrap()
+                .success_probability()
+                .unwrap()
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("symphony"), |b| {
         b.iter(|| {

@@ -141,10 +141,7 @@ where
         }
         bits = bits.saturating_mul(2);
     }
-    last.ok_or(RcmError::DegenerateSystem {
-        bits: max_bits,
-        q,
-    })
+    last.ok_or(RcmError::DegenerateSystem { bits: max_bits, q })
 }
 
 #[cfg(test)]
@@ -164,8 +161,7 @@ mod tests {
         let xor = routability(&XorGeometry::new(), size, q).unwrap();
         let ring = routability(&RingGeometry::new(), size, q).unwrap();
         let tree = routability(&TreeGeometry::new(), size, q).unwrap();
-        let symphony =
-            routability(&SymphonyGeometry::new(1, 1).unwrap(), size, q).unwrap();
+        let symphony = routability(&SymphonyGeometry::new(1, 1).unwrap(), size, q).unwrap();
         assert!(cube.failed_path_percent < 50.0);
         assert!(xor.failed_path_percent < 50.0);
         assert!(ring.failed_path_percent < 50.0);
@@ -225,9 +221,12 @@ mod tests {
     fn failure_sweep_skips_degenerate_points() {
         // At d = 4 the expected survivor count drops below one past q ≈ 0.94.
         let grid = [0.0, 0.5, 0.95, 0.99];
-        let points =
-            sweep_failure_probability(&TreeGeometry::new(), SystemSize::power_of_two(4).unwrap(), &grid)
-                .unwrap();
+        let points = sweep_failure_probability(
+            &TreeGeometry::new(),
+            SystemSize::power_of_two(4).unwrap(),
+            &grid,
+        )
+        .unwrap();
         assert_eq!(points.len(), 2);
     }
 

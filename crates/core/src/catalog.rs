@@ -90,9 +90,7 @@ impl Geometry {
             Geometry::hypercube(),
             Geometry::xor(),
             Geometry::ring(),
-            Geometry::Symphony(
-                SymphonyGeometry::new(1, 1).expect("k_n = k_s = 1 is always valid"),
-            ),
+            Geometry::Symphony(SymphonyGeometry::new(1, 1).expect("k_n = k_s = 1 is always valid")),
         ]
     }
 
@@ -145,7 +143,8 @@ impl RoutingGeometry for Geometry {
     }
 
     fn phase_failure_probability(&self, m: u32, q: f64, d: u32) -> f64 {
-        self.as_routing_geometry().phase_failure_probability(m, q, d)
+        self.as_routing_geometry()
+            .phase_failure_probability(m, q, d)
     }
 
     fn analytic_scalability(&self) -> ScalabilityClass {

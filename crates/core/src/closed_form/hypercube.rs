@@ -79,7 +79,10 @@ mod tests {
         for h in 1..=16u32 {
             for &q in &[0.05, 0.3, 0.6, 0.9] {
                 let analytical = success_probability(&geometry, 16, h, q).unwrap();
-                let chain = hypercube_chain(h, q).unwrap().success_probability().unwrap();
+                let chain = hypercube_chain(h, q)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap();
                 assert!(
                     (analytical - chain).abs() < 1e-10,
                     "h={h} q={q}: {analytical} vs {chain}"

@@ -164,7 +164,7 @@ mod tests {
     fn large_phase_failure_underflows_gracefully() {
         let geometry = RingGeometry::new();
         let value = geometry.phase_failure_exact(500, 0.5);
-        assert!(value >= 0.0 && value < 1e-100);
+        assert!((0.0..1e-100).contains(&value));
         // And stays a probability near q -> 1.
         let value = geometry.phase_failure_exact(64, 0.999);
         assert!((0.0..=1.0).contains(&value));

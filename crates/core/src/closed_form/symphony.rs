@@ -164,9 +164,15 @@ mod tests {
     #[test]
     fn more_connections_reduce_phase_failure() {
         let q = 0.4;
-        let base = SymphonyGeometry::new(1, 1).unwrap().phase_failure_exact(q, 16);
-        let near = SymphonyGeometry::new(4, 1).unwrap().phase_failure_exact(q, 16);
-        let shortcuts = SymphonyGeometry::new(1, 4).unwrap().phase_failure_exact(q, 16);
+        let base = SymphonyGeometry::new(1, 1)
+            .unwrap()
+            .phase_failure_exact(q, 16);
+        let near = SymphonyGeometry::new(4, 1)
+            .unwrap()
+            .phase_failure_exact(q, 16);
+        let shortcuts = SymphonyGeometry::new(1, 4)
+            .unwrap()
+            .phase_failure_exact(q, 16);
         assert!(near < base);
         assert!(shortcuts < base);
     }

@@ -139,7 +139,10 @@ mod tests {
         let geometry = TreeGeometry::new();
         assert_eq!(geometry.name(), "tree");
         assert_eq!(geometry.system(), "Plaxton");
-        assert_eq!(geometry.analytic_scalability(), ScalabilityClass::Unscalable);
+        assert_eq!(
+            geometry.analytic_scalability(),
+            ScalabilityClass::Unscalable
+        );
         assert_eq!(geometry.max_distance(24), 24);
     }
 

@@ -78,8 +78,7 @@ impl XorGeometry {
         }
         let m_f = f64::from(m);
         let q_to_m = q.powi(m as i32);
-        let inner = q.powi(m as i32 - 1) * (m_f - 1.0)
-            - (1.0 - q.powi(m as i32 + 1)) / (1.0 - q);
+        let inner = q.powi(m as i32 - 1) * (m_f - 1.0) - (1.0 - q.powi(m as i32 + 1)) / (1.0 - q);
         (q_to_m * (m_f + q / (1.0 - q) * inner)).clamp(0.0, 1.0)
     }
 }

@@ -93,7 +93,10 @@ impl SystemSize {
     pub fn power_of_two(bits: u32) -> Result<Self, RcmError> {
         if bits == 0 || bits > Self::MAX_BITS {
             return Err(RcmError::InvalidSystemSize {
-                message: format!("identifier length must be in 1..={}, got {bits}", Self::MAX_BITS),
+                message: format!(
+                    "identifier length must be in 1..={}, got {bits}",
+                    Self::MAX_BITS
+                ),
             });
         }
         Ok(SystemSize { bits })
@@ -225,7 +228,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(SystemSize::power_of_two(16).unwrap().to_string(), "2^16 nodes");
+        assert_eq!(
+            SystemSize::power_of_two(16).unwrap().to_string(),
+            "2^16 nodes"
+        );
         assert_eq!(ScalabilityClass::Scalable.to_string(), "scalable");
         assert_eq!(ScalabilityClass::Unscalable.to_string(), "unscalable");
     }

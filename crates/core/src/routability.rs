@@ -67,11 +67,7 @@ impl RoutabilityReport {
 /// assert!(report.routability > 0.8 && report.routability < 1.0);
 /// # Ok::<(), dht_rcm_core::RcmError>(())
 /// ```
-pub fn routability<G>(
-    geometry: &G,
-    size: SystemSize,
-    q: f64,
-) -> Result<RoutabilityReport, RcmError>
+pub fn routability<G>(geometry: &G, size: SystemSize, q: f64) -> Result<RoutabilityReport, RcmError>
 where
     G: RoutingGeometry + ?Sized,
 {
@@ -243,9 +239,7 @@ mod tests {
     fn failed_path_percent_is_complement() {
         let geometry = RingGeometry::new();
         let report = routability(&geometry, size(16), 0.4).unwrap();
-        assert!(
-            (report.failed_path_percent - 100.0 * (1.0 - report.routability)).abs() < 1e-9
-        );
+        assert!((report.failed_path_percent - 100.0 * (1.0 - report.routability)).abs() < 1e-9);
         assert!(
             (failed_path_percent(&geometry, size(16), 0.4).unwrap() - report.failed_path_percent)
                 .abs()

@@ -103,7 +103,7 @@ where
         SeriesVerdict::Inconclusive => None,
     };
     let analytic = geometry.analytic_scalability();
-    let consistent = numeric_class.map_or(true, |n| n == analytic);
+    let consistent = numeric_class.is_none_or(|n| n == analytic);
 
     Ok(ScalabilityReport {
         geometry: geometry.name().to_owned(),
@@ -133,8 +133,18 @@ mod tests {
         ];
         for geometry in &scalable {
             let report = classify(geometry.as_ref(), q).unwrap();
-            assert_eq!(report.analytic, ScalabilityClass::Scalable, "{}", report.geometry);
-            assert_eq!(report.numeric, SeriesVerdict::Converges, "{}", report.geometry);
+            assert_eq!(
+                report.analytic,
+                ScalabilityClass::Scalable,
+                "{}",
+                report.geometry
+            );
+            assert_eq!(
+                report.numeric,
+                SeriesVerdict::Converges,
+                "{}",
+                report.geometry
+            );
             assert!(report.consistent);
             assert!(report.limiting_success_probability > 0.0);
         }
@@ -144,8 +154,18 @@ mod tests {
         ];
         for geometry in &unscalable {
             let report = classify(geometry.as_ref(), q).unwrap();
-            assert_eq!(report.analytic, ScalabilityClass::Unscalable, "{}", report.geometry);
-            assert_eq!(report.numeric, SeriesVerdict::Diverges, "{}", report.geometry);
+            assert_eq!(
+                report.analytic,
+                ScalabilityClass::Unscalable,
+                "{}",
+                report.geometry
+            );
+            assert_eq!(
+                report.numeric,
+                SeriesVerdict::Diverges,
+                "{}",
+                report.geometry
+            );
             assert!(report.consistent);
             assert_eq!(report.limiting_success_probability, 0.0);
         }

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(0.3);
     let result = fig3::run(q, 200_000, 2006)?;
     println!("Fig. 3 worked example (d = 3 hypercube, q = {q})");
-    println!("{:>4} {:>6} {:>22} {:>12}", "h", "n(h)", "Pr(S_h -> S_h+1)", "p(h,q)");
+    println!(
+        "{:>4} {:>6} {:>22} {:>12}",
+        "h", "n(h)", "Pr(S_h -> S_h+1)", "p(h,q)"
+    );
     for row in &result.rows {
         println!(
             "{:>4} {:>6} {:>22.6} {:>12.6}",

@@ -8,9 +8,16 @@ use dht_experiments::output::{default_output_dir, render_records_table, write_re
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke { Fig6Config::smoke() } else { Fig6Config::paper_scale() };
+    let config = if smoke {
+        Fig6Config::smoke()
+    } else {
+        Fig6Config::paper_scale()
+    };
     let records = fig6a(&config)?;
-    println!("Fig. 6(a): percent of failed paths, N = 2^{} (simulation at 2^{})", config.analytical_bits, config.simulation_bits);
+    println!(
+        "Fig. 6(a): percent of failed paths, N = 2^{} (simulation at 2^{})",
+        config.analytical_bits, config.simulation_bits
+    );
     print!("{}", render_records_table(&records));
     let path = write_records_csv(&records, &default_output_dir(), "fig6a_failed_paths")?;
     println!("wrote {}", path.display());

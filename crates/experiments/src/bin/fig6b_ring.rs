@@ -8,9 +8,16 @@ use dht_experiments::output::{default_output_dir, render_records_table, write_re
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke { Fig6Config::smoke() } else { Fig6Config::paper_scale() };
+    let config = if smoke {
+        Fig6Config::smoke()
+    } else {
+        Fig6Config::paper_scale()
+    };
     let records = fig6b(&config)?;
-    println!("Fig. 6(b): percent of failed paths for ring routing, N = 2^{}", config.analytical_bits);
+    println!(
+        "Fig. 6(b): percent of failed paths for ring routing, N = 2^{}",
+        config.analytical_bits
+    );
     print!("{}", render_records_table(&records));
     let path = write_records_csv(&records, &default_output_dir(), "fig6b_ring")?;
     println!("wrote {}", path.display());

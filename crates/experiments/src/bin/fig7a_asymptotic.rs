@@ -8,9 +8,16 @@ use dht_experiments::output::{default_output_dir, render_records_table, write_re
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke { Fig7Config::smoke() } else { Fig7Config::paper_scale() };
+    let config = if smoke {
+        Fig7Config::smoke()
+    } else {
+        Fig7Config::paper_scale()
+    };
     let records = fig7a(&config)?;
-    println!("Fig. 7(a): percent of failed paths in the asymptotic limit (N = 2^{})", config.asymptotic_bits);
+    println!(
+        "Fig. 7(a): percent of failed paths in the asymptotic limit (N = 2^{})",
+        config.asymptotic_bits
+    );
     print!("{}", render_records_table(&records));
     let path = write_records_csv(&records, &default_output_dir(), "fig7a_asymptotic")?;
     println!("wrote {}", path.display());

@@ -8,7 +8,11 @@ use dht_experiments::output::{default_output_dir, write_json};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke { Fig7Config::smoke() } else { Fig7Config::paper_scale() };
+    let config = if smoke {
+        Fig7Config::smoke()
+    } else {
+        Fig7Config::paper_scale()
+    };
     let points = fig7b(&config)?;
     println!(
         "Fig. 7(b): routability (%) vs system size at q = {}",
@@ -16,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{:<10} {:>6} {:>14}", "geometry", "bits", "routability %");
     for point in &points {
-        println!("{:<10} {:>6} {:>14.4}", point.geometry, point.bits, point.routability_percent);
+        println!(
+            "{:<10} {:>6} {:>14.4}",
+            point.geometry, point.bits, point.routability_percent
+        );
     }
     let path = write_json(&points, &default_output_dir(), "fig7b_routability_vs_n")?;
     println!("wrote {}", path.display());

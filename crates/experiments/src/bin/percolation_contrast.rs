@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for row in &rows {
         println!(
             "{:<10} {:>14.4} {:>14.4} {:>8.4}",
-            row.geometry, row.mean_connected_fraction, row.mean_reachable_fraction, row.gap()
+            row.geometry,
+            row.mean_connected_fraction,
+            row.mean_reachable_fraction,
+            row.gap()
         );
     }
     let path = write_json(&rows, &default_output_dir(), "percolation_contrast")?;

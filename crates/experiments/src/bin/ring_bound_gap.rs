@@ -9,10 +9,17 @@ use dht_experiments::ring_bound_gap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke { Fig6Config::smoke() } else { Fig6Config::paper_scale() };
+    let config = if smoke {
+        Fig6Config::smoke()
+    } else {
+        Fig6Config::paper_scale()
+    };
     let points = ring_bound_gap::run(&config)?;
     println!("Chord bound slack (analytical failed % minus simulated failed %)");
-    println!("{:>6} {:>14} {:>14} {:>10}", "q", "analytical %", "simulated %", "slack");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "q", "analytical %", "simulated %", "slack"
+    );
     for point in &points {
         println!(
             "{:>6.2} {:>14.2} {:>14.2} {:>10.2}",

@@ -7,7 +7,11 @@ use dht_experiments::output::{default_output_dir, write_json};
 use dht_experiments::symphony_ablation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let q: f64 = std::env::args().nth(1).map(|a| a.parse()).transpose()?.unwrap_or(0.2);
+    let q: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(0.2);
     let cells = symphony_ablation::run(&[16, 20, 24], q, 8)?;
     println!("Symphony routability (%) vs (k_n, k_s) at q = {q}");
     for &bits in &[16u32, 20, 24] {

@@ -17,7 +17,6 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-
 /// Configuration of the Fig. 6 reproduction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig6Config {
@@ -244,10 +243,9 @@ mod tests {
                 assert!(t >= x - 1e-9, "q={q}: tree {t} vs xor {x}");
                 assert!(x >= c - 1e-9, "q={q}: xor {x} vs hypercube {c}");
             }
-            if let (Some(t), Some(x)) = (
-                tree.simulated_failed_percent,
-                xor.simulated_failed_percent,
-            ) {
+            if let (Some(t), Some(x)) =
+                (tree.simulated_failed_percent, xor.simulated_failed_percent)
+            {
                 assert!(t >= x - 5.0, "q={q}: simulated tree {t} vs xor {x}");
             }
         }

@@ -65,8 +65,10 @@ impl From<RcmError> for ValidationError {
 /// Returns [`ValidationError`] if a chain cannot be built or a closed form
 /// cannot be evaluated.
 pub fn run(max_distance: u32, grid: &[f64]) -> Result<Vec<ValidationRow>, ValidationError> {
+    /// Evaluates a chain's success probability at distance `h`, failure `q`.
+    type ChainSuccess = Box<dyn Fn(u32, f64) -> Result<f64, ChainError>>;
     // (geometry, d used for closed forms, chain builder)
-    let geometries: Vec<(Geometry, Box<dyn Fn(u32, f64) -> Result<f64, ChainError>>)> = vec![
+    let geometries: Vec<(Geometry, ChainSuccess)> = vec![
         (
             Geometry::tree(),
             Box::new(|h, q| tree_chain(h, q)?.success_probability()),
@@ -98,8 +100,7 @@ pub fn run(max_distance: u32, grid: &[f64]) -> Result<Vec<ValidationRow>, Valida
         let mut points = 0u32;
         for h in 1..=max_distance {
             for &q in grid {
-                let closed_form =
-                    success_probability(geometry, max_distance.max(h), h, q)?;
+                let closed_form = success_probability(geometry, max_distance.max(h), h, q)?;
                 let chain = chain_success(h, q)?;
                 let error = (closed_form - chain).abs();
                 max_error = max_error.max(error);

@@ -62,7 +62,10 @@ pub fn run(bits: u32, q: f64, roots: u32, seed: u64) -> Result<Vec<ContrastRow>,
         let mut connected_total = 0.0;
         let mut reachable_total = 0.0;
         let mut examined = 0u32;
-        for root in mask.alive_nodes().step_by((alive as usize / roots as usize).max(1)) {
+        for root in mask
+            .alive_nodes()
+            .step_by((alive as usize / roots as usize).max(1))
+        {
             if examined >= roots {
                 break;
             }

@@ -1,7 +1,7 @@
 //! Experiment E7 — the §5 scalability classification table.
 
-use dht_rcm_core::{classify, Geometry, RcmError, RoutingGeometry, ScalabilityClass};
 use dht_mathkit::SeriesVerdict;
+use dht_rcm_core::{classify, Geometry, RcmError, RoutingGeometry, ScalabilityClass};
 use serde::{Deserialize, Serialize};
 
 /// One row of the scalability table.
@@ -78,7 +78,11 @@ pub fn render(rows: &[ScalabilityRow]) -> String {
             .all(|(_, v)| *v == SeriesVerdict::Converges)
         {
             "converges"
-        } else if row.numeric.iter().all(|(_, v)| *v == SeriesVerdict::Diverges) {
+        } else if row
+            .numeric
+            .iter()
+            .all(|(_, v)| *v == SeriesVerdict::Diverges)
+        {
             "diverges"
         } else {
             "mixed"
@@ -86,7 +90,11 @@ pub fn render(rows: &[ScalabilityRow]) -> String {
         let _ = writeln!(
             out,
             "{:<10} {:<10} {:<12} {:<12} {:>10.4}",
-            row.geometry, row.system, row.analytic, numeric_summary, row.limiting_success_probability
+            row.geometry,
+            row.system,
+            row.analytic,
+            numeric_summary,
+            row.limiting_success_probability
         );
     }
     out

@@ -31,11 +31,7 @@ pub struct AblationCell {
 ///
 /// Returns [`RcmError`] for invalid parameters; degenerate points are
 /// skipped.
-pub fn run(
-    bits_list: &[u32],
-    q: f64,
-    max_connections: u32,
-) -> Result<Vec<AblationCell>, RcmError> {
+pub fn run(bits_list: &[u32], q: f64, max_connections: u32) -> Result<Vec<AblationCell>, RcmError> {
     let mut cells = Vec::new();
     for &bits in bits_list {
         let size = SystemSize::power_of_two(bits)?;

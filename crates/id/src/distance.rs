@@ -125,10 +125,7 @@ mod tests {
                 for &c in &ids {
                     // XOR satisfies the stronger relation d(a,c) = d(a,b) ^ d(b,c),
                     // which implies the triangle inequality.
-                    assert_eq!(
-                        xor_distance(a, c),
-                        xor_distance(a, b) ^ xor_distance(b, c)
-                    );
+                    assert_eq!(xor_distance(a, c), xor_distance(a, b) ^ xor_distance(b, c));
                 }
             }
         }

@@ -32,7 +32,10 @@ impl fmt::Display for IdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IdError::InvalidWidth { bits } => {
-                write!(f, "identifier width must be between 1 and 64 bits, got {bits}")
+                write!(
+                    f,
+                    "identifier width must be between 1 and 64 bits, got {bits}"
+                )
             }
             IdError::ValueOutOfRange { value, bits } => {
                 write!(f, "value {value} does not fit in a {bits}-bit identifier")
@@ -102,7 +105,11 @@ impl NodeId {
         if bits == 0 || bits > 64 {
             return Err(IdError::InvalidWidth { bits });
         }
-        let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let max = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         if value > max {
             return Err(IdError::ValueOutOfRange { value, bits });
         }
@@ -167,8 +174,15 @@ impl NodeId {
             });
         }
         let mask = 1u64 << (self.bits - 1 - index);
-        let value = if bit { self.value | mask } else { self.value & !mask };
-        Ok(NodeId { value, bits: self.bits })
+        let value = if bit {
+            self.value | mask
+        } else {
+            self.value & !mask
+        };
+        Ok(NodeId {
+            value,
+            bits: self.bits,
+        })
     }
 
     /// Returns the identifier as a big-endian bit vector (index 0 = MSB).
@@ -262,8 +276,14 @@ mod tests {
     fn from_raw_validates_width() {
         assert!(NodeId::from_raw(0, 1).is_ok());
         assert!(NodeId::from_raw(u64::MAX, 64).is_ok());
-        assert_eq!(NodeId::from_raw(1, 0), Err(IdError::InvalidWidth { bits: 0 }));
-        assert_eq!(NodeId::from_raw(1, 65), Err(IdError::InvalidWidth { bits: 65 }));
+        assert_eq!(
+            NodeId::from_raw(1, 0),
+            Err(IdError::InvalidWidth { bits: 0 })
+        );
+        assert_eq!(
+            NodeId::from_raw(1, 65),
+            Err(IdError::InvalidWidth { bits: 65 })
+        );
         assert_eq!(
             NodeId::from_raw(4, 2),
             Err(IdError::ValueOutOfRange { value: 4, bits: 2 })
@@ -274,9 +294,9 @@ mod tests {
     fn bit_indexing_is_msb_first() {
         let s = space(3);
         let id = NodeId::new(0b011, &s).unwrap();
-        assert_eq!(id.bit(0).unwrap(), false);
-        assert_eq!(id.bit(1).unwrap(), true);
-        assert_eq!(id.bit(2).unwrap(), true);
+        assert!(!id.bit(0).unwrap());
+        assert!(id.bit(1).unwrap());
+        assert!(id.bit(2).unwrap());
         assert!(id.bit(3).is_err());
     }
 

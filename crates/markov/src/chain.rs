@@ -335,7 +335,10 @@ mod tests {
         let s1 = b.add_state("S1");
         b.add_transition(s0, s1, 0.4).unwrap();
         let err = b.build().unwrap_err();
-        assert!(matches!(err, ChainError::UnnormalisedState { state: 0, .. }));
+        assert!(matches!(
+            err,
+            ChainError::UnnormalisedState { state: 0, .. }
+        ));
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub fn hypercube_chain(h: u32, q: f64) -> Result<RoutingChain, ChainError> {
     validate_params(h, q)?;
     let mut builder = ChainBuilder::new();
     let failure = builder.add_state("F");
-    let states: Vec<_> = (0..=h).map(|i| builder.add_state(format!("S{i}"))).collect();
+    let states: Vec<_> = (0..=h)
+        .map(|i| builder.add_state(format!("S{i}")))
+        .collect();
     for i in 0..h {
         // h - i neighbours remain that can correct one of the h - i wrong bits.
         let all_down = q.powi((h - i) as i32);
@@ -86,7 +88,10 @@ mod tests {
         // least tree success for every h and q.
         for h in 1..=12u32 {
             for &q in &[0.1, 0.4, 0.8] {
-                let cube = hypercube_chain(h, q).unwrap().success_probability().unwrap();
+                let cube = hypercube_chain(h, q)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap();
                 let tree = super::super::tree_chain(h, q)
                     .unwrap()
                     .success_probability()
@@ -102,8 +107,14 @@ mod tests {
         // infinite product ∏ (1 - q^m) > 0, so it must stay above (1-q) * C
         // for some positive constant; sanity-check the limit is not zero.
         let q = 0.5;
-        let p64 = hypercube_chain(64, q).unwrap().success_probability().unwrap();
-        let p32 = hypercube_chain(32, q).unwrap().success_probability().unwrap();
+        let p64 = hypercube_chain(64, q)
+            .unwrap()
+            .success_probability()
+            .unwrap();
+        let p32 = hypercube_chain(32, q)
+            .unwrap()
+            .success_probability()
+            .unwrap();
         assert!(p64 > 0.25);
         assert!((p64 - p32).abs() < 1e-9);
     }

@@ -197,13 +197,24 @@ mod tests {
     #[test]
     fn no_failures_means_certain_delivery() {
         for h in 1..=8u32 {
-            assert!((tree_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12);
             assert!(
-                (hypercube_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs()
+                (tree_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12
+            );
+            assert!(
+                (hypercube_chain(h, 0.0)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap()
+                    - 1.0)
+                    .abs()
                     < 1e-12
             );
-            assert!((xor_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12);
-            assert!((ring_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12);
+            assert!(
+                (xor_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12
+            );
+            assert!(
+                (ring_chain(h, 0.0).unwrap().success_probability().unwrap() - 1.0).abs() < 1e-12
+            );
         }
     }
 
@@ -211,7 +222,13 @@ mod tests {
     fn certain_failure_means_certain_drop() {
         for h in 1..=5u32 {
             assert!(tree_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
-            assert!(hypercube_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
+            assert!(
+                hypercube_chain(h, 1.0)
+                    .unwrap()
+                    .success_probability()
+                    .unwrap()
+                    < 1e-12
+            );
             assert!(xor_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
             assert!(ring_chain(h, 1.0).unwrap().success_probability().unwrap() < 1e-12);
         }

@@ -60,7 +60,7 @@ pub fn ring_chain(h: u32, q: f64) -> Result<RoutingChain, ChainError> {
         let suboptimal = q * (1.0 - q.powi((m - 1) as i32));
         // Number of suboptimal states in this phase: 2^{m-1} total positions
         // including the entry state, truncated for tractability.
-        let total_positions: u64 = if m - 1 >= 63 {
+        let total_positions: u64 = if m > 63 {
             MAX_SUBOPTIMAL_STATES
         } else {
             (1u64 << (m - 1)).min(MAX_SUBOPTIMAL_STATES)
@@ -105,7 +105,7 @@ mod tests {
             return 0.0;
         }
         let r = q * (1.0 - q.powi((m - 1) as i32));
-        let exponent = if m - 1 >= 63 {
+        let exponent = if m > 63 {
             f64::INFINITY
         } else {
             (1u64 << (m - 1)) as f64

@@ -52,7 +52,9 @@ pub fn symphony_chain(
     }
     if d == 0 || shortcuts > d {
         return Err(ChainError::InvalidParameter {
-            message: format!("identifier length d={d} must be positive and at least k_s={shortcuts}"),
+            message: format!(
+                "identifier length d={d} must be positive and at least k_s={shortcuts}"
+            ),
         });
     }
     if h > d {
@@ -157,9 +159,18 @@ mod tests {
     #[test]
     fn more_neighbors_improve_robustness() {
         let q = 0.4;
-        let base = symphony_chain(8, q, 1, 1, 16).unwrap().success_probability().unwrap();
-        let more_near = symphony_chain(8, q, 4, 1, 16).unwrap().success_probability().unwrap();
-        let more_short = symphony_chain(8, q, 1, 4, 16).unwrap().success_probability().unwrap();
+        let base = symphony_chain(8, q, 1, 1, 16)
+            .unwrap()
+            .success_probability()
+            .unwrap();
+        let more_near = symphony_chain(8, q, 4, 1, 16)
+            .unwrap()
+            .success_probability()
+            .unwrap();
+        let more_short = symphony_chain(8, q, 1, 4, 16)
+            .unwrap()
+            .success_probability()
+            .unwrap();
         assert!(more_near > base);
         assert!(more_short > base);
     }

@@ -28,7 +28,9 @@ pub fn tree_chain(h: u32, q: f64) -> Result<RoutingChain, ChainError> {
     validate_params(h, q)?;
     let mut builder = ChainBuilder::new();
     let failure = builder.add_state("F");
-    let states: Vec<_> = (0..=h).map(|i| builder.add_state(format!("S{i}"))).collect();
+    let states: Vec<_> = (0..=h)
+        .map(|i| builder.add_state(format!("S{i}")))
+        .collect();
     for i in 0..h as usize {
         builder.add_transition(states[i], states[i + 1], 1.0 - q)?;
         builder.add_transition(states[i], failure, q)?;

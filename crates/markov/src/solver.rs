@@ -109,7 +109,11 @@ pub fn expected_steps(chain: &MarkovChain, start: StateId) -> Result<f64, ChainE
         if transitions.is_empty() {
             continue;
         }
-        steps[state] = 1.0 + transitions.iter().map(|&(to, p)| p * steps[to]).sum::<f64>();
+        steps[state] = 1.0
+            + transitions
+                .iter()
+                .map(|&(to, p)| p * steps[to])
+                .sum::<f64>();
     }
     Ok(steps[start.index()])
 }

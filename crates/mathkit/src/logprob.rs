@@ -178,6 +178,8 @@ impl fmt::Display for LogProb {
 impl Mul for LogProb {
     type Output = LogProb;
 
+    // Multiplying probabilities adds their logarithms.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn mul(self, rhs: LogProb) -> LogProb {
         // -inf + 0.0 is -inf, so zero * one stays zero as required.
         LogProb(self.0 + rhs.0)
@@ -185,6 +187,8 @@ impl Mul for LogProb {
 }
 
 impl MulAssign for LogProb {
+    // Multiplying probabilities adds their logarithms.
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn mul_assign(&mut self, rhs: LogProb) {
         self.0 += rhs.0;
     }

@@ -133,7 +133,10 @@ impl RunningStats {
     /// Panics if `level` is not in `(0, 1)`.
     #[must_use]
     pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
-        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must be in (0,1)"
+        );
         let z = standard_normal_quantile(0.5 + level / 2.0);
         let half_width = z * self.standard_error();
         ConfidenceInterval {
@@ -156,8 +159,8 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -231,7 +234,10 @@ impl ConfidenceInterval {
 pub fn wilson_interval(successes: u64, trials: u64, level: f64) -> ConfidenceInterval {
     assert!(trials > 0, "wilson_interval requires at least one trial");
     assert!(successes <= trials, "successes cannot exceed trials");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     let n = trials as f64;
     let p_hat = successes as f64 / n;
     let z = standard_normal_quantile(0.5 + level / 2.0);
@@ -263,7 +269,7 @@ pub fn standard_normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];

@@ -96,7 +96,10 @@ pub fn geomspace(start: f64, end: f64, count: usize) -> Vec<f64> {
 #[must_use]
 pub fn percent_grid(max_percent: u32, step_percent: u32) -> Vec<f64> {
     assert!(step_percent > 0, "step must be positive");
-    assert!(max_percent < 100, "failure probability must stay below 100%");
+    assert!(
+        max_percent < 100,
+        "failure probability must stay below 100%"
+    );
     (0..=max_percent)
         .step_by(step_percent as usize)
         .map(|p| f64::from(p) / 100.0)

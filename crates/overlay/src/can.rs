@@ -43,7 +43,10 @@ impl CanOverlay {
             .iter_ids()
             .map(|node| {
                 (0..bits)
-                    .map(|bit| node.flip_bit(bit).expect("bit index is within the key space"))
+                    .map(|bit| {
+                        node.flip_bit(bit)
+                            .expect("bit index is within the key space")
+                    })
                     .collect()
             })
             .collect();

@@ -64,10 +64,7 @@ impl ChordOverlay {
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
     /// than [`crate::traits::MAX_OVERLAY_BITS`].
-    pub fn build_randomized<R: Rng + ?Sized>(
-        bits: u32,
-        rng: &mut R,
-    ) -> Result<Self, OverlayError> {
+    pub fn build_randomized<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
         Self::build_impl(bits, ChordVariant::Randomized, |span, _finger| {
             if span <= 1 {
                 0
@@ -232,7 +229,10 @@ mod tests {
             let mut remaining = ring_distance(current, target);
             while let Some(next) = overlay.next_hop(current, target, &mask) {
                 let next_remaining = ring_distance(next, target);
-                assert!(next_remaining < remaining, "hops must make clockwise progress");
+                assert!(
+                    next_remaining < remaining,
+                    "hops must make clockwise progress"
+                );
                 current = next;
                 remaining = next_remaining;
                 if current == target {
@@ -250,8 +250,8 @@ mod tests {
         let overlay = ChordOverlay::build(8, ChordVariant::Deterministic).unwrap();
         let space = overlay.key_space();
         let source = space.wrap(0);
-        let target = space.wrap(0b1100_0000); // distance 192
-        // The optimal first hop is the 128-finger; kill it.
+        // Distance 192: the optimal first hop is the 128-finger; kill it.
+        let target = space.wrap(0b1100_0000);
         let optimal = overlay.finger(source, 8);
         let mask = FailureMask::from_failed_nodes(space, [optimal]);
         match route(&overlay, source, target, &mask) {

@@ -62,7 +62,10 @@ impl FailureMask {
     /// Panics if `q` is not in `[0, 1]` or the space is larger than `2^32`.
     #[must_use]
     pub fn sample<R: Rng + ?Sized>(space: KeySpace, q: f64, rng: &mut R) -> Self {
-        assert!((0.0..=1.0).contains(&q), "failure probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "failure probability must be in [0,1]"
+        );
         let mut mask = FailureMask::none(space);
         for slot in mask.failed.iter_mut() {
             if rng.gen_bool(q) {
@@ -138,13 +141,16 @@ impl FailureMask {
     /// Iterates over the surviving node identifiers in ascending order.
     pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         let bits = self.space.bits();
-        self.failed.iter().enumerate().filter_map(move |(index, &failed)| {
-            if failed {
-                None
-            } else {
-                Some(NodeId::from_raw(index as u64, bits).expect("index fits the key space"))
-            }
-        })
+        self.failed
+            .iter()
+            .enumerate()
+            .filter_map(move |(index, &failed)| {
+                if failed {
+                    None
+                } else {
+                    Some(NodeId::from_raw(index as u64, bits).expect("index fits the key space"))
+                }
+            })
     }
 
     /// Marks a single node as failed (idempotent). Useful for targeted-failure
@@ -198,8 +204,14 @@ mod tests {
     #[test]
     fn sampling_extremes() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        assert_eq!(FailureMask::sample(space(8), 0.0, &mut rng).failed_count(), 0);
-        assert_eq!(FailureMask::sample(space(8), 1.0, &mut rng).failed_count(), 256);
+        assert_eq!(
+            FailureMask::sample(space(8), 0.0, &mut rng).failed_count(),
+            0
+        );
+        assert_eq!(
+            FailureMask::sample(space(8), 1.0, &mut rng).failed_count(),
+            256
+        );
     }
 
     #[test]

@@ -208,11 +208,9 @@ mod tests {
         let bits = 10;
         let seed = 77;
         let kademlia = build(bits, seed);
-        let tree = crate::plaxton::PlaxtonOverlay::build(
-            bits,
-            &mut ChaCha8Rng::seed_from_u64(seed),
-        )
-        .unwrap();
+        let tree =
+            crate::plaxton::PlaxtonOverlay::build(bits, &mut ChaCha8Rng::seed_from_u64(seed))
+                .unwrap();
         let space = kademlia.key_space();
         let mut rng = ChaCha8Rng::seed_from_u64(123);
         let mask = FailureMask::sample(space, 0.3, &mut rng);

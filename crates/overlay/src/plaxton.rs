@@ -125,7 +125,10 @@ mod tests {
         for node in space.iter_ids() {
             for level in 0..8u32 {
                 let entry = overlay.entry_for_level(node, level);
-                assert!(common_prefix_len(node, entry) == level, "prefix must break exactly at the level");
+                assert!(
+                    common_prefix_len(node, entry) == level,
+                    "prefix must break exactly at the level"
+                );
                 assert_ne!(entry.bit(level).unwrap(), node.bit(level).unwrap());
             }
         }

@@ -100,8 +100,16 @@ where
     O: Overlay + ?Sized,
 {
     let space = overlay.key_space();
-    assert_eq!(source.bits(), space.bits(), "source is from a different key space");
-    assert_eq!(target.bits(), space.bits(), "target is from a different key space");
+    assert_eq!(
+        source.bits(),
+        space.bits(),
+        "source is from a different key space"
+    );
+    assert_eq!(
+        target.bits(),
+        space.bits(),
+        "target is from a different key space"
+    );
 
     if mask.is_failed(source) {
         return RouteOutcome::SourceFailed;
@@ -154,7 +162,7 @@ mod tests {
             let tables = space
                 .iter_ids()
                 .map(|node| {
-                    if node.value() + 1 <= space.max_value() {
+                    if node.value() < space.max_value() {
                         vec![space.wrap(node.value() + 1)]
                     } else {
                         Vec::new()
@@ -187,7 +195,12 @@ mod tests {
     fn delivers_along_the_line() {
         let overlay = LineOverlay::new(4);
         let mask = FailureMask::none(overlay.key_space());
-        let outcome = route(&overlay, overlay.space.wrap(2), overlay.space.wrap(9), &mask);
+        let outcome = route(
+            &overlay,
+            overlay.space.wrap(2),
+            overlay.space.wrap(9),
+            &mask,
+        );
         assert_eq!(outcome, RouteOutcome::Delivered { hops: 7 });
         assert!(outcome.is_delivered());
         assert_eq!(outcome.hops(), Some(7));
@@ -198,7 +211,10 @@ mod tests {
         let overlay = LineOverlay::new(4);
         let mask = FailureMask::none(overlay.key_space());
         let node = overlay.space.wrap(5);
-        assert_eq!(route(&overlay, node, node, &mask), RouteOutcome::Delivered { hops: 0 });
+        assert_eq!(
+            route(&overlay, node, node, &mask),
+            RouteOutcome::Delivered { hops: 0 }
+        );
     }
 
     #[test]

@@ -65,14 +65,18 @@ where
         fraction_threshold > 0.0 && fraction_threshold < 1.0,
         "fraction threshold must be in (0, 1)"
     );
-    assert!(iterations > 0, "at least one bisection iteration is required");
+    assert!(
+        iterations > 0,
+        "at least one bisection iteration is required"
+    );
     assert!(trials > 0, "at least one trial per point is required");
 
     let percolates = |q: f64, salt: u64| -> bool {
         let mut total = 0.0;
         for trial in 0..trials {
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(seed ^ (salt.wrapping_mul(0x9E37_79B9)) ^ u64::from(trial));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (salt.wrapping_mul(0x9E37_79B9)) ^ u64::from(trial),
+            );
             let mask = FailureMask::sample(overlay.key_space(), q, &mut rng);
             total += connected_components(overlay, &mask).giant_component_fraction();
         }

@@ -213,7 +213,7 @@ mod tests {
     fn error_display_is_descriptive() {
         let err = SimError::NotEnoughSurvivors { survivors: 1 };
         assert!(err.to_string().contains("two surviving"));
-        let err: SimError = std::io::Error::new(std::io::ErrorKind::Other, "disk full").into();
+        let err: SimError = std::io::Error::other("disk full").into();
         assert!(err.to_string().contains("disk full"));
     }
 

@@ -133,11 +133,14 @@ mod tests {
         let mask = FailureMask::none(s);
         let sampler = PairSampler::new(&mask).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for _ in 0..2000 {
             let (source, _) = sampler.sample(&mut rng);
             seen[source.value() as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "uniform sampling must cover all nodes");
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform sampling must cover all nodes"
+        );
     }
 }

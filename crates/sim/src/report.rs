@@ -63,7 +63,10 @@ impl SimulationRecord {
     /// percentages, when both are present.
     #[must_use]
     pub fn absolute_gap(&self) -> Option<f64> {
-        match (self.analytical_failed_percent, self.simulated_failed_percent) {
+        match (
+            self.analytical_failed_percent,
+            self.simulated_failed_percent,
+        ) {
             (Some(a), Some(s)) => Some((a - s).abs()),
             _ => None,
         }

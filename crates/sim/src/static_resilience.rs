@@ -42,7 +42,7 @@ pub struct StaticResilienceResult {
 ///
 /// Each trial samples a fresh failure pattern and a fresh set of pairs; pairs
 /// within a trial are split across the configured number of worker threads
-/// (crossbeam scoped threads), which is safe because overlays and masks are
+/// (std scoped threads), which is safe because overlays and masks are
 /// only read during measurement.
 #[derive(Debug, Clone)]
 pub struct StaticResilienceExperiment {
@@ -150,11 +150,11 @@ impl StaticResilienceExperiment {
         }
         let chunk_size = pairs.len().div_ceil(threads);
         let mut results: Vec<Vec<RouteOutcome>> = Vec::with_capacity(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = pairs
                 .chunks(chunk_size)
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         chunk
                             .iter()
                             .map(|&(source, target)| route(overlay, source, target, mask))
@@ -165,8 +165,7 @@ impl StaticResilienceExperiment {
             for handle in handles {
                 results.push(handle.join().expect("routing worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         results.into_iter().flatten().collect()
     }
 }
@@ -219,8 +218,7 @@ mod tests {
     fn tree_is_less_resilient_than_xor_in_simulation() {
         // The headline qualitative claim of Fig. 6(a), measured end to end.
         let seed = 23;
-        let tree =
-            PlaxtonOverlay::build(10, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let tree = PlaxtonOverlay::build(10, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
         let xor = KademliaOverlay::build(10, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
         let experiment = StaticResilienceExperiment::new(config(0.3));
         let tree_result = experiment.run(&tree);

@@ -106,9 +106,8 @@ impl TargetedFailure {
                         } else {
                             node.value().trailing_zeros().min(space.bits())
                         };
-                        let probability = (base_probability
-                            + per_zero_increment * f64::from(zeros))
-                        .min(1.0);
+                        let probability =
+                            (base_probability + per_zero_increment * f64::from(zeros)).min(1.0);
                         rng.gen_bool(probability)
                     }),
                 )
@@ -160,17 +159,20 @@ mod tests {
             .filter(|n| mask.is_failed(*n))
             .map(|n| n.value())
             .collect();
-        let breaks = failed
-            .windows(2)
-            .filter(|w| w[1] != w[0] + 1)
-            .count();
-        assert!(breaks <= 1, "an arc wraps at most once, found {breaks} breaks");
+        let breaks = failed.windows(2).filter(|w| w[1] != w[0] + 1).count();
+        assert!(
+            breaks <= 1,
+            "an arc wraps at most once, found {breaks} breaks"
+        );
     }
 
     #[test]
     fn prefix_failure_kills_exactly_one_subtree() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let pattern = TargetedFailure::Prefix { bits: 3, value: 0b101 };
+        let pattern = TargetedFailure::Prefix {
+            bits: 3,
+            value: 0b101,
+        };
         let mask = pattern.sample(space(10), &mut rng);
         assert_eq!(mask.failed_count(), 128);
         assert!((pattern.expected_failed_fraction(space(10)) - 0.125).abs() < 1e-12);

@@ -22,10 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== eDonkey-scale analysis (Kademlia / XOR geometry) ==\n");
 
     // 1. Analytical routability from 10^3 up to 10^9 nodes.
+    println!("Analytical routability at q = {failure_probability} as the network grows:");
     println!(
-        "Analytical routability at q = {failure_probability} as the network grows:"
+        "{:>14} {:>12} {:>12} {:>12}",
+        "nodes", "xor", "tree", "symphony"
     );
-    println!("{:>14} {:>12} {:>12} {:>12}", "nodes", "xor", "tree", "symphony");
     for bits in [10u32, 14, 18, 22, 26, 30] {
         let size = SystemSize::power_of_two(bits)?;
         let xor = Geometry::xor().routability(size, failure_probability)?;

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Analytical prediction for every geometry the paper studies.
     let size = SystemSize::power_of_two(bits)?;
-    println!("{:<12} {:>22} {:>14}", "geometry", "analytical routability", "failed paths %");
+    println!(
+        "{:<12} {:>22} {:>14}",
+        "geometry", "analytical routability", "failed paths %"
+    );
     for geometry in Geometry::all_with_default_parameters() {
         let report = geometry.routability(size, failure_probability)?;
         println!(

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example scalability_report`
 
-use dht_rcm::prelude::*;
 use dht_rcm::analysis::ln_success_probability;
+use dht_rcm::prelude::*;
 
 /// A Plaxton-style tree whose routing tables hold `k` candidates per level:
 /// a hop fails only if all `k` candidates for the required prefix are down,

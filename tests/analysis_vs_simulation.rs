@@ -16,7 +16,9 @@ fn measure<O: Overlay + Sync + ?Sized>(overlay: &O, q: f64, seed: u64) -> f64 {
         .with_pairs(PAIRS)
         .with_seed(seed)
         .with_threads(2);
-    StaticResilienceExperiment::new(config).run(overlay).routability
+    StaticResilienceExperiment::new(config)
+        .run(overlay)
+        .routability
 }
 
 fn predict(geometry: &Geometry, q: f64) -> f64 {

@@ -18,7 +18,11 @@ fn figure_7a_reproduces_the_scalable_unscalable_split() {
             .unwrap()
     };
     for unscalable in ["tree", "symphony"] {
-        assert!(failed(unscalable) > 99.9, "{unscalable}: {}", failed(unscalable));
+        assert!(
+            failed(unscalable) > 99.9,
+            "{unscalable}: {}",
+            failed(unscalable)
+        );
     }
     for scalable in ["hypercube", "xor", "ring"] {
         assert!(failed(scalable) < 60.0, "{scalable}: {}", failed(scalable));

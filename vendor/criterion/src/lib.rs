@@ -1,0 +1,235 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of criterion's surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! median-of-samples wall-clock harness instead of criterion's statistical
+//! machinery. Results print as `name  ...  <median> ns/iter (n samples)`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_COUNT: usize = 10;
+/// Target wall-clock spent per benchmark across all samples.
+const TARGET_TOTAL: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: DEFAULT_SAMPLE_COUNT,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_count, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_count: self.sample_count,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, count: usize) -> &mut Self {
+        self.sample_count = count.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_count, &mut routine);
+        self
+    }
+
+    /// Runs a benchmark that borrows a setup input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_count, &mut |b: &mut Bencher| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (a no-op in the vendored harness).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id made of just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Hands the routine under measurement to the timing loop.
+pub struct Bencher {
+    /// Iterations to run per sample, tuned by a calibration pass.
+    iterations: u64,
+    /// Duration of the most recent sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iterations` times.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_count: usize, routine: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: run single iterations until we know roughly how long one
+    // takes, then size samples to fit the target budget.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = TARGET_TOTAL / sample_count.max(1) as u32;
+    let iterations =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_count);
+    for _ in 0..sample_count {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        samples.push(bencher.elapsed.as_nanos() as f64 / iterations as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = samples[samples.len() / 2];
+    println!("{label:<60} {median:>14.1} ns/iter ({sample_count} samples x {iterations} iters)");
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = Criterion::default();
+        let mut runs = 0u64;
+        criterion.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(16), &16u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of proptest the workspace's property tests use: the [`Strategy`]
+//! trait over numeric ranges, tuples, [`Just`], `prop_map`, and
+//! [`prop_oneof!`]; the [`proptest!`] test macro with
+//! `#![proptest_config(...)]`; and the `prop_assert*`/`prop_assume!` family.
+//! Unlike upstream there is no shrinking: a failing case panics immediately
+//! with the generated inputs, which are reproducible because the generator
+//! seed is derived deterministically from the test name.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The items property tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests.
+///
+/// Each function's arguments are drawn from the given strategies; the body
+/// runs once per generated case and may bail out early with the
+/// `prop_assert*` macros or `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); ) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let strategy = ($($strategy,)+);
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(256);
+            while accepted < config.cases {
+                assert!(
+                    attempts < max_attempts,
+                    "proptest {}: gave up after {} attempts ({} accepted; too many prop_assume rejections?)",
+                    stringify!($name), attempts, accepted,
+                );
+                attempts += 1;
+                let ($($arg,)+) = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                let case_description = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest {} failed: {}\ninputs:\n{}",
+                            stringify!($name), message, case_description,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+}
+
+/// Fails the current case unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($condition:expr) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($condition)),
+            ));
+        }
+    };
+    ($condition:expr, $($format:tt)+) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($format)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($condition),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between the listed strategies (all must generate the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

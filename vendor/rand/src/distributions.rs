@@ -1,0 +1,200 @@
+//! The standard distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over the full domain for
+/// integers, uniform over `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)` using rejection sampling.
+        fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples uniformly from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Ranges that can drive [`SampleUniform`] sampling.
+    pub trait SampleRange<T> {
+        /// Samples a single value from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_inclusive(low, high, rng)
+        }
+    }
+
+    /// Samples uniformly from `[0, span)` without modulo bias via Lemire's
+    /// multiply-shift rejection method.
+    fn sample_u64_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+        debug_assert!(span > 0);
+        // Rejection zone: the lowest `2^64 mod span` values of the multiply's
+        // low word would over-represent small outputs.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let wide = u128::from(rng.next_u64()) * u128::from(span);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($ty:ty),+) => {$(
+            impl SampleUniform for $ty {
+                fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    low.wrapping_add(sample_u64_below(span, rng) as $ty)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full u64 domain.
+                        return rng.next_u64() as $ty;
+                    }
+                    low.wrapping_add(sample_u64_below(span, rng) as $ty)
+                }
+            }
+        )+};
+    }
+
+    impl_uniform_int!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_float {
+        ($($ty:ty),+) => {$(
+            impl SampleUniform for $ty {
+                fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    // Rejection-sample the rare case where rounding pushes
+                    // `low + unit * (high - low)` up to the excluded endpoint.
+                    // Terminates with probability 1: `unit` can be zero, and
+                    // `low + 0 * span == low < high`.
+                    loop {
+                        let unit = (rng.next_u64() >> 11) as $ty * (1.0 / (1u64 << 53) as $ty);
+                        let sample = low + unit * (high - low);
+                        if sample < high {
+                            return sample;
+                        }
+                    }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let unit = (rng.next_u64() >> 11) as $ty * (1.0 / ((1u64 << 53) - 1) as $ty);
+                    low + unit * (high - low)
+                }
+            }
+        )+};
+    }
+
+    impl_uniform_float!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use super::*;
+
+    struct Step(u64);
+    impl RngCore for Step {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = Step(42);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[(8u64..16).sample_single(&mut rng) as usize - 8] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
+    }
+
+    #[test]
+    fn float_range_stays_half_open() {
+        let mut rng = Step(3);
+        for _ in 0..10_000 {
+            let x = (0.25f64..0.75).sample_single(&mut rng);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+}

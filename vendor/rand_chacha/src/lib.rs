@@ -1,0 +1,179 @@
+//! Offline vendored ChaCha random number generators.
+//!
+//! Implements the ChaCha stream cipher keyed by a 256-bit seed as a
+//! deterministic RNG satisfying the vendored [`rand`] traits. The word
+//! streams are high-quality and reproducible across runs and platforms, but
+//! are **not** bit-compatible with the upstream `rand_chacha` crate — every
+//! consumer in this workspace only relies on determinism and statistical
+//! quality, never on specific stream values.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round applied to four state words.
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Generates one 64-byte ChaCha block with the given round count.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32, out: &mut [u32; 16]) {
+    let mut state = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (out_word, (mixed, start)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+        *out_word = mixed.wrapping_add(*start);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            /// Next unread word index in `buffer`; 16 means "refill".
+            index: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl $name {
+            #[inline]
+            fn refill(&mut self) {
+                chacha_block(&self.key, self.counter, $rounds, &mut self.buffer);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32();
+                let hi = self.next_u32();
+                u64::from(lo) | (u64::from(hi) << 32)
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(4) {
+                    let bytes = self.next_u32().to_le_bytes();
+                    chunk.copy_from_slice(&bytes[..chunk.len()]);
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: the fast simulation RNG."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn ietf_test_vector_first_block() {
+        // RFC 7539 §2.3.2 uses a 32-bit counter + 96-bit nonce layout; ours is
+        // the original 64-bit counter + 64-bit zero nonce, so we only check
+        // determinism and key sensitivity rather than the RFC keystream.
+        let a = ChaCha20Rng::from_seed([7; 32]).next_u64();
+        let b = ChaCha20Rng::from_seed([7; 32]).next_u64();
+        let c = ChaCha20Rng::from_seed([8; 32]).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn blocks_differ_across_counter_values() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,468 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset.
+//!
+//! The build environment has no crates.io access, so there is no `syn` or
+//! `quote`; the item definition is parsed directly from the
+//! [`proc_macro::TokenStream`] and the impls are generated as strings. The
+//! supported shapes are exactly what this workspace derives on: non-generic
+//! structs (named, tuple, unit) and enums whose variants are unit, tuple, or
+//! struct-like. `#[serde(...)]` helper attributes are accepted and ignored,
+//! except that single-field tuple structs are always serialized transparently
+//! (so `#[serde(transparent)]` newtypes behave as annotated).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    generate_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    generate_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            },
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(crate)`, ...).
+fn skip_attributes_and_visibility(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type_until_comma(&mut tokens);
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma,
+/// treating `<`/`>` pairs as nesting so `HashMap<K, V>` stays one type.
+fn skip_type_until_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.peek() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut arity = 0usize;
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            return arity;
+        }
+        arity += 1;
+        skip_type_until_comma(&mut tokens);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(group.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume a trailing comma (and reject explicit discriminants, which
+        // this workspace never combines with serde derives).
+        match tokens.next() {
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            // Single-field tuple structs serialize transparently, matching
+            // serde's newtype-struct convention in serde_json.
+            (name, "::serde::Serialize::to_value(&self.0)".to_owned())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_owned()),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| serialize_variant_arm(name, variant))
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{v} => \
+             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{v}(field0) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{v}\"), \
+                 ::serde::Serialize::to_value(field0))]),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let bindings: Vec<String> = (0..*arity).map(|i| format!("field{i}")).collect();
+            let items: Vec<String> = bindings
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Array(::std::vec![{}]))]),",
+                bindings.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Object(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(entries, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let entries = value.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let items = match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {arity} => items,\n\
+                         other => return ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected {arity}-element array for {name}, got {{}}\", \
+                             other.kind()))),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected null for {name}, got {{}}\", other.kind()))),\n\
+                 }}"
+            ),
+        ),
+        Shape::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|variant| {
+            let v = &variant.name;
+            match &variant.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let inits: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => match payload {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}::{v}({inits})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected {arity}-element array for {name}::{v}\")),\n\
+                         }},",
+                        inits = inits.join(", ")
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::get_field(inner, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                             let inner = payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                         }},",
+                        inits = inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {units}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant {{other}} of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {payloads}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown variant {{other}} of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {name} variant, got {{}}\", other.kind()))),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        payloads = payload_arms.join("\n")
+    )
+}

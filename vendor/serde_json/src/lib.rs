@@ -1,0 +1,532 @@
+//! Offline vendored JSON text encoding for the vendored [`serde`] subset.
+//!
+//! Provides [`to_string`], [`to_string_pretty`], and [`from_str`] over the
+//! [`serde::Value`] data model. Numbers round-trip exactly: floats are
+//! written with Rust's shortest-round-trip formatting, and integers keep
+//! their integer form. Non-finite floats (which JSON cannot express) are
+//! written as the strings `"Infinity"`, `"-Infinity"`, and `"NaN"`, which the
+//! vendored `f64` deserializer maps back.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; returns `Result` for API
+/// compatibility with upstream `serde_json`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(
+        &mut out,
+        &value.to_value(),
+        Layout {
+            indent: None,
+            depth: 0,
+        },
+    );
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; returns `Result` for API
+/// compatibility with upstream `serde_json`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(
+        &mut out,
+        &value.to_value(),
+        Layout {
+            indent: Some(2),
+            depth: 0,
+        },
+    );
+    Ok(out)
+}
+
+/// Parses a value of type `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_complete(text)?;
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Layout state threaded through the writer: indent step (None = compact)
+/// and current nesting depth.
+#[derive(Clone, Copy)]
+struct Layout {
+    indent: Option<usize>,
+    depth: usize,
+}
+
+impl Layout {
+    fn deeper(self) -> Layout {
+        Layout {
+            indent: self.indent,
+            depth: self.depth + 1,
+        }
+    }
+
+    fn break_line(self, out: &mut String, depth: usize) {
+        if let Some(step) = self.indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * depth));
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, layout: Layout) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_sequence(out, items, layout, '[', ']', |out, item, layout| {
+            write_value(out, item, layout);
+        }),
+        Value::Object(entries) => {
+            write_sequence(
+                out,
+                entries,
+                layout,
+                '{',
+                '}',
+                |out, (key, item), layout| {
+                    write_string(out, key);
+                    out.push(':');
+                    if layout.indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, item, layout);
+                },
+            );
+        }
+    }
+}
+
+fn write_sequence<T, F>(
+    out: &mut String,
+    items: &[T],
+    layout: Layout,
+    open: char,
+    close: char,
+    mut write_item: F,
+) where
+    F: FnMut(&mut String, &T, Layout),
+{
+    out.push(open);
+    if items.is_empty() {
+        out.push(close);
+        return;
+    }
+    for (index, item) in items.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        layout.break_line(out, layout.depth + 1);
+        write_item(out, item, layout.deeper());
+    }
+    layout.break_line(out, layout.depth);
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{}` is Rust's shortest round-trip representation. Ensure the text
+        // still reads as a float-compatible JSON number (it may lack a dot,
+        // e.g. "1", which parses back as an integer — the vendored f64
+        // deserializer accepts integer values, so round-trips are exact).
+        let _ = write!(out, "{x}");
+    } else if x.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if x > 0.0 {
+        out.push_str("\"Infinity\"");
+    } else {
+        out.push_str("\"-Infinity\"");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<(), Error> {
+        let found = self.peek()?;
+        if found != expected {
+            return Err(Error::custom(format!(
+                "expected `{}` at byte {}, found `{}`",
+                expected as char, self.pos, found as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.parse_keyword("null", Value::Null),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, Error> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}, found `{}`",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}, found `{}`",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err(Error::custom("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escape = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: must pair with \uXXXX low.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00));
+                                    out.push(
+                                        char::from_u32(combined).ok_or_else(|| {
+                                            Error::custom("invalid surrogate pair")
+                                        })?,
+                                    );
+                                } else {
+                                    return Err(Error::custom("unpaired surrogate"));
+                                }
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // the bytes are valid UTF-8).
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+        let text = std::str::from_utf8(digits).map_err(|_| Error::custom("invalid \\u escape"))?;
+        let code =
+            u32::from_str_radix(text, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::custom(format!(
+                "expected a JSON value at byte {start}"
+            )));
+        }
+        let is_integer = !text.contains(['.', 'e', 'E']);
+        if is_integer {
+            if text.starts_with('-') {
+                // Parse with the sign attached so i64::MIN stays exact.
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(if n == 0 { Value::U64(0) } else { Value::I64(n) });
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-17", "1.5", "1e-3"] {
+            let value = parse_value_complete(text).unwrap();
+            let back = parse_value_complete(&{
+                let mut out = String::new();
+                write_value(
+                    &mut out,
+                    &value,
+                    Layout {
+                        indent: None,
+                        depth: 0,
+                    },
+                );
+                out
+            })
+            .unwrap();
+            assert_eq!(value, back, "round-tripping {text}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1, 1.0 / 3.0, 89.4, f64::MIN_POSITIVE, 1e308] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn integer_extremes_round_trip() {
+        for &n in &[i64::MIN, i64::MIN + 1, -1, 0, i64::MAX] {
+            let text = to_string(&n).unwrap();
+            let back: i64 = from_str(&text).unwrap();
+            assert_eq!(back, n);
+        }
+        for &n in &[0u64, u64::MAX] {
+            let text = to_string(&n).unwrap();
+            let back: u64 = from_str(&text).unwrap();
+            assert_eq!(back, n);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_strings() {
+        assert_eq!(to_string(&f64::NEG_INFINITY).unwrap(), "\"-Infinity\"");
+        let back: f64 = from_str("\"-Infinity\"").unwrap();
+        assert_eq!(back, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "line\nwith \"quotes\" and \\ unicode \u{1F980} control \u{01}".to_owned();
+        let text = to_string(&original).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn surrogate_pairs_parse() {
+        let back: String = from_str("\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(back, "\u{1F980}");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let value = vec![vec![1u32, 2], vec![3]];
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("\n  "));
+        let back: Vec<Vec<u32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<bool>("true false").is_err());
+        assert!(from_str::<u32>("").is_err());
+    }
+}
