@@ -1,0 +1,72 @@
+//! Benchmarks of overlay construction into the shared CSR arena, across the
+//! five geometries and across occupancies — the fixed cost every simulated
+//! figure pays before routing a single message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht_id::{KeySpace, Population};
+use dht_overlay::{
+    CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay, PlaxtonOverlay, SymphonyOverlay,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const BITS: u32 = 12;
+
+fn bench_full_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_build_full_2_12");
+    group.bench_function(BenchmarkId::from_parameter("tree"), |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            black_box(PlaxtonOverlay::build(BITS, &mut rng).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("hypercube"), |b| {
+        b.iter(|| black_box(CanOverlay::build(BITS).unwrap()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("xor"), |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            black_box(KademliaOverlay::build(BITS, &mut rng).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("ring"), |b| {
+        b.iter(|| black_box(ChordOverlay::build(BITS, ChordVariant::Deterministic).unwrap()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("symphony"), |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            black_box(SymphonyOverlay::build(BITS, 1, 1, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_sparse_build(c: &mut Criterion) {
+    let space = KeySpace::new(BITS).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let population = Population::sample_uniform(space, 1 << (BITS - 2), &mut rng).unwrap();
+    let mut group = c.benchmark_group("overlay_build_sparse_2_12_quarter");
+    group.bench_function(BenchmarkId::from_parameter("ring"), |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            black_box(
+                ChordOverlay::build_over(population.clone(), ChordVariant::Randomized, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("xor"), |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            black_box(KademliaOverlay::build_over(population.clone(), &mut rng).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("hypercube"), |b| {
+        b.iter(|| black_box(CanOverlay::build_over(population.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_build, bench_sparse_build);
+criterion_main!(benches);

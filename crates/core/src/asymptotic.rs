@@ -3,7 +3,7 @@
 //! Fig. 7(a) evaluates the analytical routability expressions at `N = 2^100`
 //! across the failure-probability axis; Fig. 7(b) fixes `q = 0.1` and sweeps
 //! the system size from thousands to billions of nodes. Both sweeps are thin
-//! wrappers around [`crate::routability`] that return tabular data ready for
+//! wrappers around [`crate::routability()`] that return tabular data ready for
 //! the experiment harnesses and benches.
 
 use crate::error::RcmError;

@@ -110,7 +110,7 @@ impl Geometry {
     ///
     /// # Errors
     ///
-    /// See [`crate::routability`].
+    /// See [`crate::routability()`].
     pub fn routability(&self, size: SystemSize, q: f64) -> Result<RoutabilityReport, RcmError> {
         routability(self.as_routing_geometry(), size, q)
     }

@@ -1,16 +1,16 @@
 //! Closed-form `n(h)` and `Q(m)` expressions for the five paper geometries
 //! (§4.3), each implementing [`crate::RoutingGeometry`].
 //!
-//! | Module | Geometry | DHT | `n(h)` | Scalability (§5) |
-//! |--------|----------|-----|--------|------------------|
-//! | [`tree`] | prefix-correcting tree | Plaxton/Tapestry/Pastry-style | `C(d,h)` | unscalable |
-//! | [`hypercube`] | hypercube | CAN | `C(d,h)` | scalable |
-//! | [`xor`] | XOR | Kademlia (eDonkey/Kad) | `C(d,h)` | scalable |
-//! | [`ring`] | ring with fingers | Chord | `2^{h−1}` | scalable (lower bound) |
-//! | [`symphony`] | 1-D small world | Symphony | `2^{h−1}` | unscalable |
+//! | Type | Geometry | DHT | `n(h)` | Scalability (§5) |
+//! |------|----------|-----|--------|------------------|
+//! | [`TreeGeometry`] | prefix-correcting tree | Plaxton/Tapestry/Pastry-style | `C(d,h)` | unscalable |
+//! | [`HypercubeGeometry`] | hypercube | CAN | `C(d,h)` | scalable |
+//! | [`XorGeometry`] | XOR | Kademlia (eDonkey/Kad) | `C(d,h)` | scalable |
+//! | [`RingGeometry`] | ring with fingers | Chord | `2^{h−1}` | scalable (lower bound) |
+//! | [`SymphonyGeometry`] | 1-D small world | Symphony | `2^{h−1}` | unscalable |
 //!
 //! Every module carries unit tests pinning the closed forms against the
-//! routing Markov chains of [`dht_markov`], i.e. against the model the
+//! routing Markov chains of the `dht-markov` crate, i.e. against the model the
 //! formulas were derived from.
 
 mod hypercube;

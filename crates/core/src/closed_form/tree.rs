@@ -41,7 +41,7 @@ impl TreeGeometry {
     /// Evaluates the paper's fully closed-form routability
     /// `r = ((2 − q)^d − 1) / ((1 − q)·2^d − 1)` without going through the
     /// generic RCM machinery. Exact only while `2^d` fits an `f64`; the
-    /// generic log-space path in [`crate::routability`] has no such limit.
+    /// generic log-space path in [`crate::routability()`] has no such limit.
     ///
     /// # Errors
     ///

@@ -40,8 +40,8 @@ impl fmt::Display for ScalabilityClass {
 ///
 /// The paper evaluates its expressions at `N = 2^16` (Fig. 6), at `N = 2^100`
 /// (Fig. 7a) and across `N = 10^3 … 10^10` (Fig. 7b). Node counts up to
-/// `2^63` fit in the [`SystemSize::Nodes`] variant; anything larger must use
-/// [`SystemSize::PowerOfTwo`], and all downstream arithmetic stays in log
+/// `2^63` fit through [`SystemSize::nodes`]; anything larger must use
+/// [`SystemSize::power_of_two`], and all downstream arithmetic stays in log
 /// space.
 ///
 /// The paper assumes fully populated identifier spaces, so a node count is
@@ -143,7 +143,7 @@ impl fmt::Display for SystemSize {
 /// Implementors provide the two paper ingredients — the distance distribution
 /// `n(h)` (in log space) and the per-phase failure probability `Q(m)` — plus
 /// the analytically derived scalability verdict of §5. The framework functions
-/// in [`crate::phase`] and [`crate::routability`] consume any implementor,
+/// in [`crate::phase`] and [`crate::routability()`] consume any implementor,
 /// including user-defined geometries outside this crate.
 pub trait RoutingGeometry {
     /// Short human-readable name, e.g. `"xor"` or `"hypercube"`.

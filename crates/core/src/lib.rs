@@ -18,7 +18,7 @@
 //!    ([`RoutingGeometry::phase_failure_probability`]); the success
 //!    probability over `h` phases is `p(h, q) = ∏ (1 − Q(m))` ([`phase`]).
 //! 4. The expected reachable component is `E[S] = Σ n(h) p(h, q)`.
-//! 5. Routability is `r = E[S] / ((1 − q)·N − 1)` ([`routability`]).
+//! 5. Routability is `r = E[S] / ((1 − q)·N − 1)` ([`routability()`]).
 //!
 //! # The five geometries (§3, §4.3)
 //!

@@ -17,6 +17,7 @@
 //! | [`percolation_contrast`] | §1 reachable vs connected components |
 //! | [`symphony_ablation`] | §1/§3.5 remark: buying routability with more neighbours |
 //! | [`ring_bound_gap`] | §4.3.3 lower-bound tightness (Fig. 6b discussion) |
+//! | [`sparse_population`] | beyond the paper: resilience at `n < 2^d` occupancy |
 //!
 //! Every harness takes an explicit seed and sizes, so results are
 //! reproducible and the binaries can run a fast "smoke" configuration in CI
@@ -34,6 +35,7 @@ pub mod output;
 pub mod percolation_contrast;
 pub mod ring_bound_gap;
 pub mod scalability_table;
+pub mod sparse_population;
 pub mod symphony_ablation;
 
 pub use output::{render_records_table, write_json, write_records_csv};

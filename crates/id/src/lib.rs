@@ -16,7 +16,9 @@
 //! This crate provides [`NodeId`] (an identifier of up to 64 bits), the
 //! [`KeySpace`] describing an identifier space of `d` bits, and the distance
 //! functions in [`distance`]. The paper assumes *fully populated* identifier
-//! spaces (`N = 2^d`), which [`KeySpace::iter_ids`] enumerates directly.
+//! spaces (`N = 2^d`), which [`KeySpace::iter_ids`] enumerates directly;
+//! [`Population`] generalises this to sparse occupancy (`n < 2^d` occupied
+//! identifiers), which real deployments exhibit.
 //!
 //! # Example
 //!
@@ -38,9 +40,11 @@
 pub mod distance;
 pub mod keyspace;
 pub mod node_id;
+pub mod population;
 pub mod prefix;
 
 pub use distance::{hamming, ring_distance, xor_distance};
 pub use keyspace::KeySpace;
 pub use node_id::{IdError, NodeId};
+pub use population::Population;
 pub use prefix::{common_prefix_len, highest_differing_bit};

@@ -26,6 +26,8 @@ pub enum IdError {
         /// The identifier width in bits.
         bits: u32,
     },
+    /// A sparse population was constructed with no occupied identifiers.
+    EmptyPopulation,
 }
 
 impl fmt::Display for IdError {
@@ -42,6 +44,9 @@ impl fmt::Display for IdError {
             }
             IdError::BitOutOfRange { bit, bits } => {
                 write!(f, "bit index {bit} is outside a {bits}-bit identifier")
+            }
+            IdError::EmptyPopulation => {
+                write!(f, "a population needs at least one occupied identifier")
             }
         }
     }

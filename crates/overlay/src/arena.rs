@@ -1,0 +1,155 @@
+//! The shared compressed-sparse-row store for overlay routing tables.
+
+use dht_id::NodeId;
+
+/// A compressed-sparse-row arena holding every routing-table entry of an
+/// overlay in one flat allocation.
+///
+/// The seed implementation stored one `Vec<NodeId>` per node, which cost a
+/// pointer chase per `neighbors()` call and a separate heap allocation per
+/// node. The arena flattens all tables into a single `entries` vector with an
+/// `offsets` prefix-sum, so a node's table is a contiguous slice, construction
+/// performs O(1) allocations, and the total entry count — the overlay's edge
+/// count — is a field read instead of an O(N) walk.
+///
+/// Nodes are addressed by their *rank* in the overlay's
+/// [`Population`](dht_id::Population) (for a full population the rank equals
+/// the identifier value), in the order the tables were pushed.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::KeySpace;
+/// use dht_overlay::RoutingArena;
+///
+/// let space = KeySpace::new(4)?;
+/// let mut arena = RoutingArena::new();
+/// arena.push_table(&[space.wrap(1), space.wrap(2)]);
+/// arena.push_table(&[space.wrap(3)]);
+/// assert_eq!(arena.node_count(), 2);
+/// assert_eq!(arena.entry_count(), 3);
+/// assert_eq!(arena.neighbors(1), &[space.wrap(3)]);
+/// # Ok::<(), dht_id::IdError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingArena {
+    /// `offsets[i]..offsets[i + 1]` delimits the table of the rank-`i` node.
+    offsets: Vec<u32>,
+    /// Every routing-table entry, tables back to back in rank order.
+    entries: Vec<NodeId>,
+}
+
+impl Default for RoutingArena {
+    fn default() -> Self {
+        RoutingArena::new()
+    }
+}
+
+impl RoutingArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        RoutingArena {
+            offsets: vec![0],
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty arena with room for `nodes` tables totalling `entries`
+    /// entries, so construction does not reallocate.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, entries: usize) -> Self {
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
+        RoutingArena {
+            offsets,
+            entries: Vec::with_capacity(entries),
+        }
+    }
+
+    /// Appends the routing table of the next node and returns its rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total entry count would exceed `u32::MAX` (a `2^24`-node
+    /// overlay with full tables stays well below this).
+    pub fn push_table(&mut self, table: &[NodeId]) -> usize {
+        let rank = self.node_count();
+        self.entries.extend_from_slice(table);
+        let end = u32::try_from(self.entries.len())
+            .expect("routing arenas hold at most u32::MAX entries");
+        self.offsets.push(end);
+        rank
+    }
+
+    /// Number of node tables stored.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed routing-table entries, in O(1).
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// `true` when no table has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// The routing table of the node with the given rank, as a slice into the
+    /// arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= node_count()`.
+    #[must_use]
+    pub fn neighbors(&self, rank: usize) -> &[NodeId] {
+        let start = self.offsets[rank] as usize;
+        let end = self.offsets[rank + 1] as usize;
+        &self.entries[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_id::KeySpace;
+
+    fn ids(space: KeySpace, values: &[u64]) -> Vec<NodeId> {
+        values.iter().map(|&v| space.wrap(v)).collect()
+    }
+
+    #[test]
+    fn empty_arena_has_no_nodes_or_entries() {
+        let arena = RoutingArena::new();
+        assert!(arena.is_empty());
+        assert_eq!(arena.node_count(), 0);
+        assert_eq!(arena.entry_count(), 0);
+        assert_eq!(arena, RoutingArena::default());
+    }
+
+    #[test]
+    fn tables_round_trip_in_rank_order() {
+        let space = KeySpace::new(6).unwrap();
+        let mut arena = RoutingArena::with_capacity(3, 6);
+        assert_eq!(arena.push_table(&ids(space, &[1, 2, 3])), 0);
+        assert_eq!(arena.push_table(&[]), 1);
+        assert_eq!(arena.push_table(&ids(space, &[9, 10])), 2);
+        assert_eq!(arena.node_count(), 3);
+        assert_eq!(arena.entry_count(), 5);
+        assert_eq!(arena.neighbors(0), ids(space, &[1, 2, 3]).as_slice());
+        assert_eq!(arena.neighbors(1), &[]);
+        assert_eq!(arena.neighbors(2), ids(space, &[9, 10]).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_range_rank_panics() {
+        let arena = RoutingArena::new();
+        let _ = arena.neighbors(0);
+    }
+}

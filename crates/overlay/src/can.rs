@@ -1,8 +1,68 @@
 //! The CAN-style hypercube overlay (§3.2 of the paper).
 
 use crate::failure::FailureMask;
+use crate::generic::{GeometryOverlay, GeometryStrategy, NoRandomness};
 use crate::traits::{validate_bits, Overlay, OverlayError};
-use dht_id::{distance::hamming, KeySpace, NodeId};
+use dht_id::{distance::hamming, KeySpace, NodeId, Population};
+use rand::Rng;
+
+/// The hypercube geometry as a [`GeometryStrategy`]: one link per dimension,
+/// greedy forwarding on the Hamming distance.
+///
+/// Over a sparse population only the occupied single-bit flips are linked, so
+/// node degrees shrink with the occupancy and — unlike the ring and prefix
+/// geometries — an intact sparse hypercube is *not* guaranteed to be
+/// routable: greedy Hamming routing has no detour around a missing
+/// coordinate neighbour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CanStrategy;
+
+impl GeometryStrategy for CanStrategy {
+    fn geometry_name(&self) -> &'static str {
+        "hypercube"
+    }
+
+    fn table_len_hint(&self, population: &Population) -> usize {
+        // Expected degree d·occupancy; sizing for the full d only wastes
+        // capacity at low occupancy.
+        (population.space().bits() as f64 * population.occupancy()).ceil() as usize
+    }
+
+    fn build_table<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        node: NodeId,
+        _rng: &mut R,
+        table: &mut Vec<NodeId>,
+    ) {
+        for bit in 0..population.space().bits() {
+            let neighbor = node
+                .flip_bit(bit)
+                .expect("bit index is within the key space");
+            if population.contains(neighbor) {
+                table.push(neighbor);
+            }
+        }
+    }
+
+    fn next_hop(
+        &self,
+        neighbors: &[NodeId],
+        current: NodeId,
+        target: NodeId,
+        alive: &FailureMask,
+    ) -> Option<NodeId> {
+        let current_distance = hamming(current, target);
+        // Any alive neighbour that corrects one of the differing bits is a
+        // valid greedy hop; prefer the one correcting the highest-order bit to
+        // keep the choice deterministic.
+        neighbors
+            .iter()
+            .copied()
+            .filter(|&n| alive.is_alive(n) && hamming(n, target) < current_distance)
+            .min_by_key(|n| n.value() ^ target.value())
+    }
+}
 
 /// A binary hypercube overlay: node identifiers are coordinates in a
 /// `d`-dimensional binary space and each node is connected to the `d` nodes
@@ -26,8 +86,7 @@ use dht_id::{distance::hamming, KeySpace, NodeId};
 /// ```
 #[derive(Debug, Clone)]
 pub struct CanOverlay {
-    space: KeySpace,
-    tables: Vec<Vec<NodeId>>,
+    inner: GeometryOverlay<CanStrategy>,
 }
 
 impl CanOverlay {
@@ -39,44 +98,46 @@ impl CanOverlay {
     /// than [`crate::traits::MAX_OVERLAY_BITS`].
     pub fn build(bits: u32) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
-        let tables = space
-            .iter_ids()
-            .map(|node| {
-                (0..bits)
-                    .map(|bit| {
-                        node.flip_bit(bit)
-                            .expect("bit index is within the key space")
-                    })
-                    .collect()
-            })
-            .collect();
-        Ok(CanOverlay { space, tables })
+        Self::build_over(Population::full(space))
+    }
+
+    /// Builds the overlay over an arbitrary (possibly sparse) population;
+    /// each node links to the occupied identifiers one bit-flip away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] or
+    /// [`OverlayError::InvalidParameter`] as in [`GeometryOverlay::build`].
+    pub fn build_over(population: Population) -> Result<Self, OverlayError> {
+        Ok(CanOverlay {
+            inner: GeometryOverlay::build(population, CanStrategy, &mut NoRandomness)?,
+        })
     }
 }
 
 impl Overlay for CanOverlay {
     fn geometry_name(&self) -> &'static str {
-        "hypercube"
+        self.inner.geometry_name()
     }
 
     fn key_space(&self) -> KeySpace {
-        self.space
+        self.inner.key_space()
+    }
+
+    fn population(&self) -> &Population {
+        self.inner.population()
     }
 
     fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.tables[node.value() as usize]
+        self.inner.neighbors(node)
     }
 
     fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
-        let current_distance = hamming(current, target);
-        // Any alive neighbour that corrects one of the differing bits is a
-        // valid greedy hop; prefer the one correcting the highest-order bit to
-        // keep the choice deterministic.
-        self.neighbors(current)
-            .iter()
-            .copied()
-            .filter(|&n| alive.is_alive(n) && hamming(n, target) < current_distance)
-            .min_by_key(|n| n.value() ^ target.value())
+        self.inner.next_hop(current, target, alive)
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.inner.edge_count()
     }
 }
 
@@ -169,5 +230,43 @@ mod tests {
     fn rejects_oversized_spaces() {
         assert!(CanOverlay::build(0).is_err());
         assert!(CanOverlay::build(40).is_err());
+    }
+
+    #[test]
+    fn sparse_hypercube_links_only_occupied_flips() {
+        let space = KeySpace::new(4).unwrap();
+        // 0000, 0001, 0011: 0000 links only to 0001; 0001 to both others.
+        let population = Population::sparse(
+            space,
+            [space.wrap(0b0000), space.wrap(0b0001), space.wrap(0b0011)],
+        )
+        .unwrap();
+        let overlay = CanOverlay::build_over(population).unwrap();
+        assert_eq!(overlay.neighbors(space.wrap(0b0000)), &[space.wrap(0b0001)]);
+        assert_eq!(overlay.neighbors(space.wrap(0b0001)).len(), 2);
+        assert_eq!(overlay.edge_count(), 4);
+        // 0000 -> 0011 routes through 0001.
+        let mask = FailureMask::none_over(overlay.population());
+        assert_eq!(
+            route(&overlay, space.wrap(0b0000), space.wrap(0b0011), &mask),
+            RouteOutcome::Delivered { hops: 2 }
+        );
+    }
+
+    #[test]
+    fn sparse_hypercube_can_strand_messages_even_intact() {
+        let space = KeySpace::new(4).unwrap();
+        // 0000 and 0011 differ in two bits but neither intermediate (0001,
+        // 0010) is occupied: greedy Hamming routing has nowhere to go.
+        let population =
+            Population::sparse(space, [space.wrap(0b0000), space.wrap(0b0011)]).unwrap();
+        let overlay = CanOverlay::build_over(population).unwrap();
+        let mask = FailureMask::none_over(overlay.population());
+        match route(&overlay, space.wrap(0b0000), space.wrap(0b0011), &mask) {
+            RouteOutcome::Dropped { hops: 0, stuck_at } => {
+                assert_eq!(stuck_at, space.wrap(0b0000));
+            }
+            other => panic!("expected an immediate drop, got {other:?}"),
+        }
     }
 }

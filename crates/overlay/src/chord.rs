@@ -1,8 +1,9 @@
 //! The Chord-style ring overlay (§3.4 of the paper).
 
 use crate::failure::FailureMask;
+use crate::generic::{GeometryOverlay, GeometryStrategy, NoRandomness};
 use crate::traits::{validate_bits, Overlay, OverlayError};
-use dht_id::{distance::ring_distance, KeySpace, NodeId};
+use dht_id::{distance::ring_distance, KeySpace, NodeId, Population};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +16,103 @@ pub enum ChordVariant {
     /// Randomised Chord, the variant the paper analyses: the `i`-th finger is
     /// drawn uniformly from clockwise distance `[2^{i−1}, 2^i)`.
     Randomized,
+}
+
+/// The ring geometry as a [`GeometryStrategy`]: `d` fingers per node, greedy
+/// clockwise forwarding that never overshoots.
+///
+/// Over a sparse population each finger points at the *successor* of its
+/// target point — the first occupied identifier clockwise from
+/// `a + 2^{i−1} (+ offset)` — exactly as deployed Chord resolves fingers. The
+/// finger covering distance 1 therefore always holds the node's immediate
+/// successor, so an intact sparse ring remains fully routable.
+#[derive(Debug, Clone, Copy)]
+pub struct ChordStrategy {
+    variant: ChordVariant,
+}
+
+impl ChordStrategy {
+    /// A strategy for the given finger-selection variant.
+    #[must_use]
+    pub fn new(variant: ChordVariant) -> Self {
+        ChordStrategy { variant }
+    }
+
+    /// Which finger-selection variant this strategy applies.
+    #[must_use]
+    pub fn variant(&self) -> ChordVariant {
+        self.variant
+    }
+}
+
+impl GeometryStrategy for ChordStrategy {
+    fn geometry_name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn table_len_hint(&self, population: &Population) -> usize {
+        population.space().bits() as usize
+    }
+
+    fn build_table<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        node: NodeId,
+        rng: &mut R,
+        table: &mut Vec<NodeId>,
+    ) {
+        let bits = population.space().bits();
+        for finger in 1..=bits {
+            // Finger `finger` covers clockwise distance [2^{finger-1}, 2^finger).
+            let base = 1u64 << (finger - 1);
+            let span = base; // width of the interval
+            let offset = match self.variant {
+                ChordVariant::Deterministic => 0,
+                ChordVariant::Randomized => {
+                    if span <= 1 {
+                        0
+                    } else {
+                        rng.gen_range(0..span)
+                    }
+                }
+            };
+            let target_point = node.value().wrapping_add(base + offset);
+            table.push(population.successor(target_point));
+        }
+    }
+
+    fn next_hop(
+        &self,
+        neighbors: &[NodeId],
+        current: NodeId,
+        target: NodeId,
+        alive: &FailureMask,
+    ) -> Option<NodeId> {
+        ring_greedy_next_hop(neighbors, current, target, alive)
+    }
+}
+
+/// The greedy non-overshooting ring rule shared by the Chord and Symphony
+/// geometries: the hop must land within the arc `(current, target]`, and
+/// among those the one closest to the target (i.e. the longest admissible
+/// connection) wins.
+pub(crate) fn ring_greedy_next_hop(
+    neighbors: &[NodeId],
+    current: NodeId,
+    target: NodeId,
+    alive: &FailureMask,
+) -> Option<NodeId> {
+    let remaining = ring_distance(current, target);
+    neighbors
+        .iter()
+        .copied()
+        .filter(|&n| {
+            alive.is_alive(n) && {
+                let advance = ring_distance(current, n);
+                advance > 0 && advance <= remaining
+            }
+        })
+        .min_by_key(|&n| ring_distance(n, target))
 }
 
 /// A ring overlay with `d` fingers per node and greedy clockwise routing.
@@ -37,121 +135,102 @@ pub enum ChordVariant {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ChordOverlay {
-    space: KeySpace,
-    variant: ChordVariant,
-    tables: Vec<Vec<NodeId>>,
+    inner: GeometryOverlay<ChordStrategy>,
 }
 
 impl ChordOverlay {
-    /// Builds a deterministic-finger overlay (no randomness needed).
+    /// Builds a deterministic-finger overlay over the full population (no
+    /// randomness needed).
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
-    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    /// than [`crate::traits::MAX_OVERLAY_BITS`], or
+    /// [`OverlayError::InvalidParameter`] for the randomised variant (which
+    /// needs an RNG; use [`ChordOverlay::build_randomized`]).
     pub fn build(bits: u32, variant: ChordVariant) -> Result<Self, OverlayError> {
         match variant {
-            ChordVariant::Deterministic => Self::build_impl(bits, variant, |_, _| 0),
+            ChordVariant::Deterministic => {
+                let space = validate_bits(bits)?;
+                Self::build_over(Population::full(space), variant, &mut NoRandomness)
+            }
             ChordVariant::Randomized => Err(OverlayError::InvalidParameter {
                 message: "randomised fingers need an RNG; use build_randomized".into(),
             }),
         }
     }
 
-    /// Builds a randomised-finger overlay (the paper's variant).
+    /// Builds a randomised-finger overlay over the full population (the
+    /// paper's variant).
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
     /// than [`crate::traits::MAX_OVERLAY_BITS`].
     pub fn build_randomized<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
-        Self::build_impl(bits, ChordVariant::Randomized, |span, _finger| {
-            if span <= 1 {
-                0
-            } else {
-                rng.gen_range(0..span)
-            }
-        })
+        let space = validate_bits(bits)?;
+        Self::build_over(Population::full(space), ChordVariant::Randomized, rng)
     }
 
-    fn build_impl<F>(
-        bits: u32,
+    /// Builds the overlay over an arbitrary (possibly sparse) population;
+    /// fingers resolve to successors among the occupied identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] or
+    /// [`OverlayError::InvalidParameter`] as in [`GeometryOverlay::build`].
+    pub fn build_over<R: Rng + ?Sized>(
+        population: Population,
         variant: ChordVariant,
-        mut offset_within_span: F,
-    ) -> Result<Self, OverlayError>
-    where
-        F: FnMut(u64, u32) -> u64,
-    {
-        let space = validate_bits(bits)?;
-        let tables = space
-            .iter_ids()
-            .map(|node| {
-                (1..=bits)
-                    .map(|finger| {
-                        // Finger `finger` covers clockwise distance
-                        // [2^{finger-1}, 2^finger).
-                        let base = 1u64 << (finger - 1);
-                        let span = base; // width of the interval
-                        let distance = base + offset_within_span(span, finger);
-                        space.wrap(node.value().wrapping_add(distance))
-                    })
-                    .collect()
-            })
-            .collect();
+        rng: &mut R,
+    ) -> Result<Self, OverlayError> {
         Ok(ChordOverlay {
-            space,
-            variant,
-            tables,
+            inner: GeometryOverlay::build(population, ChordStrategy::new(variant), rng)?,
         })
     }
 
     /// Which finger-selection variant this overlay was built with.
     #[must_use]
     pub fn variant(&self) -> ChordVariant {
-        self.variant
+        self.inner.strategy().variant()
     }
 
     /// The `i`-th finger (1-based, covering distance `[2^{i−1}, 2^i)`).
     ///
     /// # Panics
     ///
-    /// Panics if `finger` is zero or exceeds `d`, or `node` is outside the key
-    /// space.
+    /// Panics if `finger` is zero or exceeds `d`, or `node` is not an occupied
+    /// identifier of the overlay.
     #[must_use]
     pub fn finger(&self, node: NodeId, finger: u32) -> NodeId {
         assert!(finger >= 1, "fingers are 1-based");
-        self.tables[node.value() as usize][(finger - 1) as usize]
+        self.inner.neighbors(node)[(finger - 1) as usize]
     }
 }
 
 impl Overlay for ChordOverlay {
     fn geometry_name(&self) -> &'static str {
-        "ring"
+        self.inner.geometry_name()
     }
 
     fn key_space(&self) -> KeySpace {
-        self.space
+        self.inner.key_space()
+    }
+
+    fn population(&self) -> &Population {
+        self.inner.population()
     }
 
     fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.tables[node.value() as usize]
+        self.inner.neighbors(node)
     }
 
     fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
-        let remaining = ring_distance(current, target);
-        // Greedy without overshooting: the finger must land within the arc
-        // (current, target], and among those the one closest to the target
-        // (i.e. the longest admissible finger) wins.
-        self.neighbors(current)
-            .iter()
-            .copied()
-            .filter(|&n| {
-                alive.is_alive(n) && {
-                    let advance = ring_distance(current, n);
-                    advance > 0 && advance <= remaining
-                }
-            })
-            .min_by_key(|&n| ring_distance(n, target))
+        self.inner.next_hop(current, target, alive)
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.inner.edge_count()
     }
 }
 
@@ -287,5 +366,51 @@ mod tests {
     fn build_variant_mismatch_is_rejected() {
         assert!(ChordOverlay::build(8, ChordVariant::Randomized).is_err());
         assert!(ChordOverlay::build(0, ChordVariant::Deterministic).is_err());
+    }
+
+    #[test]
+    fn sparse_fingers_resolve_to_successors() {
+        let space = KeySpace::new(8).unwrap();
+        let population = Population::sparse(
+            space,
+            [10u64, 60, 130, 200].into_iter().map(|v| space.wrap(v)),
+        )
+        .unwrap();
+        let overlay =
+            ChordOverlay::build_over(population, ChordVariant::Deterministic, &mut NoRandomness)
+                .unwrap();
+        let node = space.wrap(10);
+        // Finger 1 targets 11 -> successor 60; finger 8 targets 138 -> 200.
+        assert_eq!(overlay.finger(node, 1), space.wrap(60));
+        assert_eq!(overlay.finger(node, 8), space.wrap(200));
+        // Every finger of every node lands on an occupied identifier.
+        for n in overlay.population().iter_nodes() {
+            for &f in overlay.neighbors(n) {
+                assert!(overlay.population().contains(f));
+            }
+        }
+        // Unoccupied identifiers expose no routing table.
+        assert!(overlay.neighbors(space.wrap(11)).is_empty());
+    }
+
+    #[test]
+    fn sparse_intact_ring_always_delivers() {
+        let space = KeySpace::new(12).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let population = Population::sample_uniform(space, 1 << 10, &mut rng).unwrap();
+        let overlay =
+            ChordOverlay::build_over(population.clone(), ChordVariant::Randomized, &mut rng)
+                .unwrap();
+        let mask = FailureMask::none_over(overlay.population());
+        for _ in 0..200 {
+            let source = overlay.population().random_node(&mut rng);
+            let target = overlay.population().random_node(&mut rng);
+            assert!(
+                route(&overlay, source, target, &mask).is_delivered(),
+                "sparse ring must deliver without failures"
+            );
+        }
+        assert_eq!(overlay.node_count(), 1 << 10);
+        assert_eq!(overlay.edge_count(), (1 << 10) * 12);
     }
 }

@@ -1,15 +1,20 @@
 //! Frozen node-failure patterns (the static resilience model).
 
-use dht_id::{KeySpace, NodeId};
+use dht_id::{KeySpace, NodeId, Population};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A frozen set of failed nodes over a fully populated identifier space.
+/// A frozen set of failed nodes over the occupied identifiers of a space.
 ///
 /// The paper's failure model removes each node independently with probability
 /// `q` and keeps every surviving node's routing table unchanged. A
 /// [`FailureMask`] captures one such removal pattern; routing functions query
 /// it on every hop.
+///
+/// Masks are population-aware: over a sparse [`Population`] the unoccupied
+/// identifiers are permanently "failed" (there is no node to forward
+/// through), while [`FailureMask::failed_count`] and
+/// [`FailureMask::alive_count`] always refer to *occupied* nodes only.
 ///
 /// # Example
 ///
@@ -31,10 +36,11 @@ pub struct FailureMask {
     space: KeySpace,
     failed: Vec<bool>,
     failed_count: u64,
+    population_size: u64,
 }
 
 impl FailureMask {
-    /// Creates a mask with no failures.
+    /// Creates a mask with no failures over a fully populated space.
     ///
     /// # Panics
     ///
@@ -51,32 +57,77 @@ impl FailureMask {
             space,
             failed: vec![false; space.population() as usize],
             failed_count: 0,
+            population_size: space.population(),
         }
     }
 
-    /// Samples a mask in which every node fails independently with
-    /// probability `q`.
+    /// Creates a mask with no failures over the occupied identifiers of
+    /// `population`; unoccupied identifiers read as failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space has more than `2^32` identifiers.
+    #[must_use]
+    pub fn none_over(population: &Population) -> Self {
+        if population.is_full() {
+            return FailureMask::none(population.space());
+        }
+        let space = population.space();
+        assert!(
+            space.bits() <= 32,
+            "failure masks materialise every node; {}-bit spaces are analytical-only",
+            space.bits()
+        );
+        let mut failed = vec![true; space.population() as usize];
+        for node in population.iter_nodes() {
+            failed[node.value() as usize] = false;
+        }
+        FailureMask {
+            space,
+            failed,
+            failed_count: 0,
+            population_size: population.node_count(),
+        }
+    }
+
+    /// Samples a mask over a fully populated space in which every node fails
+    /// independently with probability `q`.
     ///
     /// # Panics
     ///
     /// Panics if `q` is not in `[0, 1]` or the space is larger than `2^32`.
     #[must_use]
     pub fn sample<R: Rng + ?Sized>(space: KeySpace, q: f64, rng: &mut R) -> Self {
+        Self::sample_over(&Population::full(space), q, rng)
+    }
+
+    /// Samples a mask in which every *occupied* node fails independently with
+    /// probability `q` (unoccupied identifiers read as failed regardless).
+    ///
+    /// Over a full population this draws the identical mask (and RNG stream)
+    /// as [`FailureMask::sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]` or the space is larger than `2^32`.
+    #[must_use]
+    pub fn sample_over<R: Rng + ?Sized>(population: &Population, q: f64, rng: &mut R) -> Self {
         assert!(
             (0.0..=1.0).contains(&q),
             "failure probability must be in [0,1]"
         );
-        let mut mask = FailureMask::none(space);
-        for slot in mask.failed.iter_mut() {
+        let mut mask = FailureMask::none_over(population);
+        for node in population.iter_nodes() {
             if rng.gen_bool(q) {
-                *slot = true;
+                mask.failed[node.value() as usize] = true;
                 mask.failed_count += 1;
             }
         }
         mask
     }
 
-    /// Creates a mask from an explicit list of failed identifiers.
+    /// Creates a mask over a fully populated space from an explicit list of
+    /// failed identifiers.
     ///
     /// Identifiers outside the space are ignored; duplicates count once.
     #[must_use]
@@ -101,7 +152,15 @@ impl FailureMask {
         self.space
     }
 
-    /// Returns `true` if `node` failed.
+    /// Number of occupied identifiers this mask tracks (`2^d` for masks over
+    /// a full population).
+    #[must_use]
+    pub fn population_size(&self) -> u64 {
+        self.population_size
+    }
+
+    /// Returns `true` if `node` failed (or is unoccupied, for masks over a
+    /// sparse population).
     ///
     /// # Panics
     ///
@@ -116,7 +175,7 @@ impl FailureMask {
         self.failed[node.value() as usize]
     }
 
-    /// Returns `true` if `node` survived.
+    /// Returns `true` if `node` is an occupied identifier that survived.
     ///
     /// # Panics
     ///
@@ -126,16 +185,16 @@ impl FailureMask {
         !self.is_failed(node)
     }
 
-    /// Number of failed nodes.
+    /// Number of failed occupied nodes.
     #[must_use]
     pub fn failed_count(&self) -> u64 {
         self.failed_count
     }
 
-    /// Number of surviving nodes.
+    /// Number of surviving occupied nodes.
     #[must_use]
     pub fn alive_count(&self) -> u64 {
-        self.space.population() - self.failed_count
+        self.population_size - self.failed_count
     }
 
     /// Iterates over the surviving node identifiers in ascending order.
@@ -153,8 +212,9 @@ impl FailureMask {
             })
     }
 
-    /// Marks a single node as failed (idempotent). Useful for targeted-failure
-    /// experiments.
+    /// Marks a single node as failed (idempotent; a no-op for unoccupied
+    /// identifiers, which already read as failed). Useful for
+    /// targeted-failure experiments.
     ///
     /// # Panics
     ///
@@ -188,6 +248,7 @@ mod tests {
         let mask = FailureMask::none(space(8));
         assert_eq!(mask.failed_count(), 0);
         assert_eq!(mask.alive_count(), 256);
+        assert_eq!(mask.population_size(), 256);
         assert_eq!(mask.alive_nodes().count(), 256);
         assert!(mask.is_alive(space(8).wrap(17)));
     }
@@ -239,6 +300,54 @@ mod tests {
         let mask = FailureMask::from_failed_nodes(s, (0..16).map(|v| s.wrap(v)));
         let alive: Vec<u64> = mask.alive_nodes().map(|n| n.value()).collect();
         assert_eq!(alive, (16..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sparse_population_masks_treat_unoccupied_as_failed() {
+        let s = space(6);
+        let population = Population::sparse(s, [s.wrap(3), s.wrap(40), s.wrap(41)]).unwrap();
+        let mask = FailureMask::none_over(&population);
+        assert_eq!(mask.population_size(), 3);
+        assert_eq!(mask.failed_count(), 0);
+        assert_eq!(mask.alive_count(), 3);
+        assert!(mask.is_alive(s.wrap(3)));
+        assert!(mask.is_failed(s.wrap(4)), "unoccupied ids read as failed");
+        let alive: Vec<u64> = mask.alive_nodes().map(|n| n.value()).collect();
+        assert_eq!(alive, vec![3, 40, 41]);
+    }
+
+    #[test]
+    fn sampling_over_a_sparse_population_only_fails_occupied_nodes() {
+        let s = space(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let population = Population::sample_uniform(s, 300, &mut rng).unwrap();
+        let mask = FailureMask::sample_over(&population, 0.5, &mut rng);
+        assert_eq!(mask.population_size(), 300);
+        assert_eq!(mask.alive_count() + mask.failed_count(), 300);
+        assert!(mask.failed_count() > 100 && mask.failed_count() < 200);
+        for node in mask.alive_nodes() {
+            assert!(population.contains(node));
+        }
+    }
+
+    #[test]
+    fn sample_over_full_population_matches_sample() {
+        let s = space(9);
+        let direct = FailureMask::sample(s, 0.3, &mut ChaCha8Rng::seed_from_u64(4));
+        let via_population =
+            FailureMask::sample_over(&Population::full(s), 0.3, &mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(direct, via_population);
+    }
+
+    #[test]
+    fn failing_an_unoccupied_identifier_is_a_counted_noop() {
+        let s = space(5);
+        let population = Population::sparse(s, [s.wrap(1), s.wrap(2)]).unwrap();
+        let mut mask = FailureMask::none_over(&population);
+        mask.fail_node(s.wrap(9));
+        assert_eq!(mask.failed_count(), 0, "unoccupied ids never count");
+        mask.fail_node(s.wrap(1));
+        assert_eq!(mask.failed_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! The generic overlay shared by all five routing geometries.
+
+use crate::arena::RoutingArena;
+use crate::failure::FailureMask;
+use crate::traits::{validate_population, Overlay, OverlayError};
+use dht_id::{NodeId, Population};
+use rand::Rng;
+
+/// One routing geometry: how tables are built and how the greedy hop is
+/// chosen.
+///
+/// The five geometry modules of this crate each provide one implementation
+/// (e.g. [`crate::chord::ChordStrategy`]); [`GeometryOverlay`] supplies
+/// everything else — CSR storage, population handling, validation and the
+/// [`Overlay`] plumbing — exactly once.
+pub trait GeometryStrategy {
+    /// Short name of the routing geometry (matches the analytical crate),
+    /// e.g. `"xor"`.
+    fn geometry_name(&self) -> &'static str;
+
+    /// Expected routing-table length per node, used to pre-size the arena.
+    fn table_len_hint(&self, population: &Population) -> usize;
+
+    /// Appends the routing-table entries of `node` to `table`, choosing
+    /// targets among the occupied identifiers of `population`.
+    ///
+    /// For a full population implementations must reproduce the paper's
+    /// construction (and its RNG stream) exactly; for a sparse one they remap
+    /// each conceptual target onto the occupied set (successor, bucket
+    /// sampling, …). Positional tables (tree levels, ring fingers) push the
+    /// node itself as a placeholder for an unsatisfiable slot — `next_hop`
+    /// implementations treat a self-entry as absent.
+    fn build_table<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        node: NodeId,
+        rng: &mut R,
+        table: &mut Vec<NodeId>,
+    );
+
+    /// The geometry's greedy forwarding rule over the `neighbors` table of
+    /// `current`, restricted to alive nodes.
+    fn next_hop(
+        &self,
+        neighbors: &[NodeId],
+        current: NodeId,
+        target: NodeId,
+        alive: &FailureMask,
+    ) -> Option<NodeId>;
+}
+
+/// An executable overlay: a [`GeometryStrategy`] plus a [`Population`] plus
+/// one [`RoutingArena`] holding every routing table.
+///
+/// The five public overlay types ([`crate::ChordOverlay`] etc.) are thin
+/// wrappers around this struct; use them unless you are adding a new
+/// geometry.
+///
+/// # Example
+///
+/// ```rust
+/// use dht_id::Population;
+/// use dht_overlay::chord::ChordStrategy;
+/// use dht_overlay::{ChordVariant, GeometryOverlay, Overlay};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let space = dht_id::KeySpace::new(8)?;
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let overlay = GeometryOverlay::build(
+///     Population::full(space),
+///     ChordStrategy::new(ChordVariant::Randomized),
+///     &mut rng,
+/// )?;
+/// assert_eq!(overlay.edge_count(), 256 * 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeometryOverlay<S> {
+    population: Population,
+    strategy: S,
+    arena: RoutingArena,
+}
+
+impl<S: GeometryStrategy> GeometryOverlay<S> {
+    /// Builds the overlay over the occupied identifiers of `population`,
+    /// drawing any construction randomness from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] if the identifier space is
+    /// unsupported (see [`crate::traits::MAX_OVERLAY_BITS`]), or
+    /// [`OverlayError::InvalidParameter`] if fewer than two identifiers are
+    /// occupied.
+    pub fn build<R: Rng + ?Sized>(
+        population: Population,
+        strategy: S,
+        rng: &mut R,
+    ) -> Result<Self, OverlayError> {
+        validate_population(&population)?;
+        let nodes = population.node_count() as usize;
+        let mut arena =
+            RoutingArena::with_capacity(nodes, nodes * strategy.table_len_hint(&population));
+        let mut table = Vec::with_capacity(strategy.table_len_hint(&population));
+        for node in population.iter_nodes() {
+            table.clear();
+            strategy.build_table(&population, node, rng, &mut table);
+            arena.push_table(&table);
+        }
+        Ok(GeometryOverlay {
+            population,
+            strategy,
+            arena,
+        })
+    }
+
+    /// The geometry strategy driving this overlay.
+    #[must_use]
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// The CSR arena holding every routing table.
+    #[must_use]
+    pub fn arena(&self) -> &RoutingArena {
+        &self.arena
+    }
+}
+
+impl<S: GeometryStrategy> Overlay for GeometryOverlay<S> {
+    fn geometry_name(&self) -> &'static str {
+        self.strategy.geometry_name()
+    }
+
+    fn population(&self) -> &Population {
+        &self.population
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        debug_assert_eq!(
+            node.bits(),
+            self.population.space().bits(),
+            "node belongs to a different key space"
+        );
+        let node = self.population.space().wrap(node.value());
+        match self.population.index_of(node) {
+            Some(rank) => self.arena.neighbors(rank as usize),
+            None => &[],
+        }
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        self.strategy
+            .next_hop(self.neighbors(current), current, target, alive)
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.arena.entry_count()
+    }
+}
+
+/// An RNG for construction paths that must not consume randomness
+/// (deterministic Chord fingers, the hypercube). Drawing from it panics, which
+/// turns an accidental draw into a loud bug instead of a silent
+/// reproducibility break.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NoRandomness;
+
+impl rand::RngCore for NoRandomness {
+    fn next_u32(&mut self) -> u32 {
+        panic!("deterministic overlay construction must not draw randomness");
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        panic!("deterministic overlay construction must not draw randomness");
+    }
+
+    fn fill_bytes(&mut self, _dest: &mut [u8]) {
+        panic!("deterministic overlay construction must not draw randomness");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_id::KeySpace;
+
+    /// A minimal strategy: every node links to its clockwise successor.
+    #[derive(Debug, Clone, Copy)]
+    struct SuccessorStrategy;
+
+    impl GeometryStrategy for SuccessorStrategy {
+        fn geometry_name(&self) -> &'static str {
+            "successor"
+        }
+
+        fn table_len_hint(&self, _population: &Population) -> usize {
+            1
+        }
+
+        fn build_table<R: Rng + ?Sized>(
+            &self,
+            population: &Population,
+            node: NodeId,
+            _rng: &mut R,
+            table: &mut Vec<NodeId>,
+        ) {
+            table.push(population.successor(node.value().wrapping_add(1)));
+        }
+
+        fn next_hop(
+            &self,
+            neighbors: &[NodeId],
+            current: NodeId,
+            _target: NodeId,
+            alive: &FailureMask,
+        ) -> Option<NodeId> {
+            neighbors
+                .iter()
+                .copied()
+                .find(|&n| n != current && alive.is_alive(n))
+        }
+    }
+
+    fn space(bits: u32) -> KeySpace {
+        KeySpace::new(bits).unwrap()
+    }
+
+    #[test]
+    fn full_population_overlay_uses_the_arena() {
+        let overlay = GeometryOverlay::build(
+            Population::full(space(4)),
+            SuccessorStrategy,
+            &mut NoRandomness,
+        )
+        .unwrap();
+        assert_eq!(overlay.node_count(), 16);
+        assert_eq!(overlay.edge_count(), 16);
+        assert_eq!(overlay.arena().entry_count(), 16);
+        let s = overlay.key_space();
+        assert_eq!(overlay.neighbors(s.wrap(3)), &[s.wrap(4)]);
+        assert_eq!(overlay.neighbors(s.wrap(15)), &[s.wrap(0)]);
+    }
+
+    #[test]
+    fn sparse_population_maps_ranks_and_returns_empty_for_unoccupied() {
+        let s = space(6);
+        let population = Population::sparse(s, [s.wrap(5), s.wrap(40), s.wrap(9)]).unwrap();
+        let overlay =
+            GeometryOverlay::build(population, SuccessorStrategy, &mut NoRandomness).unwrap();
+        assert_eq!(overlay.node_count(), 3);
+        assert_eq!(overlay.neighbors(s.wrap(5)), &[s.wrap(9)]);
+        assert_eq!(overlay.neighbors(s.wrap(40)), &[s.wrap(5)]);
+        assert_eq!(overlay.neighbors(s.wrap(7)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn too_small_populations_are_rejected() {
+        let s = space(6);
+        let one = Population::sparse(s, [s.wrap(1)]).unwrap();
+        assert!(matches!(
+            GeometryOverlay::build(one, SuccessorStrategy, &mut NoRandomness),
+            Err(OverlayError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -1,9 +1,110 @@
 //! The Kademlia-style XOR overlay (§3.3 of the paper).
 
 use crate::failure::FailureMask;
+use crate::generic::{GeometryOverlay, GeometryStrategy};
 use crate::traits::{validate_bits, Overlay, OverlayError};
-use dht_id::{distance::xor_distance, KeySpace, NodeId};
+use dht_id::{distance::xor_distance, KeySpace, NodeId, Population};
 use rand::Rng;
+
+/// The XOR geometry as a [`GeometryStrategy`]: one contact per bucket,
+/// forwarding to whichever alive contact is XOR-closest to the target.
+///
+/// Bucket `i` of node `a` is the subtree of identifiers sharing `a`'s first
+/// `i` bits and differing at bit `i` — a contiguous, aligned range of raw
+/// values. Over a full population the contact is `a` with bit `i` flipped and
+/// a uniformly random suffix (the paper's construction); over a sparse one it
+/// is drawn uniformly from the *occupied* identifiers of that range, and an
+/// empty bucket stores the node itself as a placeholder (ignored while
+/// routing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KademliaStrategy;
+
+/// The inclusive raw-value range of the bucket subtree: identifiers matching
+/// `node` on bits `0..bucket` (MSB-first) and differing at bit `bucket`.
+fn bucket_range(node: NodeId, bucket: u32) -> (u64, u64) {
+    let bits = node.bits();
+    let flipped = node
+        .flip_bit(bucket)
+        .expect("bucket index is within the key space");
+    let suffix_bits = bits - bucket - 1;
+    let suffix_mask = if suffix_bits == 0 {
+        0
+    } else {
+        (1u64 << suffix_bits) - 1
+    };
+    let lo = flipped.value() & !suffix_mask;
+    (lo, lo | suffix_mask)
+}
+
+/// Pushes one prefix-bucket contact per level, shared by the XOR and tree
+/// geometries (their routing tables are structurally identical; §3.3).
+pub(crate) fn build_prefix_table<R: Rng + ?Sized>(
+    population: &Population,
+    node: NodeId,
+    rng: &mut R,
+    table: &mut Vec<NodeId>,
+) {
+    let space = population.space();
+    let bits = space.bits();
+    if population.is_full() {
+        for bucket in 0..bits {
+            // Bucket `bucket` (0 = widest): flip bit `bucket`, randomise
+            // everything below it.
+            let random_suffix = space.random_id(rng);
+            table.push(
+                node.flip_bit(bucket)
+                    .expect("bucket index is within the key space")
+                    .splice_prefix(bucket + 1, random_suffix)
+                    .expect("identifier widths match"),
+            );
+        }
+    } else {
+        for bucket in 0..bits {
+            let (lo, hi) = bucket_range(node, bucket);
+            match population.random_in_range(lo, hi, rng) {
+                Some(contact) => table.push(contact),
+                // No occupied identifier in this subtree: store the node
+                // itself; next-hop rules never select a zero-progress entry.
+                None => table.push(node),
+            }
+        }
+    }
+}
+
+impl GeometryStrategy for KademliaStrategy {
+    fn geometry_name(&self) -> &'static str {
+        "xor"
+    }
+
+    fn table_len_hint(&self, population: &Population) -> usize {
+        population.space().bits() as usize
+    }
+
+    fn build_table<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        node: NodeId,
+        rng: &mut R,
+        table: &mut Vec<NodeId>,
+    ) {
+        build_prefix_table(population, node, rng, table);
+    }
+
+    fn next_hop(
+        &self,
+        neighbors: &[NodeId],
+        current: NodeId,
+        target: NodeId,
+        alive: &FailureMask,
+    ) -> Option<NodeId> {
+        let current_distance = xor_distance(current, target);
+        neighbors
+            .iter()
+            .copied()
+            .filter(|&n| alive.is_alive(n) && xor_distance(n, target) < current_distance)
+            .min_by_key(|&n| xor_distance(n, target))
+    }
+}
 
 /// An XOR-metric overlay modelling the basic Kademlia geometry: one contact
 /// per bucket.
@@ -30,8 +131,7 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct KademliaOverlay {
-    space: KeySpace,
-    tables: Vec<Vec<NodeId>>,
+    inner: GeometryOverlay<KademliaStrategy>,
 }
 
 impl KademliaOverlay {
@@ -44,57 +144,63 @@ impl KademliaOverlay {
     /// than [`crate::traits::MAX_OVERLAY_BITS`].
     pub fn build<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
-        let tables = space
-            .iter_ids()
-            .map(|node| {
-                (0..bits)
-                    .map(|bucket| {
-                        // Bucket `bucket` (0 = widest): flip bit `bucket`,
-                        // randomise everything below it.
-                        let random_suffix = space.random_id(rng);
-                        node.flip_bit(bucket)
-                            .expect("bucket index is within the key space")
-                            .splice_prefix(bucket + 1, random_suffix)
-                            .expect("identifier widths match")
-                    })
-                    .collect()
-            })
-            .collect();
-        Ok(KademliaOverlay { space, tables })
+        Self::build_over(Population::full(space), rng)
+    }
+
+    /// Builds the overlay over an arbitrary (possibly sparse) population;
+    /// bucket contacts are drawn uniformly from the occupied identifiers of
+    /// each bucket subtree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] or
+    /// [`OverlayError::InvalidParameter`] as in [`GeometryOverlay::build`].
+    pub fn build_over<R: Rng + ?Sized>(
+        population: Population,
+        rng: &mut R,
+    ) -> Result<Self, OverlayError> {
+        Ok(KademliaOverlay {
+            inner: GeometryOverlay::build(population, KademliaStrategy, rng)?,
+        })
     }
 
     /// The contact stored in bucket `bucket` (0 = the bucket covering the far
-    /// half of the identifier space).
+    /// half of the identifier space). Over a sparse population an empty
+    /// bucket reports the node itself.
     ///
     /// # Panics
     ///
-    /// Panics if `bucket >= d` or `node` is outside the key space.
+    /// Panics if `bucket >= d` or `node` is not an occupied identifier of the
+    /// overlay.
     #[must_use]
     pub fn bucket_contact(&self, node: NodeId, bucket: u32) -> NodeId {
-        self.tables[node.value() as usize][bucket as usize]
+        self.inner.neighbors(node)[bucket as usize]
     }
 }
 
 impl Overlay for KademliaOverlay {
     fn geometry_name(&self) -> &'static str {
-        "xor"
+        self.inner.geometry_name()
     }
 
     fn key_space(&self) -> KeySpace {
-        self.space
+        self.inner.key_space()
+    }
+
+    fn population(&self) -> &Population {
+        self.inner.population()
     }
 
     fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.tables[node.value() as usize]
+        self.inner.neighbors(node)
     }
 
     fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
-        let current_distance = xor_distance(current, target);
-        self.neighbors(current)
-            .iter()
-            .copied()
-            .filter(|&n| alive.is_alive(n) && xor_distance(n, target) < current_distance)
-            .min_by_key(|&n| xor_distance(n, target))
+        self.inner.next_hop(current, target, alive)
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.inner.edge_count()
     }
 }
 
@@ -240,5 +346,46 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert!(KademliaOverlay::build(0, &mut rng).is_err());
         assert!(KademliaOverlay::build(33, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sparse_bucket_contacts_stay_inside_their_subtree() {
+        let space = KeySpace::new(10).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let population = Population::sample_uniform(space, 200, &mut rng).unwrap();
+        let overlay = KademliaOverlay::build_over(population.clone(), &mut rng).unwrap();
+        for node in overlay.population().iter_nodes() {
+            for bucket in 0..10u32 {
+                let contact = overlay.bucket_contact(node, bucket);
+                if contact == node {
+                    // Placeholder: the subtree holds no occupied identifier.
+                    let (lo, hi) = bucket_range(node, bucket);
+                    assert!(population.random_in_range(lo, hi, &mut rng).is_none());
+                } else {
+                    assert!(population.contains(contact));
+                    assert_eq!(common_prefix_len(node, contact), bucket);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_intact_network_always_delivers() {
+        // The bucket subtree containing the target always contains at least
+        // the target itself, so greedy XOR routing cannot strand a message in
+        // an intact sparse network.
+        let space = KeySpace::new(12).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let population = Population::sample_uniform(space, 1 << 9, &mut rng).unwrap();
+        let overlay = KademliaOverlay::build_over(population, &mut rng).unwrap();
+        let mask = FailureMask::none_over(overlay.population());
+        for _ in 0..200 {
+            let source = overlay.population().random_node(&mut rng);
+            let target = overlay.population().random_node(&mut rng);
+            match route(&overlay, source, target, &mask) {
+                RouteOutcome::Delivered { hops } => assert!(hops <= 12),
+                other => panic!("sparse XOR route failed without failures: {other:?}"),
+            }
+        }
     }
 }

@@ -3,9 +3,8 @@
 //! The RCM paper validates its analytical predictions against protocol
 //! simulations (the data points of Fig. 6, originally from Gummadi et al.,
 //! SIGCOMM'03). This crate rebuilds that simulation substrate: it constructs
-//! the *basic* routing geometry of each of the five DHTs over a fully
-//! populated identifier space and routes messages greedily across a frozen
-//! failure pattern — the *static resilience* model:
+//! the *basic* routing geometry of each of the five DHTs and routes messages
+//! greedily across a frozen failure pattern — the *static resilience* model:
 //!
 //! * nodes fail independently with probability `q` ([`FailureMask`]);
 //! * routing tables are **not** repaired (hence "static");
@@ -16,6 +15,17 @@
 //! (hypercube), [`KademliaOverlay`] (XOR), [`ChordOverlay`] (ring) and
 //! [`SymphonyOverlay`] (small world). All of them implement [`Overlay`], and
 //! [`route`] drives any of them hop by hop.
+//!
+//! # Architecture
+//!
+//! Each overlay is a thin wrapper over one [`GeometryOverlay`], which pairs a
+//! per-geometry [`generic::GeometryStrategy`] (table construction plus the
+//! greedy next-hop rule) with a [`dht_id::Population`] and stores every
+//! routing table in a single flat CSR [`RoutingArena`] — `neighbors()` is a
+//! slice into that arena and the edge count is O(1). Populations may be full
+//! (`N = 2^d`, the paper's model) or sparse (`n < 2^d` occupied
+//! identifiers), in which case fingers, bucket contacts and successors
+//! resolve against the occupied set, the way deployed DHTs do.
 //!
 //! # Example
 //!
@@ -44,18 +54,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod can;
 pub mod chord;
 pub mod failure;
+pub mod generic;
 pub mod kademlia;
 pub mod plaxton;
 pub mod router;
 pub mod symphony;
 pub mod traits;
 
+pub use arena::RoutingArena;
 pub use can::CanOverlay;
 pub use chord::{ChordOverlay, ChordVariant};
 pub use failure::FailureMask;
+pub use generic::{GeometryOverlay, GeometryStrategy};
 pub use kademlia::KademliaOverlay;
 pub use plaxton::PlaxtonOverlay;
 pub use router::{route, route_with_limit, RouteOutcome};

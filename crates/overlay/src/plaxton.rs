@@ -1,9 +1,57 @@
 //! The Plaxton-style tree overlay (§3.1 of the paper).
 
 use crate::failure::FailureMask;
+use crate::generic::{GeometryOverlay, GeometryStrategy};
+use crate::kademlia::build_prefix_table;
 use crate::traits::{validate_bits, Overlay, OverlayError};
-use dht_id::{prefix::highest_differing_bit, KeySpace, NodeId};
+use dht_id::{prefix::highest_differing_bit, KeySpace, NodeId, Population};
 use rand::Rng;
+
+/// The tree geometry as a [`GeometryStrategy`]: prefix tables (structurally
+/// the XOR tables; see [`crate::kademlia`]) with the rigid forwarding rule —
+/// every hop must correct the highest-order differing bit, no fallback.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaxtonStrategy;
+
+impl GeometryStrategy for PlaxtonStrategy {
+    fn geometry_name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn table_len_hint(&self, population: &Population) -> usize {
+        population.space().bits() as usize
+    }
+
+    fn build_table<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        node: NodeId,
+        rng: &mut R,
+        table: &mut Vec<NodeId>,
+    ) {
+        build_prefix_table(population, node, rng, table);
+    }
+
+    fn next_hop(
+        &self,
+        neighbors: &[NodeId],
+        current: NodeId,
+        target: NodeId,
+        alive: &FailureMask,
+    ) -> Option<NodeId> {
+        let level = highest_differing_bit(current, target)?;
+        let entry = *neighbors.get(level as usize)?;
+        // A self-entry is the sparse placeholder for an empty level — the
+        // protocol has nowhere to forward. Otherwise the entry may happen not
+        // to share the target's next bits and that is fine — it corrects the
+        // highest-order bit, and later hops fix the rest — but it must be
+        // alive, because the protocol has no fallback.
+        if entry == current {
+            return None;
+        }
+        alive.is_alive(entry).then_some(entry)
+    }
+}
 
 /// A prefix-routing (tree) overlay in the style of Plaxton, Tapestry and
 /// Pastry's routing table (without leaf sets — the paper analyses the basic
@@ -30,8 +78,7 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PlaxtonOverlay {
-    space: KeySpace,
-    tables: Vec<Vec<NodeId>>,
+    inner: GeometryOverlay<PlaxtonStrategy>,
 }
 
 impl PlaxtonOverlay {
@@ -44,65 +91,64 @@ impl PlaxtonOverlay {
     /// than [`crate::traits::MAX_OVERLAY_BITS`].
     pub fn build<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
-        let tables = space
-            .iter_ids()
-            .map(|node| {
-                (0..bits)
-                    .map(|level| prefix_neighbor(space, node, level, rng))
-                    .collect()
-            })
-            .collect();
-        Ok(PlaxtonOverlay { space, tables })
+        Self::build_over(Population::full(space), rng)
+    }
+
+    /// Builds the overlay over an arbitrary (possibly sparse) population;
+    /// each level's entry is drawn uniformly from the occupied identifiers of
+    /// the matching subtree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnsupportedBits`] or
+    /// [`OverlayError::InvalidParameter`] as in [`GeometryOverlay::build`].
+    pub fn build_over<R: Rng + ?Sized>(
+        population: Population,
+        rng: &mut R,
+    ) -> Result<Self, OverlayError> {
+        Ok(PlaxtonOverlay {
+            inner: GeometryOverlay::build(population, PlaxtonStrategy, rng)?,
+        })
     }
 
     /// The routing-table entry that corrects bit `level` (0 = most
     /// significant), i.e. the entry consulted when the current node and the
-    /// target first differ at `level`.
+    /// target first differ at `level`. Over a sparse population an empty
+    /// level reports the node itself.
     ///
     /// # Panics
     ///
-    /// Panics if `level >= d` or `node` is outside the key space.
+    /// Panics if `level >= d` or `node` is not an occupied identifier of the
+    /// overlay.
     #[must_use]
     pub fn entry_for_level(&self, node: NodeId, level: u32) -> NodeId {
-        self.tables[node.value() as usize][level as usize]
+        self.inner.neighbors(node)[level as usize]
     }
-}
-
-/// Builds the neighbour that matches `node` on bits `0..level`, differs at
-/// `level`, and is random below it.
-fn prefix_neighbor<R: Rng + ?Sized>(
-    space: KeySpace,
-    node: NodeId,
-    level: u32,
-    rng: &mut R,
-) -> NodeId {
-    let random_suffix = space.random_id(rng);
-    node.flip_bit(level)
-        .expect("level is within the key space")
-        .splice_prefix(level + 1, random_suffix)
-        .expect("identifier widths match")
 }
 
 impl Overlay for PlaxtonOverlay {
     fn geometry_name(&self) -> &'static str {
-        "tree"
+        self.inner.geometry_name()
     }
 
     fn key_space(&self) -> KeySpace {
-        self.space
+        self.inner.key_space()
+    }
+
+    fn population(&self) -> &Population {
+        self.inner.population()
     }
 
     fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.tables[node.value() as usize]
+        self.inner.neighbors(node)
     }
 
     fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
-        let level = highest_differing_bit(current, target)?;
-        let entry = self.entry_for_level(current, level);
-        // If the entry happens not to share the target's next bits that is
-        // fine — it corrects the highest-order bit, and later hops fix the
-        // rest — but it must be alive, otherwise the protocol has no fallback.
-        alive.is_alive(entry).then_some(entry)
+        self.inner.next_hop(current, target, alive)
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.inner.edge_count()
     }
 }
 
@@ -201,5 +247,51 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert!(PlaxtonOverlay::build(0, &mut rng).is_err());
         assert!(PlaxtonOverlay::build(63, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sparse_intact_tree_always_delivers() {
+        // The subtree containing the target is never empty (it contains the
+        // target), so prefix routing stays complete over sparse populations.
+        let space = KeySpace::new(12).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let population = Population::sample_uniform(space, 1 << 9, &mut rng).unwrap();
+        let overlay = PlaxtonOverlay::build_over(population, &mut rng).unwrap();
+        let mask = FailureMask::none_over(overlay.population());
+        for _ in 0..200 {
+            let source = overlay.population().random_node(&mut rng);
+            let target = overlay.population().random_node(&mut rng);
+            match route(&overlay, source, target, &mask) {
+                RouteOutcome::Delivered { hops } => assert!(hops <= 12),
+                other => panic!("sparse tree route failed without failures: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_empty_levels_stop_the_protocol_cleanly() {
+        // Two occupied nodes differing in the top bit: every level below the
+        // first is empty on both sides, and next_hop must treat the
+        // self-placeholder as "no entry" rather than forwarding in place.
+        let space = KeySpace::new(6).unwrap();
+        let population =
+            Population::sparse(space, [space.wrap(0b000000), space.wrap(0b100000)]).unwrap();
+        let overlay =
+            PlaxtonOverlay::build_over(population, &mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        let a = space.wrap(0b000000);
+        let b = space.wrap(0b100000);
+        assert_eq!(overlay.entry_for_level(a, 0), b);
+        assert_eq!(overlay.entry_for_level(a, 3), a, "empty level placeholder");
+        let mask = FailureMask::none_over(overlay.population());
+        assert_eq!(
+            route(&overlay, a, b, &mask),
+            RouteOutcome::Delivered { hops: 1 }
+        );
+        // An unoccupied target can never be routed to; the mask reports it
+        // as failed before any hop is taken.
+        assert_eq!(
+            route(&overlay, a, space.wrap(0b000001), &mask),
+            RouteOutcome::TargetFailed
+        );
     }
 }

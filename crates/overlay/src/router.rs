@@ -147,29 +147,33 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dht_id::KeySpace;
+    use crate::arena::RoutingArena;
+    use dht_id::{KeySpace, Population};
 
     /// A toy line overlay: node v's only neighbour is v+1. Useful to exercise
     /// the driver without pulling in a real geometry.
     struct LineOverlay {
-        space: KeySpace,
-        tables: Vec<Vec<NodeId>>,
+        population: Population,
+        arena: RoutingArena,
     }
 
     impl LineOverlay {
         fn new(bits: u32) -> Self {
             let space = KeySpace::new(bits).unwrap();
-            let tables = space
-                .iter_ids()
-                .map(|node| {
-                    if node.value() < space.max_value() {
-                        vec![space.wrap(node.value() + 1)]
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect();
-            LineOverlay { space, tables }
+            let population = Population::full(space);
+            let mut arena = RoutingArena::new();
+            for node in population.iter_nodes() {
+                if node.value() < space.max_value() {
+                    arena.push_table(&[space.wrap(node.value() + 1)]);
+                } else {
+                    arena.push_table(&[]);
+                }
+            }
+            LineOverlay { population, arena }
+        }
+
+        fn space(&self) -> KeySpace {
+            self.population.space()
         }
     }
 
@@ -177,11 +181,11 @@ mod tests {
         fn geometry_name(&self) -> &'static str {
             "line"
         }
-        fn key_space(&self) -> KeySpace {
-            self.space
+        fn population(&self) -> &Population {
+            &self.population
         }
         fn neighbors(&self, node: NodeId) -> &[NodeId] {
-            &self.tables[node.value() as usize]
+            self.arena.neighbors(node.value() as usize)
         }
         fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
             self.neighbors(current)
@@ -197,8 +201,8 @@ mod tests {
         let mask = FailureMask::none(overlay.key_space());
         let outcome = route(
             &overlay,
-            overlay.space.wrap(2),
-            overlay.space.wrap(9),
+            overlay.space().wrap(2),
+            overlay.space().wrap(9),
             &mask,
         );
         assert_eq!(outcome, RouteOutcome::Delivered { hops: 7 });
@@ -210,7 +214,7 @@ mod tests {
     fn self_route_takes_zero_hops() {
         let overlay = LineOverlay::new(4);
         let mask = FailureMask::none(overlay.key_space());
-        let node = overlay.space.wrap(5);
+        let node = overlay.space().wrap(5);
         assert_eq!(
             route(&overlay, node, node, &mask),
             RouteOutcome::Delivered { hops: 0 }

@@ -1,9 +1,92 @@
 //! The Symphony-style small-world overlay (§3.5 of the paper).
 
 use crate::failure::FailureMask;
+use crate::generic::{GeometryOverlay, GeometryStrategy};
 use crate::traits::{validate_bits, Overlay, OverlayError};
-use dht_id::{distance::ring_distance, KeySpace, NodeId};
+use dht_id::{KeySpace, NodeId, Population};
 use rand::Rng;
+
+/// The small-world geometry as a [`GeometryStrategy`]: `k_n` clockwise
+/// successors plus `k_s` harmonic shortcuts, greedy non-overshooting
+/// forwarding.
+///
+/// Over a sparse population the near neighbours are the next `k_n` *occupied*
+/// identifiers clockwise, and each shortcut draws a harmonic distance over
+/// the `n`-node ring — `x ∈ [1, n]` with `P(x) ∝ 1/x`, scaled by `2^d / n`
+/// into identifier space — and resolves to the successor of its landing
+/// point, the draw-then-successor rule deployed Symphony uses. At full
+/// occupancy the scale factor is 1 and the draw reduces exactly to the
+/// paper's `e^{U·ln N}` sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SymphonyStrategy {
+    near_neighbors: u32,
+    shortcuts: u32,
+}
+
+impl SymphonyStrategy {
+    /// A strategy with `near_neighbors` successors and `shortcuts` harmonic
+    /// shortcuts per node (validated at overlay construction).
+    #[must_use]
+    pub fn new(near_neighbors: u32, shortcuts: u32) -> Self {
+        SymphonyStrategy {
+            near_neighbors,
+            shortcuts,
+        }
+    }
+
+    /// Number of near neighbours per node (`k_n`).
+    #[must_use]
+    pub fn near_neighbors(&self) -> u32 {
+        self.near_neighbors
+    }
+
+    /// Number of shortcuts per node (`k_s`).
+    #[must_use]
+    pub fn shortcuts(&self) -> u32 {
+        self.shortcuts
+    }
+}
+
+impl GeometryStrategy for SymphonyStrategy {
+    fn geometry_name(&self) -> &'static str {
+        "symphony"
+    }
+
+    fn table_len_hint(&self, _population: &Population) -> usize {
+        (self.near_neighbors + self.shortcuts) as usize
+    }
+
+    fn build_table<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        node: NodeId,
+        rng: &mut R,
+        table: &mut Vec<NodeId>,
+    ) {
+        let node_count = population.node_count();
+        let rank = population
+            .index_of(node)
+            .expect("tables are built for occupied identifiers only");
+        for step in 1..=u64::from(self.near_neighbors) {
+            table.push(population.node_at((rank + step) % node_count));
+        }
+        let id_population = population.space().population();
+        for _ in 0..self.shortcuts {
+            let distance = harmonic_distance(node_count, id_population, rng);
+            table.push(population.successor(node.value().wrapping_add(distance)));
+        }
+    }
+
+    fn next_hop(
+        &self,
+        neighbors: &[NodeId],
+        current: NodeId,
+        target: NodeId,
+        alive: &FailureMask,
+    ) -> Option<NodeId> {
+        crate::chord::ring_greedy_next_hop(neighbors, current, target, alive)
+    }
+}
 
 /// A one-dimensional small-world overlay in the style of Symphony.
 ///
@@ -31,10 +114,7 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SymphonyOverlay {
-    space: KeySpace,
-    near_neighbors: u32,
-    shortcuts: u32,
-    tables: Vec<Vec<NodeId>>,
+    inner: GeometryOverlay<SymphonyStrategy>,
 }
 
 impl SymphonyOverlay {
@@ -54,6 +134,21 @@ impl SymphonyOverlay {
         rng: &mut R,
     ) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
+        Self::build_over(Population::full(space), near_neighbors, shortcuts, rng)
+    }
+
+    /// Builds the overlay over an arbitrary (possibly sparse) population.
+    ///
+    /// # Errors
+    ///
+    /// As [`SymphonyOverlay::build`], with `near_neighbors` validated against
+    /// the occupied node count.
+    pub fn build_over<R: Rng + ?Sized>(
+        population: Population,
+        near_neighbors: u32,
+        shortcuts: u32,
+        rng: &mut R,
+    ) -> Result<Self, OverlayError> {
         if near_neighbors == 0 || shortcuts == 0 {
             return Err(OverlayError::InvalidParameter {
                 message: format!(
@@ -61,84 +156,74 @@ impl SymphonyOverlay {
                 ),
             });
         }
-        if u64::from(near_neighbors) >= space.population() {
+        if u64::from(near_neighbors) >= population.node_count() {
             return Err(OverlayError::InvalidParameter {
                 message: format!(
                     "{near_neighbors} near neighbours do not fit a population of {}",
-                    space.population()
+                    population.node_count()
                 ),
             });
         }
-        let population = space.population();
-        let tables = space
-            .iter_ids()
-            .map(|node| {
-                let mut table: Vec<NodeId> = (1..=u64::from(near_neighbors))
-                    .map(|step| space.wrap(node.value().wrapping_add(step)))
-                    .collect();
-                for _ in 0..shortcuts {
-                    let distance = harmonic_distance(population, rng);
-                    table.push(space.wrap(node.value().wrapping_add(distance)));
-                }
-                table
-            })
-            .collect();
         Ok(SymphonyOverlay {
-            space,
-            near_neighbors,
-            shortcuts,
-            tables,
+            inner: GeometryOverlay::build(
+                population,
+                SymphonyStrategy::new(near_neighbors, shortcuts),
+                rng,
+            )?,
         })
     }
 
     /// Number of near neighbours per node (`k_n`).
     #[must_use]
     pub fn near_neighbors(&self) -> u32 {
-        self.near_neighbors
+        self.inner.strategy().near_neighbors()
     }
 
     /// Number of shortcuts per node (`k_s`).
     #[must_use]
     pub fn shortcuts(&self) -> u32 {
-        self.shortcuts
+        self.inner.strategy().shortcuts()
     }
 }
 
-/// Draws a clockwise distance in `[1, population)` from the harmonic
-/// distribution `P(x) ∝ 1/x` using inverse-transform sampling on the
-/// continuous approximation `x = e^{U·ln population}`.
-fn harmonic_distance<R: Rng + ?Sized>(population: u64, rng: &mut R) -> u64 {
-    let ln_n = (population as f64).ln();
-    let sample = (rng.gen::<f64>() * ln_n).exp();
-    // Clamp into [1, population - 1] to stay on the ring.
-    (sample.floor() as u64).clamp(1, population - 1)
+/// Draws a clockwise identifier-space distance whose *ring rank* follows the
+/// harmonic distribution: `x = e^{U·ln n} ∈ [1, n]` with `P(x) ∝ 1/x`
+/// (inverse-transform sampling on the continuous approximation), scaled by
+/// `2^d / n` onto identifiers. For a full population (`n = 2^d`) the scale is
+/// 1 and this is exactly the paper's `e^{U·ln N}` draw; for a sparse one it
+/// keeps Kleinberg's exponent over the `n` occupied nodes instead of wasting
+/// mass on distances shorter than the mean successor gap.
+fn harmonic_distance<R: Rng + ?Sized>(node_count: u64, id_population: u64, rng: &mut R) -> u64 {
+    let ln_n = (node_count as f64).ln();
+    let rank = (rng.gen::<f64>() * ln_n).exp();
+    let scale = id_population as f64 / node_count as f64;
+    // Clamp into [1, id_population - 1] to stay on the ring.
+    ((rank * scale).floor() as u64).clamp(1, id_population - 1)
 }
 
 impl Overlay for SymphonyOverlay {
     fn geometry_name(&self) -> &'static str {
-        "symphony"
+        self.inner.geometry_name()
     }
 
     fn key_space(&self) -> KeySpace {
-        self.space
+        self.inner.key_space()
+    }
+
+    fn population(&self) -> &Population {
+        self.inner.population()
     }
 
     fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.tables[node.value() as usize]
+        self.inner.neighbors(node)
     }
 
     fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
-        let remaining = ring_distance(current, target);
-        self.neighbors(current)
-            .iter()
-            .copied()
-            .filter(|&n| {
-                alive.is_alive(n) && {
-                    let advance = ring_distance(current, n);
-                    advance > 0 && advance <= remaining
-                }
-            })
-            .min_by_key(|&n| ring_distance(n, target))
+        self.inner.next_hop(current, target, alive)
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.inner.edge_count()
     }
 }
 
@@ -146,6 +231,7 @@ impl Overlay for SymphonyOverlay {
 mod tests {
     use super::*;
     use crate::router::{route, RouteOutcome};
+    use dht_id::distance::ring_distance;
     use dht_mathkit::RunningStats;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -268,5 +354,76 @@ mod tests {
         assert!(SymphonyOverlay::build(8, 1, 0, &mut rng).is_err());
         assert!(SymphonyOverlay::build(2, 4, 1, &mut rng).is_err());
         assert!(SymphonyOverlay::build(0, 1, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sparse_near_neighbors_are_occupied_successors() {
+        let space = KeySpace::new(8).unwrap();
+        let occupied = [5u64, 9, 100, 200];
+        let population =
+            Population::sparse(space, occupied.into_iter().map(|v| space.wrap(v))).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let overlay = SymphonyOverlay::build_over(population, 2, 1, &mut rng).unwrap();
+        let neighbors = overlay.neighbors(space.wrap(100));
+        assert_eq!(neighbors[0], space.wrap(200));
+        assert_eq!(neighbors[1], space.wrap(5), "successors wrap the ring");
+        assert!(overlay.population().contains(neighbors[2]));
+        // Too few occupied nodes for the requested near neighbours.
+        let tiny = Population::sparse(space, [space.wrap(1), space.wrap(2)]).unwrap();
+        assert!(SymphonyOverlay::build_over(tiny, 2, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sparse_shortcuts_are_harmonic_over_ranks_not_identifiers() {
+        // At 1/16 occupancy the draw is rescaled by 2^d / n, so shortcut
+        // *rank* distances (number of occupied nodes skipped) must still be
+        // heavy-tailed with mean ln-rank ≈ ln(n)/2 — not collapsed onto the
+        // immediate successor as an unscaled identifier-space draw would be.
+        let space = KeySpace::new(14).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let node_count = 1u64 << 10;
+        let population = Population::sample_uniform(space, node_count, &mut rng).unwrap();
+        let overlay = SymphonyOverlay::build_over(population, 1, 1, &mut rng).unwrap();
+        let population = overlay.population();
+        let mut stats = RunningStats::new();
+        let mut successor_hits = 0u64;
+        for node in population.iter_nodes() {
+            let shortcut = overlay.neighbors(node)[1];
+            let rank = population.index_of(node).unwrap();
+            let shortcut_rank = population.index_of(shortcut).unwrap();
+            let rank_distance = (shortcut_rank + node_count - rank) % node_count;
+            if rank_distance <= 1 {
+                successor_hits += 1;
+            }
+            stats.push((rank_distance.max(1) as f64).ln());
+        }
+        let ln_n = (node_count as f64).ln();
+        assert!(
+            (stats.mean() - ln_n / 2.0).abs() < 0.6,
+            "mean ln rank-distance {} vs expected {}",
+            stats.mean(),
+            ln_n / 2.0
+        );
+        assert!(
+            (successor_hits as f64) < 0.25 * node_count as f64,
+            "{successor_hits} of {node_count} shortcuts collapsed onto the successor"
+        );
+    }
+
+    #[test]
+    fn sparse_intact_small_world_always_delivers() {
+        let space = KeySpace::new(12).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let population = Population::sample_uniform(space, 1 << 9, &mut rng).unwrap();
+        let overlay = SymphonyOverlay::build_over(population, 1, 2, &mut rng).unwrap();
+        let mask = FailureMask::none_over(overlay.population());
+        for _ in 0..100 {
+            let source = overlay.population().random_node(&mut rng);
+            let target = overlay.population().random_node(&mut rng);
+            assert!(
+                route(&overlay, source, target, &mask).is_delivered(),
+                "the successor link keeps an intact sparse ring routable"
+            );
+        }
     }
 }

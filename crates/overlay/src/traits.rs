@@ -1,7 +1,7 @@
 //! The [`Overlay`] abstraction shared by the five executable DHTs.
 
 use crate::failure::FailureMask;
-use dht_id::{KeySpace, NodeId};
+use dht_id::{KeySpace, NodeId, Population};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -10,8 +10,8 @@ use std::fmt;
 pub enum OverlayError {
     /// The identifier length is outside the supported range.
     ///
-    /// Overlays materialise every node of the fully populated space, so the
-    /// practical ceiling is well below the 64-bit limit of [`dht_id`].
+    /// Overlays materialise every occupied node of the identifier space, so
+    /// the practical ceiling is well below the 64-bit limit of [`dht_id`].
     UnsupportedBits {
         /// The rejected identifier length.
         bits: u32,
@@ -51,11 +51,15 @@ impl std::error::Error for OverlayError {}
 
 /// Largest identifier length an executable overlay will materialise.
 ///
-/// `2^22` nodes with ~22 neighbours each is roughly 700 MB of routing state;
-/// anything larger belongs to the analytical crates, not a simulator.
-pub const MAX_OVERLAY_BITS: u32 = 22;
+/// The CSR [`crate::RoutingArena`] stores all routing tables in one flat
+/// allocation (no per-node `Vec` headers or allocator slop), which is what
+/// lets this sit at `2^24`; anything larger belongs to the analytical crates,
+/// not a simulator.
+pub const MAX_OVERLAY_BITS: u32 = 24;
 
-/// An executable DHT overlay over a fully populated identifier space.
+/// An executable DHT overlay over the occupied identifiers of a
+/// [`Population`] — fully populated (`N = 2^d`, the paper's model) or sparse
+/// (`n < 2^d`, what deployed systems exhibit).
 ///
 /// Implementors expose their routing table ([`Overlay::neighbors`]) and their
 /// greedy forwarding rule ([`Overlay::next_hop`]); the free function
@@ -66,20 +70,26 @@ pub trait Overlay {
     /// e.g. `"xor"`.
     fn geometry_name(&self) -> &'static str;
 
-    /// The identifier space the overlay populates.
-    fn key_space(&self) -> KeySpace;
+    /// The occupied identifiers the overlay is built over.
+    fn population(&self) -> &Population;
 
-    /// Number of nodes (always the full population `2^d`).
+    /// The identifier space the overlay lives in.
+    fn key_space(&self) -> KeySpace {
+        self.population().space()
+    }
+
+    /// Number of nodes (`2^d` for a full population, the occupied count for a
+    /// sparse one).
     fn node_count(&self) -> u64 {
-        self.key_space().population()
+        self.population().node_count()
     }
 
     /// The routing-table entries of `node`.
     ///
-    /// # Panics
-    ///
-    /// Implementations may panic if `node` does not belong to the overlay's
-    /// key space; use [`KeySpace::wrap`] or validated construction upstream.
+    /// `node` is wrapped into the overlay's key space (a width mismatch is a
+    /// caller bug and trips a debug assertion rather than a panic in release
+    /// builds); an identifier that is not occupied has no routing table and
+    /// yields an empty slice.
     fn neighbors(&self, node: NodeId) -> &[NodeId];
 
     /// The greedy next hop from `current` towards `target`, honouring the
@@ -91,10 +101,12 @@ pub trait Overlay {
     fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId>;
 
     /// Total number of directed routing-table entries in the overlay.
+    ///
+    /// The default walks every occupied node; [`crate::GeometryOverlay`]
+    /// overrides it with the O(1) entry count of its CSR arena.
     fn edge_count(&self) -> u64 {
-        let space = self.key_space();
-        space
-            .iter_ids()
+        self.population()
+            .iter_nodes()
             .map(|node| self.neighbors(node).len() as u64)
             .sum()
     }
@@ -112,6 +124,21 @@ pub(crate) fn validate_bits(bits: u32) -> Result<KeySpace, OverlayError> {
         bits,
         max_bits: MAX_OVERLAY_BITS,
     })
+}
+
+/// Validates a population for overlay construction: a supported identifier
+/// length and at least two occupied identifiers (routing needs a pair).
+pub(crate) fn validate_population(population: &Population) -> Result<(), OverlayError> {
+    validate_bits(population.space().bits())?;
+    if population.node_count() < 2 {
+        return Err(OverlayError::InvalidParameter {
+            message: format!(
+                "an overlay needs at least two occupied identifiers, got {}",
+                population.node_count()
+            ),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -139,13 +166,26 @@ mod tests {
     }
 
     #[test]
+    fn validate_population_needs_two_nodes() {
+        let space = KeySpace::new(8).unwrap();
+        assert!(validate_population(&Population::full(space)).is_ok());
+        let pair = Population::sparse(space, [space.wrap(1), space.wrap(2)]).unwrap();
+        assert!(validate_population(&pair).is_ok());
+        let single = Population::sparse(space, [space.wrap(1)]).unwrap();
+        assert!(matches!(
+            validate_population(&single),
+            Err(OverlayError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
     fn error_display_is_descriptive() {
         let err = OverlayError::UnsupportedBits {
             bits: 40,
-            max_bits: 22,
+            max_bits: 24,
         };
         assert!(err.to_string().contains("40"));
-        assert!(err.to_string().contains("22"));
+        assert!(err.to_string().contains("24"));
         let err = OverlayError::InvalidParameter {
             message: "shortcuts must be positive".into(),
         };

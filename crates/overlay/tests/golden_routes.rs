@@ -1,0 +1,298 @@
+//! Golden-route property tests: the refactored CSR/strategy overlays must
+//! reproduce the seed implementation's behaviour exactly for fully populated
+//! spaces.
+//!
+//! Each reference overlay below is a faithful transcription of the seed
+//! code's `Vec<Vec<NodeId>>` construction and next-hop rule (same RNG
+//! stream). The properties assert, per geometry, that the refactored overlay
+//! produces (a) identical routing tables, (b) identical `next_hop` decisions
+//! under a seeded failure mask, and (c) identical `route` outcomes.
+
+use dht_id::{
+    distance::{hamming, ring_distance, xor_distance},
+    prefix::highest_differing_bit,
+    KeySpace, NodeId, Population,
+};
+use dht_overlay::{
+    route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, KademliaOverlay, Overlay,
+    PlaxtonOverlay, SymphonyOverlay,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The seed implementations all stored one `Vec<NodeId>` per node and indexed
+/// by identifier value; this replica drives the original next-hop rules.
+struct Reference {
+    population: Population,
+    tables: Vec<Vec<NodeId>>,
+    geometry: &'static str,
+}
+
+impl Overlay for Reference {
+    fn geometry_name(&self) -> &'static str {
+        self.geometry
+    }
+
+    fn population(&self) -> &Population {
+        &self.population
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.tables[node.value() as usize]
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        match self.geometry {
+            "tree" => {
+                let level = highest_differing_bit(current, target)?;
+                let entry = self.tables[current.value() as usize][level as usize];
+                alive.is_alive(entry).then_some(entry)
+            }
+            "hypercube" => {
+                let current_distance = hamming(current, target);
+                self.neighbors(current)
+                    .iter()
+                    .copied()
+                    .filter(|&n| alive.is_alive(n) && hamming(n, target) < current_distance)
+                    .min_by_key(|n| n.value() ^ target.value())
+            }
+            "xor" => {
+                let current_distance = xor_distance(current, target);
+                self.neighbors(current)
+                    .iter()
+                    .copied()
+                    .filter(|&n| alive.is_alive(n) && xor_distance(n, target) < current_distance)
+                    .min_by_key(|&n| xor_distance(n, target))
+            }
+            // ring and symphony share the greedy non-overshooting rule.
+            _ => {
+                let remaining = ring_distance(current, target);
+                self.neighbors(current)
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        alive.is_alive(n) && {
+                            let advance = ring_distance(current, n);
+                            advance > 0 && advance <= remaining
+                        }
+                    })
+                    .min_by_key(|&n| ring_distance(n, target))
+            }
+        }
+    }
+}
+
+fn reference_tables<F>(space: KeySpace, geometry: &'static str, build: F) -> Reference
+where
+    F: FnMut(NodeId) -> Vec<NodeId>,
+{
+    Reference {
+        population: Population::full(space),
+        tables: space.iter_ids().map(build).collect(),
+        geometry,
+    }
+}
+
+/// Seed `ChordOverlay::build_impl`.
+fn reference_chord(space: KeySpace, variant: ChordVariant, seed: u64) -> Reference {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bits = space.bits();
+    reference_tables(space, "ring", |node| {
+        (1..=bits)
+            .map(|finger| {
+                let base = 1u64 << (finger - 1);
+                let span = base;
+                let offset = match variant {
+                    ChordVariant::Deterministic => 0,
+                    ChordVariant::Randomized => {
+                        if span <= 1 {
+                            0
+                        } else {
+                            rng.gen_range(0..span)
+                        }
+                    }
+                };
+                space.wrap(node.value().wrapping_add(base + offset))
+            })
+            .collect()
+    })
+}
+
+/// Seed `KademliaOverlay::build` / `PlaxtonOverlay::build` (identical tables).
+fn reference_prefix(space: KeySpace, geometry: &'static str, seed: u64) -> Reference {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bits = space.bits();
+    reference_tables(space, geometry, |node| {
+        (0..bits)
+            .map(|bucket| {
+                let random_suffix = space.random_id(&mut rng);
+                node.flip_bit(bucket)
+                    .expect("bucket index is within the key space")
+                    .splice_prefix(bucket + 1, random_suffix)
+                    .expect("identifier widths match")
+            })
+            .collect()
+    })
+}
+
+/// Seed `CanOverlay::build`.
+fn reference_can(space: KeySpace) -> Reference {
+    let bits = space.bits();
+    reference_tables(space, "hypercube", |node| {
+        (0..bits)
+            .map(|bit| {
+                node.flip_bit(bit)
+                    .expect("bit index is within the key space")
+            })
+            .collect()
+    })
+}
+
+/// Seed `SymphonyOverlay::build` (including its harmonic sampler).
+fn reference_symphony(space: KeySpace, kn: u32, ks: u32, seed: u64) -> Reference {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let population = space.population();
+    reference_tables(space, "symphony", |node| {
+        let mut table: Vec<NodeId> = (1..=u64::from(kn))
+            .map(|step| space.wrap(node.value().wrapping_add(step)))
+            .collect();
+        for _ in 0..ks {
+            let ln_n = (population as f64).ln();
+            let sample = (rng.gen::<f64>() * ln_n).exp();
+            let distance = (sample.floor() as u64).clamp(1, population - 1);
+            table.push(space.wrap(node.value().wrapping_add(distance)));
+        }
+        table
+    })
+}
+
+/// Asserts tables, per-hop decisions and route outcomes all match.
+fn assert_golden<O: Overlay>(
+    reference: &Reference,
+    refactored: &O,
+    q: f64,
+    mask_seed: u64,
+    pair_seed: u64,
+) -> Result<(), TestCaseError> {
+    let space = reference.population.space();
+    prop_assert_eq!(reference.geometry, refactored.geometry_name());
+
+    // (a) identical routing tables for every node, and a consistent O(1)
+    // edge count.
+    let mut edges = 0u64;
+    for node in space.iter_ids() {
+        prop_assert_eq!(
+            reference.neighbors(node),
+            refactored.neighbors(node),
+            "tables diverge at node {}",
+            node
+        );
+        edges += reference.neighbors(node).len() as u64;
+    }
+    prop_assert_eq!(edges, refactored.edge_count());
+
+    let mask = FailureMask::sample(space, q, &mut ChaCha8Rng::seed_from_u64(mask_seed));
+    let mut rng = ChaCha8Rng::seed_from_u64(pair_seed);
+    for _ in 0..40 {
+        let source = space.random_id(&mut rng);
+        let target = space.random_id(&mut rng);
+        // (b) identical greedy decisions at arbitrary intermediate states.
+        prop_assert_eq!(
+            reference.next_hop(source, target, &mask),
+            refactored.next_hop(source, target, &mask),
+            "next_hop diverges for {} -> {}",
+            source,
+            target
+        );
+        // (c) identical end-to-end outcomes.
+        prop_assert_eq!(
+            route(reference, source, target, &mask),
+            route(refactored, source, target, &mask),
+            "route outcome diverges for {} -> {}",
+            source,
+            target
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn chord_matches_the_seed_behavior(
+        bits in 4u32..9,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.6,
+        deterministic in prop_oneof![Just(true), Just(false)],
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let (reference, refactored) = if deterministic {
+            (
+                reference_chord(space, ChordVariant::Deterministic, seed),
+                ChordOverlay::build(bits, ChordVariant::Deterministic).unwrap(),
+            )
+        } else {
+            (
+                reference_chord(space, ChordVariant::Randomized, seed),
+                ChordOverlay::build_randomized(bits, &mut ChaCha8Rng::seed_from_u64(seed))
+                    .unwrap(),
+            )
+        };
+        assert_golden(&reference, &refactored, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn kademlia_matches_the_seed_behavior(
+        bits in 4u32..9,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.6,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let reference = reference_prefix(space, "xor", seed);
+        let refactored =
+            KademliaOverlay::build(bits, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        assert_golden(&reference, &refactored, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn plaxton_matches_the_seed_behavior(
+        bits in 4u32..9,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.6,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let reference = reference_prefix(space, "tree", seed);
+        let refactored =
+            PlaxtonOverlay::build(bits, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        assert_golden(&reference, &refactored, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn can_matches_the_seed_behavior(
+        bits in 4u32..9,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.6,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let reference = reference_can(space);
+        let refactored = CanOverlay::build(bits).unwrap();
+        assert_golden(&reference, &refactored, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn symphony_matches_the_seed_behavior(
+        bits in 4u32..9,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.6,
+        kn in 1u32..3,
+        ks in 1u32..3,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let reference = reference_symphony(space, kn, ks, seed);
+        let refactored =
+            SymphonyOverlay::build(bits, kn, ks, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        assert_golden(&reference, &refactored, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+}

@@ -121,21 +121,25 @@ impl ChurnExperiment {
     }
 
     /// Simulates the churn process and measures routability each round.
+    ///
+    /// Only the occupied identifiers of the overlay's population churn;
+    /// unoccupied identifiers of a sparse overlay never hold a node.
     pub fn run<O>(&self, overlay: &O) -> Vec<ChurnRound>
     where
         O: Overlay + ?Sized,
     {
-        let space = overlay.key_space();
+        let population = overlay.population();
         let seeds = SeedSequence::new(self.config.seed);
         let mut churn_rng = seeds.child_rng(0);
         let mut pair_rng = seeds.child_rng(1);
-        let mut mask = FailureMask::none(space);
+        let mut mask = FailureMask::none_over(population);
         let mut rounds = Vec::with_capacity(self.config.rounds as usize);
 
         for round in 0..self.config.rounds {
-            // Evolve the alive/failed state of every node by one round.
-            let mut next = FailureMask::none(space);
-            for node in space.iter_ids() {
+            // Evolve the alive/failed state of every occupied node by one
+            // round.
+            let mut next = FailureMask::none_over(population);
+            for node in population.iter_nodes() {
                 let currently_failed = mask.is_failed(node);
                 let fails_now = if currently_failed {
                     !churn_rng.gen_bool(self.config.recovery_rate)
@@ -148,7 +152,7 @@ impl ChurnExperiment {
             }
             mask = next;
 
-            let failed_fraction = mask.failed_count() as f64 / space.population() as f64;
+            let failed_fraction = mask.failed_count() as f64 / population.node_count() as f64;
             let (routability, attempted) = match PairSampler::new(&mask) {
                 Some(sampler) => {
                     let mut delivered = 0u64;

@@ -9,7 +9,9 @@ use rand::Rng;
 ///
 /// Routability (Definition 1 of the paper) is a statement about ordered pairs
 /// of *surviving* nodes; the sampler therefore draws both endpoints from the
-/// alive set and never returns a pair with `source == target`.
+/// alive set and never returns a pair with `source == target`. Masks over a
+/// sparse [`dht_id::Population`] report unoccupied identifiers as failed, so
+/// the sampler automatically draws only occupied survivors.
 ///
 /// # Example
 ///
@@ -116,6 +118,23 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let (a, b) = sampler.sample(&mut rng);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sparse_population_masks_yield_only_occupied_pairs() {
+        use dht_id::Population;
+        let s = space(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let population = Population::sample_uniform(s, 200, &mut rng).unwrap();
+        let mask = FailureMask::sample_over(&population, 0.25, &mut rng);
+        let sampler = PairSampler::new(&mask).unwrap();
+        assert_eq!(sampler.survivor_count() as u64, mask.alive_count());
+        for _ in 0..500 {
+            let (source, target) = sampler.sample(&mut rng);
+            assert!(population.contains(source));
+            assert!(population.contains(target));
+            assert!(mask.is_alive(source) && mask.is_alive(target));
+        }
     }
 
     #[test]

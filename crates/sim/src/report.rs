@@ -127,6 +127,7 @@ mod tests {
             geometry: "xor".into(),
             bits: 16,
             failure_probability: 0.3,
+            occupied_nodes: 1 << 16,
             trials: 1,
             pairs_attempted: 1000,
             pairs_delivered: 753,

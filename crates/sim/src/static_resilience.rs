@@ -17,6 +17,9 @@ pub struct StaticResilienceResult {
     pub bits: u32,
     /// Failure probability applied.
     pub failure_probability: f64,
+    /// Number of occupied identifiers in the overlay's population (`2^bits`
+    /// for fully populated overlays).
+    pub occupied_nodes: u64,
     /// Number of trials (independent failure patterns) averaged.
     pub trials: u32,
     /// Total pairs attempted across all trials.
@@ -40,10 +43,11 @@ pub struct StaticResilienceResult {
 /// Runs static-resilience measurements according to a
 /// [`StaticResilienceConfig`].
 ///
-/// Each trial samples a fresh failure pattern and a fresh set of pairs; pairs
-/// within a trial are split across the configured number of worker threads
-/// (std scoped threads), which is safe because overlays and masks are
-/// only read during measurement.
+/// Each trial samples a fresh failure pattern over the overlay's
+/// [`dht_id::Population`] (only occupied identifiers fail or survive) and a
+/// fresh set of pairs; pairs within a trial are split across the configured
+/// number of worker threads (std scoped threads), which is safe because
+/// overlays and masks are only read during measurement.
 #[derive(Debug, Clone)]
 pub struct StaticResilienceExperiment {
     config: StaticResilienceConfig,
@@ -82,9 +86,9 @@ impl StaticResilienceExperiment {
         for trial in 0..self.config.trials() {
             let mut failure_rng = seeds.child_rng(u64::from(trial) * 2);
             let mut pair_rng = seeds.child_rng(u64::from(trial) * 2 + 1);
-            let mask = FailureMask::sample(overlay.key_space(), q, &mut failure_rng);
+            let mask = FailureMask::sample_over(overlay.population(), q, &mut failure_rng);
             surviving_fraction_stats
-                .push(mask.alive_count() as f64 / overlay.key_space().population() as f64);
+                .push(mask.alive_count() as f64 / overlay.population().node_count() as f64);
             let Some(sampler) = PairSampler::new(&mask) else {
                 continue;
             };
@@ -119,6 +123,7 @@ impl StaticResilienceExperiment {
             geometry: overlay.geometry_name().to_owned(),
             bits: overlay.key_space().bits(),
             failure_probability: q,
+            occupied_nodes: overlay.population().node_count(),
             trials: self.config.trials(),
             pairs_attempted: attempted,
             pairs_delivered: delivered,
@@ -255,6 +260,27 @@ mod tests {
         // pairs exist must still produce a well-formed result.
         assert!(result.routability >= 0.0 && result.routability <= 1.0);
         assert!(result.failed_path_percent >= 0.0);
+    }
+
+    #[test]
+    fn sparse_populations_measure_routability_among_occupied_nodes() {
+        use dht_id::{KeySpace, Population};
+        let space = KeySpace::new(12).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let population = Population::sample_uniform(space, 1 << 10, &mut rng).unwrap();
+        let overlay = ChordOverlay::build_over(
+            population,
+            dht_overlay::ChordVariant::Deterministic,
+            &mut rng,
+        )
+        .unwrap();
+        let intact = StaticResilienceExperiment::new(config(0.0)).run(&overlay);
+        assert_eq!(intact.occupied_nodes, 1 << 10);
+        assert_eq!(intact.routability, 1.0, "intact sparse ring routes fully");
+        assert_eq!(intact.surviving_fraction, 1.0);
+        let failed = StaticResilienceExperiment::new(config(0.3)).run(&overlay);
+        assert!(failed.routability < 1.0);
+        assert!((failed.surviving_fraction - 0.7).abs() < 0.1);
     }
 
     #[test]

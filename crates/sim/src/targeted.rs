@@ -7,7 +7,7 @@
 //! are than the iid model for each geometry. They extend the paper (no figure
 //! depends on them) and are exercised by tests and the bench suite only.
 
-use dht_id::KeySpace;
+use dht_id::{KeySpace, Population};
 use dht_overlay::FailureMask;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -45,7 +45,8 @@ pub enum TargetedFailure {
 }
 
 impl TargetedFailure {
-    /// Generates the failure mask for this pattern over `space`.
+    /// Generates the failure mask for this pattern over a fully populated
+    /// `space`.
     ///
     /// # Panics
     ///
@@ -53,19 +54,45 @@ impl TargetedFailure {
     /// or if a prefix length exceeds the identifier length.
     #[must_use]
     pub fn sample<R: Rng + ?Sized>(&self, space: KeySpace, rng: &mut R) -> FailureMask {
+        self.sample_over(&Population::full(space), rng)
+    }
+
+    /// Generates the failure mask for this pattern over the occupied
+    /// identifiers of `population`.
+    ///
+    /// Only occupied identifiers hit by the pattern count as failures;
+    /// unoccupied identifiers read as failed in the mask regardless (there is
+    /// no node there), matching [`FailureMask::sample_over`]. Over a full
+    /// population this is identical to [`TargetedFailure::sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction or probability parameter lies outside `[0, 1]`,
+    /// or if a prefix length exceeds the identifier length.
+    #[must_use]
+    pub fn sample_over<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        rng: &mut R,
+    ) -> FailureMask {
+        let space = population.space();
+        let mut mask = FailureMask::none_over(population);
         match *self {
             TargetedFailure::ContiguousArc { fraction } => {
                 assert!(
                     (0.0..=1.0).contains(&fraction),
                     "arc fraction must lie in [0, 1]"
                 );
-                let population = space.population();
-                let length = (fraction * population as f64).round() as u64;
-                let start = rng.gen_range(0..population);
-                FailureMask::from_failed_nodes(
-                    space,
-                    (0..length).map(|offset| space.wrap(start.wrapping_add(offset))),
-                )
+                // The arc is a fraction of the identifier space (not of the
+                // occupied count), so correlated outages keep their
+                // geometric meaning at any occupancy.
+                let id_population = space.population();
+                let length = (fraction * id_population as f64).round() as u64;
+                let start = rng.gen_range(0..id_population);
+                for offset in 0..length {
+                    // Failing an unoccupied identifier is a counted no-op.
+                    mask.fail_node(space.wrap(start.wrapping_add(offset)));
+                }
             }
             TargetedFailure::Prefix { bits, value } => {
                 assert!(
@@ -73,18 +100,18 @@ impl TargetedFailure {
                     "prefix length {bits} exceeds identifier length {}",
                     space.bits()
                 );
-                if bits == 0 {
-                    // A zero-bit prefix matches everyone.
-                    return FailureMask::from_failed_nodes(space, space.iter_ids());
-                }
                 let shift = space.bits() - bits;
-                let prefix = value & ((1u64 << bits) - 1);
-                FailureMask::from_failed_nodes(
-                    space,
-                    space
-                        .iter_ids()
-                        .filter(|node| (node.value() >> shift) == prefix),
-                )
+                let prefix = if bits == 0 {
+                    0
+                } else {
+                    value & ((1u64 << bits) - 1)
+                };
+                for node in population.iter_nodes() {
+                    // A zero-bit prefix matches everyone.
+                    if bits == 0 || (node.value() >> shift) == prefix {
+                        mask.fail_node(node);
+                    }
+                }
             }
             TargetedFailure::WeightedByTrailingZeros {
                 base_probability,
@@ -98,21 +125,21 @@ impl TargetedFailure {
                     (0.0..=1.0).contains(&per_zero_increment),
                     "per-zero increment must lie in [0, 1]"
                 );
-                FailureMask::from_failed_nodes(
-                    space,
-                    space.iter_ids().filter(|node| {
-                        let zeros = if node.value() == 0 {
-                            space.bits()
-                        } else {
-                            node.value().trailing_zeros().min(space.bits())
-                        };
-                        let probability =
-                            (base_probability + per_zero_increment * f64::from(zeros)).min(1.0);
-                        rng.gen_bool(probability)
-                    }),
-                )
+                for node in population.iter_nodes() {
+                    let zeros = if node.value() == 0 {
+                        space.bits()
+                    } else {
+                        node.value().trailing_zeros().min(space.bits())
+                    };
+                    let probability =
+                        (base_probability + per_zero_increment * f64::from(zeros)).min(1.0);
+                    if rng.gen_bool(probability) {
+                        mask.fail_node(node);
+                    }
+                }
             }
         }
+        mask
     }
 
     /// The expected failed fraction of the pattern (exact for the arc and
@@ -246,6 +273,40 @@ mod tests {
             "arc {arc_routability} vs iid {}",
             iid.routability
         );
+    }
+
+    #[test]
+    fn sample_over_sparse_population_only_counts_occupied_failures() {
+        let s = space(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let population = Population::sample_uniform(s, 256, &mut rng).unwrap();
+        let mask =
+            TargetedFailure::ContiguousArc { fraction: 0.5 }.sample_over(&population, &mut rng);
+        assert_eq!(mask.population_size(), 256);
+        // Roughly half the occupied nodes sit inside the arc.
+        assert!((64..=192).contains(&mask.failed_count()));
+        // Unoccupied identifiers read as failed and never appear alive.
+        for node in mask.alive_nodes() {
+            assert!(population.contains(node));
+        }
+        // The prefix pattern kills exactly the occupied members of the
+        // subtree.
+        let mask = TargetedFailure::Prefix { bits: 1, value: 1 }.sample_over(&population, &mut rng);
+        let expected = population.iter_nodes().filter(|n| n.value() >= 512).count() as u64;
+        assert_eq!(mask.failed_count(), expected);
+    }
+
+    #[test]
+    fn sample_over_full_population_matches_sample() {
+        let s = space(8);
+        let pattern = TargetedFailure::WeightedByTrailingZeros {
+            base_probability: 0.1,
+            per_zero_increment: 0.15,
+        };
+        let direct = pattern.sample(s, &mut ChaCha8Rng::seed_from_u64(3));
+        let via_population =
+            pattern.sample_over(&Population::full(s), &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(direct, via_population);
     }
 
     #[test]

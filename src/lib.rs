@@ -61,10 +61,10 @@ pub use dht_sim as sim;
 /// The most commonly used items across the workspace, re-exported for glob
 /// import in applications, examples and tests.
 pub mod prelude {
-    pub use dht_id::{KeySpace, NodeId};
+    pub use dht_id::{KeySpace, NodeId, Population};
     pub use dht_overlay::{
-        route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, KademliaOverlay, Overlay,
-        PlaxtonOverlay, RouteOutcome, SymphonyOverlay,
+        route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, GeometryOverlay,
+        KademliaOverlay, Overlay, PlaxtonOverlay, RouteOutcome, RoutingArena, SymphonyOverlay,
     };
     pub use dht_percolation::{connected_components, percolation_threshold, reachable_component};
     pub use dht_rcm_core::prelude::*;

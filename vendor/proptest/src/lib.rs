@@ -1,8 +1,9 @@
 //! Offline vendored subset of the `proptest` API.
 //!
 //! The build environment has no crates.io access, so this crate provides the
-//! slice of proptest the workspace's property tests use: the [`Strategy`]
-//! trait over numeric ranges, tuples, [`Just`], `prop_map`, and
+//! slice of proptest the workspace's property tests use: the
+//! [`strategy::Strategy`] trait over numeric ranges, tuples,
+//! [`strategy::Just`], `prop_map`, and
 //! [`prop_oneof!`]; the [`proptest!`] test macro with
 //! `#![proptest_config(...)]`; and the `prop_assert*`/`prop_assume!` family.
 //! Unlike upstream there is no shrinking: a failing case panics immediately
@@ -115,6 +116,18 @@ macro_rules! prop_assert_eq {
                 "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
                 stringify!($left),
                 stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($format:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($format)+),
                 left,
                 right,
             )));
