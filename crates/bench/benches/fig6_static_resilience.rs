@@ -1,8 +1,11 @@
 //! Benchmarks of the Fig. 6 reproduction pipeline: overlay construction and
 //! static-resilience measurement for the four simulated geometries
-//! (experiments E3/E4).
+//! (experiments E3/E4). Also contributes trial-engine measurement
+//! throughput (ns per routed pair through `StaticResilienceExperiment`) to
+//! the machine-readable `BENCH_routing.json`; see [`dht_bench::perf`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dht_bench::perf;
 use dht_overlay::{
     CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay, Overlay, PlaxtonOverlay,
 };
@@ -79,4 +82,66 @@ criterion_group!(
     bench_overlay_construction,
     bench_static_resilience_measurement
 );
-criterion_main!(benches);
+
+/// Contributes whole-pipeline throughput entries: ns per routed pair when
+/// the pairs flow through the sharded trial engine (mask sampling, rank
+/// sampling, routing and tallying included).
+fn perf_trajectory() {
+    let smoke = perf::smoke_mode();
+    let pairs: u64 = if smoke { 5_000 } else { 50_000 };
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let overlays: Vec<(&str, Box<dyn Overlay>)> = vec![
+        (
+            "tree",
+            Box::new(PlaxtonOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+        ("hypercube", Box::new(CanOverlay::build(BITS).unwrap())),
+        (
+            "xor",
+            Box::new(KademliaOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+        (
+            "ring",
+            Box::new(ChordOverlay::build(BITS, ChordVariant::Deterministic).unwrap()),
+        ),
+    ];
+    let config = StaticResilienceConfig::new(0.3)
+        .expect("valid q")
+        .with_pairs(pairs)
+        .with_seed(11);
+    let samples = if smoke { 3 } else { 5 };
+    let mut entries = Vec::new();
+    for (name, overlay) in &overlays {
+        let median_per_experiment = perf::measure_median_ns(1, samples, || {
+            black_box(
+                StaticResilienceExperiment::new(config)
+                    .run(black_box(overlay.as_ref()))
+                    .routability,
+            );
+        });
+        let median = median_per_experiment / pairs as f64;
+        let entry = perf::entry(
+            "fig6_static_resilience",
+            name,
+            BITS,
+            0.3,
+            median,
+            pairs,
+            samples,
+        );
+        println!(
+            "{:<40} {:>12.1} ns/route {:>14.0} routes/sec",
+            entry.key(),
+            entry.median_ns_per_route,
+            entry.routes_per_sec
+        );
+        entries.push(entry);
+    }
+    perf::merge_into_output(entries.clone()).expect("BENCH_routing.json is writable");
+    perf::enforce_baseline(&entries);
+}
+
+fn main() {
+    benches();
+    perf_trajectory();
+}

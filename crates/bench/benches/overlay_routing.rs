@@ -1,38 +1,48 @@
 //! Micro-benchmarks of single-message greedy routing on each overlay, with
-//! and without failures — the inner loop of every simulated figure.
+//! and without failures — the inner loop of every simulated figure — plus
+//! the machine-readable perf trajectory: per-geometry median ns/route and
+//! routes/sec at `2^16` and `2^20`, written to `BENCH_routing.json` and
+//! (when `BENCH_BASELINE` is set) enforced against a committed baseline.
+//!
+//! Environment: `BENCH_SMOKE=1` shrinks the measurement budget,
+//! `BENCH_OUTPUT`/`BENCH_BASELINE`/`BENCH_TOLERANCE` control the report —
+//! see [`dht_bench::perf`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dht_bench::perf;
 use dht_overlay::{
     route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, KademliaOverlay, Overlay,
     PlaxtonOverlay, SymphonyOverlay,
 };
+use dht_sim::PairSampler;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 
 const BITS: u32 = 14;
 
-fn overlays() -> Vec<(&'static str, Box<dyn Overlay>)> {
+/// Geometry names in trajectory order.
+const GEOMETRIES: [&str; 5] = ["tree", "hypercube", "xor", "ring", "symphony"];
+
+/// Builds one overlay; geometries are built one at a time so the `2^20`
+/// measurements never hold two ~300 MB arenas at once.
+fn build_overlay(name: &str, bits: u32) -> Box<dyn Overlay> {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    vec![
-        (
-            "tree",
-            Box::new(PlaxtonOverlay::build(BITS, &mut rng).unwrap()) as Box<dyn Overlay>,
-        ),
-        ("hypercube", Box::new(CanOverlay::build(BITS).unwrap())),
-        (
-            "xor",
-            Box::new(KademliaOverlay::build(BITS, &mut rng).unwrap()),
-        ),
-        (
-            "ring",
-            Box::new(ChordOverlay::build(BITS, ChordVariant::Deterministic).unwrap()),
-        ),
-        (
-            "symphony",
-            Box::new(SymphonyOverlay::build(BITS, 1, 1, &mut rng).unwrap()),
-        ),
-    ]
+    match name {
+        "tree" => Box::new(PlaxtonOverlay::build(bits, &mut rng).unwrap()),
+        "hypercube" => Box::new(CanOverlay::build(bits).unwrap()),
+        "xor" => Box::new(KademliaOverlay::build(bits, &mut rng).unwrap()),
+        "ring" => Box::new(ChordOverlay::build(bits, ChordVariant::Deterministic).unwrap()),
+        "symphony" => Box::new(SymphonyOverlay::build(bits, 1, 1, &mut rng).unwrap()),
+        other => panic!("unknown geometry {other}"),
+    }
+}
+
+fn overlays() -> Vec<(&'static str, Box<dyn Overlay>)> {
+    GEOMETRIES
+        .iter()
+        .map(|&name| (name, build_overlay(name, BITS)))
+        .collect()
 }
 
 fn bench_routing(c: &mut Criterion, group_name: &str, q: f64) {
@@ -63,4 +73,75 @@ fn bench_routing_under_failure(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_routing_intact, bench_routing_under_failure);
-criterion_main!(benches);
+
+/// Measures one `(geometry, bits, q)` trajectory point: routes alive pairs
+/// (pre-drawn by rank from the bitset, so the timed loop is route-only) and
+/// records the median ns/route.
+fn measure_point(
+    name: &str,
+    overlay: &dyn Overlay,
+    q: f64,
+    smoke: bool,
+) -> perf::RoutingBenchEntry {
+    let bits = overlay.key_space().bits();
+    let mask = FailureMask::sample(
+        overlay.key_space(),
+        q,
+        &mut ChaCha8Rng::seed_from_u64(0x6D61_736B ^ u64::from(bits)),
+    );
+    let sampler = PairSampler::new(&mask).expect("enough survivors at these sizes");
+    let mut pair_rng = ChaCha8Rng::seed_from_u64(0x7061_6972 ^ u64::from(bits));
+    let pairs: Vec<_> = sampler.sample_many(4096, &mut pair_rng);
+
+    let mut cursor = 0usize;
+    let mut route_one = || {
+        let (source, target) = pairs[cursor];
+        cursor = (cursor + 1) % pairs.len();
+        black_box(route(overlay, source, target, &mask));
+    };
+
+    // Calibrate routes-per-sample so each sample lands near the wall-clock
+    // target regardless of how expensive this geometry's routes are.
+    let calibration_ns = perf::measure_median_ns(64, 1, &mut route_one).max(1.0);
+    let (target_sample_ns, samples) = if smoke { (10e6, 3) } else { (100e6, 7) };
+    let routes_per_sample = ((target_sample_ns / calibration_ns) as u64).clamp(64, 500_000);
+    let median = perf::measure_median_ns(routes_per_sample, samples, &mut route_one);
+    let entry = perf::entry(
+        "overlay_routing",
+        name,
+        bits,
+        q,
+        median,
+        routes_per_sample,
+        samples,
+    );
+    println!(
+        "{:<40} {:>12.1} ns/route {:>14.0} routes/sec",
+        entry.key(),
+        entry.median_ns_per_route,
+        entry.routes_per_sec
+    );
+    entry
+}
+
+/// Measures the perf trajectory at `2^16` and `2^20`, merges it into
+/// `BENCH_routing.json`, and enforces the committed baseline when asked.
+fn perf_trajectory() {
+    let smoke = perf::smoke_mode();
+    let mut entries = Vec::new();
+    for bits in [16u32, 20] {
+        for name in GEOMETRIES {
+            let overlay = build_overlay(name, bits);
+            for q in [0.0, 0.3] {
+                entries.push(measure_point(name, overlay.as_ref(), q, smoke));
+            }
+        }
+    }
+    perf::merge_into_output(entries.clone()).expect("BENCH_routing.json is writable");
+    perf::enforce_baseline(&entries);
+}
+
+fn main() {
+    benches();
+    perf_trajectory();
+}

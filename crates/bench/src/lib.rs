@@ -1,1 +1,12 @@
-//! Benchmark-only crate; see `benches/`.
+//! Criterion benchmarks plus the machine-readable perf trajectory.
+//!
+//! The `benches/` targets print criterion-style medians for humans; the
+//! [`perf`] module is the machine-readable side: routing benches write their
+//! medians into `BENCH_routing.json` at the workspace root and can enforce a
+//! committed baseline, which is what the CI `bench-perf` job runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod perf;

@@ -4,12 +4,28 @@ use dht_id::{KeySpace, NodeId, Population};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Number of identifier slots per bitset word.
+const WORD_BITS: u64 = 64;
+
 /// A frozen set of failed nodes over the occupied identifiers of a space.
 ///
 /// The paper's failure model removes each node independently with probability
 /// `q` and keeps every surviving node's routing table unchanged. A
 /// [`FailureMask`] captures one such removal pattern; routing functions query
 /// it on every hop.
+///
+/// # Representation
+///
+/// The mask is a packed bitset: bit `v % 64` of word `v / 64` is set exactly
+/// when identifier `v` is an *alive occupied* node. Unoccupied identifiers
+/// (for masks over a sparse [`Population`]) and failed nodes both read as
+/// zero, so the hot-path query [`FailureMask::is_alive`] is a single shift
+/// and mask. Word-level access ([`FailureMask::words`],
+/// [`FailureMask::alive_words`]) plus popcount-based rank/select
+/// ([`FailureMask::alive_rank`], [`FailureMask::select_alive`]) let samplers
+/// draw surviving nodes by rank without materialising an alive vector; a
+/// `2^20`-identifier mask is 128 KiB instead of the megabyte a `Vec<bool>`
+/// would cost.
 ///
 /// Masks are population-aware: over a sparse [`Population`] the unoccupied
 /// identifiers are permanently "failed" (there is no node to forward
@@ -34,7 +50,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FailureMask {
     space: KeySpace,
-    failed: Vec<bool>,
+    /// Bit `v % 64` of `alive[v / 64]` is set iff identifier `v` is an alive
+    /// occupied node. Bits beyond the key space are always zero, so derived
+    /// equality and word-level scans need no trailing-bit masking.
+    alive: Vec<u64>,
     failed_count: u64,
     population_size: u64,
 }
@@ -53,11 +72,18 @@ impl FailureMask {
             "failure masks materialise every node; {}-bit spaces are analytical-only",
             space.bits()
         );
+        let population = space.population();
+        let words = population.div_ceil(WORD_BITS) as usize;
+        let mut alive = vec![u64::MAX; words];
+        let tail = population % WORD_BITS;
+        if tail != 0 {
+            alive[words - 1] = (1u64 << tail) - 1;
+        }
         FailureMask {
             space,
-            failed: vec![false; space.population() as usize],
+            alive,
             failed_count: 0,
-            population_size: space.population(),
+            population_size: population,
         }
     }
 
@@ -78,13 +104,15 @@ impl FailureMask {
             "failure masks materialise every node; {}-bit spaces are analytical-only",
             space.bits()
         );
-        let mut failed = vec![true; space.population() as usize];
+        let words = space.population().div_ceil(WORD_BITS) as usize;
+        let mut alive = vec![0u64; words];
         for node in population.iter_nodes() {
-            failed[node.value() as usize] = false;
+            let value = node.value();
+            alive[(value / WORD_BITS) as usize] |= 1u64 << (value % WORD_BITS);
         }
         FailureMask {
             space,
-            failed,
+            alive,
             failed_count: 0,
             population_size: population.node_count(),
         }
@@ -119,7 +147,8 @@ impl FailureMask {
         let mut mask = FailureMask::none_over(population);
         for node in population.iter_nodes() {
             if rng.gen_bool(q) {
-                mask.failed[node.value() as usize] = true;
+                let value = node.value();
+                mask.alive[(value / WORD_BITS) as usize] &= !(1u64 << (value % WORD_BITS));
                 mask.failed_count += 1;
             }
         }
@@ -137,10 +166,14 @@ impl FailureMask {
     {
         let mut mask = FailureMask::none(space);
         for node in nodes {
-            let index = node.value() as usize;
-            if node.bits() == space.bits() && !mask.failed[index] {
-                mask.failed[index] = true;
-                mask.failed_count += 1;
+            if node.bits() == space.bits() {
+                let value = node.value();
+                let slot = &mut mask.alive[(value / WORD_BITS) as usize];
+                let bit = 1u64 << (value % WORD_BITS);
+                if *slot & bit != 0 {
+                    *slot &= !bit;
+                    mask.failed_count += 1;
+                }
             }
         }
         mask
@@ -165,6 +198,7 @@ impl FailureMask {
     /// # Panics
     ///
     /// Panics if `node` does not belong to the mask's key space.
+    #[inline]
     #[must_use]
     pub fn is_failed(&self, node: NodeId) -> bool {
         assert_eq!(
@@ -172,7 +206,8 @@ impl FailureMask {
             self.space.bits(),
             "node belongs to a different key space"
         );
-        self.failed[node.value() as usize]
+        let value = node.value();
+        self.alive[(value / WORD_BITS) as usize] & (1u64 << (value % WORD_BITS)) == 0
     }
 
     /// Returns `true` if `node` is an occupied identifier that survived.
@@ -180,6 +215,7 @@ impl FailureMask {
     /// # Panics
     ///
     /// Panics if `node` does not belong to the mask's key space.
+    #[inline]
     #[must_use]
     pub fn is_alive(&self, node: NodeId) -> bool {
         !self.is_failed(node)
@@ -197,19 +233,97 @@ impl FailureMask {
         self.population_size - self.failed_count
     }
 
+    /// The raw bitset words, 64 identifiers per word in ascending order.
+    ///
+    /// Samplers build rank indices over this slice (one cumulative popcount
+    /// per word) to draw surviving nodes by rank in O(log words); see
+    /// [`FailureMask::select_alive`] for the index-free variant.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.alive
+    }
+
+    /// Iterates over the non-zero bitset words as `(word_index, word)` pairs.
+    ///
+    /// Word `i` covers identifiers `64 * i ..= 64 * i + 63`; a set bit `b`
+    /// means identifier `64 * i + b` is alive. Sparse scans (connected
+    /// components, reachability frontiers) skip dead regions 64 identifiers
+    /// at a time this way.
+    pub fn alive_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter_map(|(index, &word)| (word != 0).then_some((index, word)))
+    }
+
     /// Iterates over the surviving node identifiers in ascending order.
     pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         let bits = self.space.bits();
-        self.failed
-            .iter()
-            .enumerate()
-            .filter_map(move |(index, &failed)| {
-                if failed {
-                    None
-                } else {
-                    Some(NodeId::from_raw(index as u64, bits).expect("index fits the key space"))
+        self.alive_words().flat_map(move |(index, word)| {
+            let base = index as u64 * WORD_BITS;
+            let mut remaining = word;
+            std::iter::from_fn(move || {
+                if remaining == 0 {
+                    return None;
                 }
+                let bit = remaining.trailing_zeros();
+                remaining &= remaining - 1;
+                Some(
+                    NodeId::from_raw(base + u64::from(bit), bits)
+                        .expect("bit index fits the key space"),
+                )
             })
+        })
+    }
+
+    /// The rank of `node` among the surviving nodes in ascending identifier
+    /// order, or `None` when `node` is failed or unoccupied.
+    ///
+    /// Computed by popcounting the bitset prefix, O(population / 64). The
+    /// inverse of [`FailureMask::select_alive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the mask's key space.
+    #[must_use]
+    pub fn alive_rank(&self, node: NodeId) -> Option<u64> {
+        if self.is_failed(node) {
+            return None;
+        }
+        let value = node.value();
+        let word_index = (value / WORD_BITS) as usize;
+        let prefix: u64 = self.alive[..word_index]
+            .iter()
+            .map(|word| u64::from(word.count_ones()))
+            .sum();
+        let below = self.alive[word_index] & ((1u64 << (value % WORD_BITS)) - 1);
+        Some(prefix + u64::from(below.count_ones()))
+    }
+
+    /// The surviving node of the given rank (ascending identifier order), or
+    /// `None` when `rank >= alive_count()`.
+    ///
+    /// This is a linear word scan, O(population / 64); samplers that select
+    /// repeatedly should build a cumulative popcount index over
+    /// [`FailureMask::words`] instead (as `dht_sim::PairSampler` does).
+    #[must_use]
+    pub fn select_alive(&self, rank: u64) -> Option<NodeId> {
+        if rank >= self.alive_count() {
+            return None;
+        }
+        let mut remaining = rank;
+        for (index, word) in self.alive_words() {
+            let count = u64::from(word.count_ones());
+            if remaining < count {
+                let bit = select_in_word(word, remaining as u32);
+                let value = index as u64 * WORD_BITS + u64::from(bit);
+                return Some(
+                    NodeId::from_raw(value, self.space.bits()).expect("bit fits the key space"),
+                );
+            }
+            remaining -= count;
+        }
+        None
     }
 
     /// Marks a single node as failed (idempotent; a no-op for unoccupied
@@ -225,12 +339,43 @@ impl FailureMask {
             self.space.bits(),
             "node belongs to a different key space"
         );
-        let slot = &mut self.failed[node.value() as usize];
-        if !*slot {
-            *slot = true;
+        let value = node.value();
+        let slot = &mut self.alive[(value / WORD_BITS) as usize];
+        let bit = 1u64 << (value % WORD_BITS);
+        if *slot & bit != 0 {
+            *slot &= !bit;
             self.failed_count += 1;
         }
     }
+}
+
+/// The index of the `rank`-th set bit of `word` (rank 0 is the least
+/// significant set bit), via a popcount binary search — six branches, no
+/// loops over individual bits.
+///
+/// # Panics
+///
+/// Debug-asserts that `rank < word.count_ones()`; in release builds an
+/// out-of-range rank returns a meaningless index.
+#[must_use]
+pub fn select_in_word(word: u64, rank: u32) -> u32 {
+    debug_assert!(
+        rank < word.count_ones(),
+        "select rank {rank} out of range for a word with {} set bits",
+        word.count_ones()
+    );
+    let mut remaining = rank;
+    let mut shifted = word;
+    let mut index = 0u32;
+    for span in [32u32, 16, 8, 4, 2, 1] {
+        let low = (shifted & ((1u64 << span) - 1)).count_ones();
+        if remaining >= low {
+            remaining -= low;
+            index += span;
+            shifted >>= span;
+        }
+    }
+    index
 }
 
 #[cfg(test)]
@@ -251,6 +396,15 @@ mod tests {
         assert_eq!(mask.population_size(), 256);
         assert_eq!(mask.alive_nodes().count(), 256);
         assert!(mask.is_alive(space(8).wrap(17)));
+    }
+
+    #[test]
+    fn sub_word_spaces_trim_the_tail_word() {
+        // A 3-bit space occupies 8 bits of a single word; the trailing 56
+        // bits must stay zero so equality and word scans are canonical.
+        let mask = FailureMask::none(space(3));
+        assert_eq!(mask.words(), &[0xFF]);
+        assert_eq!(mask.alive_count(), 8);
     }
 
     #[test]
@@ -348,6 +502,49 @@ mod tests {
         assert_eq!(mask.failed_count(), 0, "unoccupied ids never count");
         mask.fail_node(s.wrap(1));
         assert_eq!(mask.failed_count(), 1);
+    }
+
+    #[test]
+    fn rank_and_select_are_inverse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mask = FailureMask::sample(space(10), 0.35, &mut rng);
+        for (rank, node) in mask.alive_nodes().enumerate() {
+            assert_eq!(mask.alive_rank(node), Some(rank as u64));
+            assert_eq!(mask.select_alive(rank as u64), Some(node));
+        }
+        assert_eq!(mask.select_alive(mask.alive_count()), None);
+        let failed = space(10)
+            .iter_ids()
+            .find(|&n| mask.is_failed(n))
+            .expect("some node failed");
+        assert_eq!(mask.alive_rank(failed), None);
+    }
+
+    #[test]
+    fn select_in_word_matches_a_bit_scan() {
+        for word in [1u64, 0b1010_1100, u64::MAX, 0x8000_0000_0000_0001, 0xF0F0] {
+            let bits: Vec<u32> = (0..64).filter(|&b| word & (1u64 << b) != 0).collect();
+            for (rank, &bit) in bits.iter().enumerate() {
+                assert_eq!(select_in_word(word, rank as u32), bit, "word {word:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn alive_words_skip_dead_regions() {
+        let s = space(8);
+        let mask = FailureMask::from_failed_nodes(s, (0..128).map(|v| s.wrap(v)));
+        let words: Vec<(usize, u64)> = mask.alive_words().collect();
+        assert_eq!(words, vec![(2, u64::MAX), (3, u64::MAX)]);
+    }
+
+    #[test]
+    fn mask_round_trips_through_serde() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mask = FailureMask::sample(space(7), 0.4, &mut rng);
+        let json = serde_json::to_string(&mask).unwrap();
+        let back: FailureMask = serde_json::from_str(&json).unwrap();
+        assert_eq!(mask, back);
     }
 
     #[test]

@@ -13,7 +13,10 @@ use rand::Rng;
 /// (e.g. [`crate::chord::ChordStrategy`]); [`GeometryOverlay`] supplies
 /// everything else — CSR storage, population handling, validation and the
 /// [`Overlay`] plumbing — exactly once.
-pub trait GeometryStrategy {
+///
+/// Strategies are `Send + Sync` (like [`Overlay`] itself): they are immutable
+/// after construction and queried concurrently by batch routing drivers.
+pub trait GeometryStrategy: Send + Sync {
     /// Short name of the routing geometry (matches the analytical crate),
     /// e.g. `"xor"`.
     fn geometry_name(&self) -> &'static str;

@@ -68,10 +68,10 @@ pub mod traits;
 pub use arena::RoutingArena;
 pub use can::CanOverlay;
 pub use chord::{ChordOverlay, ChordVariant};
-pub use failure::FailureMask;
+pub use failure::{select_in_word, FailureMask};
 pub use generic::{GeometryOverlay, GeometryStrategy};
 pub use kademlia::KademliaOverlay;
 pub use plaxton::PlaxtonOverlay;
-pub use router::{route, route_with_limit, RouteOutcome};
+pub use router::{default_route_hop_limit, route, route_with_limit, RouteOutcome};
 pub use symphony::SymphonyOverlay;
 pub use traits::{Overlay, OverlayError};

@@ -51,17 +51,33 @@ impl RouteOutcome {
     }
 }
 
-/// Default hop-limit multiplier: greedy protocols route in at most `d` phases
-/// but may take suboptimal hops inside each phase (Symphony in particular), so
-/// the driver allows a generous multiple of the population size's bit length.
-fn default_hop_limit(bits: u32) -> u32 {
-    // Symphony needs O(log^2 N / k_s) hops in expectation; 64·d covers every
-    // realistic run at the sizes an overlay can materialise.
-    64 * bits.max(1)
+/// The default hop limit for routing on `overlay`: `64 · ⌈log2 n⌉` where `n`
+/// is the *occupied* node count.
+///
+/// Greedy protocols route in at most `⌈log2 n⌉` phases but may take
+/// suboptimal hops inside each phase (Symphony in particular needs
+/// `O(log^2 n / k_s)` hops in expectation), so the driver allows a generous
+/// multiple of the population's bit length. Keying off the occupied count —
+/// not the identifier length — keeps the limit tight for sparse overlays: a
+/// Symphony ring with `2^10` nodes in a `2^20` space gets `64 · 10` hops, not
+/// `64 · 20`.
+///
+/// Batch drivers (`dht_sim`'s trial engine) compute this once per trial and
+/// call [`route_with_limit`] directly.
+#[must_use]
+pub fn default_route_hop_limit<O>(overlay: &O) -> u32
+where
+    O: Overlay + ?Sized,
+{
+    let nodes = overlay.node_count();
+    // ceil(log2 n), with n >= 2 enforced at overlay construction; max(1)
+    // keeps degenerate custom overlays from a zero limit.
+    let bit_length = (u64::BITS - nodes.saturating_sub(1).leading_zeros()).max(1);
+    64 * bit_length
 }
 
 /// Routes a message from `source` to `target` under `mask` with the default
-/// hop limit.
+/// hop limit ([`default_route_hop_limit`]).
 ///
 /// See [`route_with_limit`] for details.
 #[must_use]
@@ -74,7 +90,7 @@ where
         source,
         target,
         mask,
-        default_hop_limit(overlay.key_space().bits()),
+        default_route_hop_limit(overlay),
     )
 }
 
@@ -259,6 +275,54 @@ mod tests {
         assert_eq!(
             route_with_limit(&overlay, space.wrap(0), space.wrap(15), &mask, 5),
             RouteOutcome::HopLimitExceeded { limit: 5 }
+        );
+    }
+
+    #[test]
+    fn default_hop_limit_keys_off_the_occupied_count() {
+        // A full 4-bit line overlay has 16 nodes: 64 * 4 hops.
+        let overlay = LineOverlay::new(4);
+        assert_eq!(default_route_hop_limit(&overlay), 64 * 4);
+
+        // A sparse overlay gets a limit sized to its occupied count, not the
+        // identifier length of the space it happens to live in.
+        struct SparseStub {
+            population: Population,
+        }
+        impl Overlay for SparseStub {
+            fn geometry_name(&self) -> &'static str {
+                "stub"
+            }
+            fn population(&self) -> &Population {
+                &self.population
+            }
+            fn neighbors(&self, _node: NodeId) -> &[NodeId] {
+                &[]
+            }
+            fn next_hop(
+                &self,
+                _current: NodeId,
+                _target: NodeId,
+                _alive: &FailureMask,
+            ) -> Option<NodeId> {
+                None
+            }
+        }
+        let space = KeySpace::new(20).unwrap();
+        let population =
+            Population::sparse(space, (0..1024u64).map(|v| space.wrap(v * 7))).unwrap();
+        let sparse = SparseStub { population };
+        assert_eq!(
+            default_route_hop_limit(&sparse),
+            64 * 10,
+            "2^10 occupied nodes in a 2^20 space bound the phases, not the 20 bits"
+        );
+        // Non-power-of-two counts round the bit length up.
+        let three =
+            Population::sparse(space, [space.wrap(1), space.wrap(2), space.wrap(3)]).unwrap();
+        assert_eq!(
+            default_route_hop_limit(&SparseStub { population: three }),
+            64 * 2
         );
     }
 

@@ -65,7 +65,12 @@ pub const MAX_OVERLAY_BITS: u32 = 24;
 /// greedy forwarding rule ([`Overlay::next_hop`]); the free function
 /// [`crate::route`] drives the latter hop by hop under a frozen
 /// [`FailureMask`].
-pub trait Overlay {
+///
+/// Overlays are `Send + Sync` by contract: routing tables are frozen after
+/// construction and every query takes `&self`, which is what lets batch
+/// drivers (`dht_sim`'s sharded trial engine, the concurrent sweep) fan one
+/// overlay out across scoped threads without wrapper types.
+pub trait Overlay: Send + Sync {
     /// Short name of the routing geometry (matches the analytical crate),
     /// e.g. `"xor"`.
     fn geometry_name(&self) -> &'static str;

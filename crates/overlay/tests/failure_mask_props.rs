@@ -1,0 +1,196 @@
+//! Property tests: the packed-bitset [`FailureMask`] must be
+//! behaviour-identical to the seed's `Vec<bool>` semantics.
+//!
+//! `Model` below is a faithful transcription of the seed implementation
+//! (one `bool` per identifier, unoccupied identifiers pre-marked failed,
+//! counts occupied-relative, same RNG consumption in `sample_over`). The
+//! properties drive both representations through the same constructions and
+//! mutations and assert every observable agrees: per-identifier reads,
+//! counts, the ascending alive iterator, and the popcount rank/select pair
+//! the bitset adds.
+
+use dht_id::{KeySpace, NodeId, Population};
+use dht_overlay::{select_in_word, FailureMask};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The seed's `Vec<bool>` failure mask, transcribed.
+struct Model {
+    space: KeySpace,
+    failed: Vec<bool>,
+    failed_count: u64,
+    population_size: u64,
+}
+
+impl Model {
+    fn none(space: KeySpace) -> Self {
+        Model {
+            space,
+            failed: vec![false; space.population() as usize],
+            failed_count: 0,
+            population_size: space.population(),
+        }
+    }
+
+    fn none_over(population: &Population) -> Self {
+        if population.is_full() {
+            return Model::none(population.space());
+        }
+        let space = population.space();
+        let mut failed = vec![true; space.population() as usize];
+        for node in population.iter_nodes() {
+            failed[node.value() as usize] = false;
+        }
+        Model {
+            space,
+            failed,
+            failed_count: 0,
+            population_size: population.node_count(),
+        }
+    }
+
+    fn sample_over<R: Rng + ?Sized>(population: &Population, q: f64, rng: &mut R) -> Self {
+        let mut model = Model::none_over(population);
+        for node in population.iter_nodes() {
+            if rng.gen_bool(q) {
+                model.failed[node.value() as usize] = true;
+                model.failed_count += 1;
+            }
+        }
+        model
+    }
+
+    fn fail_node(&mut self, node: NodeId) {
+        let slot = &mut self.failed[node.value() as usize];
+        if !*slot {
+            *slot = true;
+            self.failed_count += 1;
+        }
+    }
+
+    fn alive_count(&self) -> u64 {
+        self.population_size - self.failed_count
+    }
+
+    fn alive_values(&self) -> Vec<u64> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter_map(|(value, &failed)| (!failed).then_some(value as u64))
+            .collect()
+    }
+}
+
+/// Asserts every observable of `mask` agrees with `model`.
+fn assert_equivalent(model: &Model, mask: &FailureMask) -> Result<(), TestCaseError> {
+    prop_assert_eq!(model.failed_count, mask.failed_count());
+    prop_assert_eq!(model.alive_count(), mask.alive_count());
+    prop_assert_eq!(model.population_size, mask.population_size());
+    for node in model.space.iter_ids() {
+        prop_assert_eq!(
+            model.failed[node.value() as usize],
+            mask.is_failed(node),
+            "is_failed diverges at {}",
+            node
+        );
+    }
+    let alive: Vec<u64> = mask.alive_nodes().map(|n| n.value()).collect();
+    prop_assert_eq!(model.alive_values(), alive.clone());
+
+    // The bitset's rank/select pair must walk exactly the model's alive set.
+    for (rank, &value) in alive.iter().enumerate() {
+        let node = model.space.wrap(value);
+        prop_assert_eq!(mask.alive_rank(node), Some(rank as u64));
+        prop_assert_eq!(mask.select_alive(rank as u64), Some(node));
+    }
+    prop_assert_eq!(mask.select_alive(mask.alive_count()), None);
+
+    // Word-level reads cover the space exactly once, in order.
+    let mut from_words = Vec::new();
+    for (index, word) in mask.alive_words() {
+        for bit in 0..64u64 {
+            if word & (1 << bit) != 0 {
+                from_words.push(index as u64 * 64 + bit);
+            }
+        }
+    }
+    prop_assert_eq!(alive, from_words);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sampled_full_masks_match_the_seed_semantics(
+        bits in 1u32..10,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..1.0,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = Population::full(space);
+        // Identical RNG consumption: the same seed must produce the same
+        // pattern in both representations.
+        let model = Model::sample_over(&population, q, &mut ChaCha8Rng::seed_from_u64(seed));
+        let mask = FailureMask::sample(space, q, &mut ChaCha8Rng::seed_from_u64(seed));
+        assert_equivalent(&model, &mask)?;
+    }
+
+    #[test]
+    fn sampled_sparse_masks_match_the_seed_semantics(
+        bits in 3u32..10,
+        occupancy_percent in 10u64..100,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..1.0,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let occupied = (space.population() * occupancy_percent / 100).max(2);
+        let population = Population::sample_uniform(
+            space,
+            occupied,
+            &mut ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF),
+        )
+        .unwrap();
+        let model = Model::sample_over(&population, q, &mut ChaCha8Rng::seed_from_u64(seed));
+        let mask = FailureMask::sample_over(&population, q, &mut ChaCha8Rng::seed_from_u64(seed));
+        assert_equivalent(&model, &mask)?;
+    }
+
+    #[test]
+    fn targeted_mutations_match_the_seed_semantics(
+        bits in 2u32..9,
+        seed in 0u64..1 << 20,
+        kills in 0usize..64,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = Population::sample_uniform(
+            space,
+            (space.population() / 2).max(2),
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        )
+        .unwrap();
+        let mut model = Model::none_over(&population);
+        let mut mask = FailureMask::none_over(&population);
+        // Fail arbitrary identifiers — occupied or not, repeated or not; the
+        // unoccupied and duplicate cases must stay counted no-ops.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF00D);
+        for _ in 0..kills {
+            let node = space.random_id(&mut rng);
+            model.fail_node(node);
+            mask.fail_node(node);
+        }
+        assert_equivalent(&model, &mask)?;
+    }
+
+    #[test]
+    fn select_in_word_is_the_rank_inverse_on_random_words(word in 1u64..=u64::MAX) {
+        let mut rank = 0u32;
+        for bit in 0..64u32 {
+            if word & (1u64 << bit) != 0 {
+                prop_assert_eq!(select_in_word(word, rank), bit);
+                rank += 1;
+            }
+        }
+    }
+}

@@ -9,9 +9,9 @@
 //! figure of the paper depends on it.
 
 use crate::config::SimError;
-use crate::pair_sampler::PairSampler;
+use crate::engine::TrialEngine;
 use crate::rng::SeedSequence;
-use dht_overlay::{route, FailureMask, Overlay};
+use dht_overlay::{FailureMask, Overlay};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +28,9 @@ pub struct ChurnConfig {
     pub pairs_per_round: u64,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads used to route each round's pairs (results are
+    /// identical for any value; see [`TrialEngine`]).
+    pub threads: usize,
 }
 
 impl ChurnConfig {
@@ -59,6 +62,7 @@ impl ChurnConfig {
             rounds,
             pairs_per_round: 2_000,
             seed: 0,
+            threads: 1,
         })
     }
 
@@ -73,6 +77,15 @@ impl ChurnConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads used to route each round's pairs
+    /// (clamped to `1..=256`). Thread count never changes the measured
+    /// numbers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, 256);
         self
     }
 
@@ -123,7 +136,11 @@ impl ChurnExperiment {
     /// Simulates the churn process and measures routability each round.
     ///
     /// Only the occupied identifiers of the overlay's population churn;
-    /// unoccupied identifiers of a sparse overlay never hold a node.
+    /// unoccupied identifiers of a sparse overlay never hold a node. The
+    /// alive/failed evolution is inherently sequential (each round depends on
+    /// the previous), but each round's pair budget runs on the sharded
+    /// [`TrialEngine`], so results are identical for any
+    /// [`ChurnConfig::threads`] value.
     pub fn run<O>(&self, overlay: &O) -> Vec<ChurnRound>
     where
         O: Overlay + ?Sized,
@@ -131,7 +148,10 @@ impl ChurnExperiment {
         let population = overlay.population();
         let seeds = SeedSequence::new(self.config.seed);
         let mut churn_rng = seeds.child_rng(0);
-        let mut pair_rng = seeds.child_rng(1);
+        // Child 1 roots the pair streams: each round gets its own seed, from
+        // which the engine derives per-shard streams.
+        let pair_seeds = SeedSequence::new(seeds.child(1));
+        let engine = TrialEngine::new(self.config.threads);
         let mut mask = FailureMask::none_over(population);
         let mut rounds = Vec::with_capacity(self.config.rounds as usize);
 
@@ -153,17 +173,13 @@ impl ChurnExperiment {
             mask = next;
 
             let failed_fraction = mask.failed_count() as f64 / population.node_count() as f64;
-            let (routability, attempted) = match PairSampler::new(&mask) {
-                Some(sampler) => {
-                    let mut delivered = 0u64;
-                    let pairs = sampler.sample_many(self.config.pairs_per_round, &mut pair_rng);
-                    for (source, target) in &pairs {
-                        if route(overlay, *source, *target, &mask).is_delivered() {
-                            delivered += 1;
-                        }
-                    }
-                    (delivered as f64 / pairs.len() as f64, pairs.len() as u64)
-                }
+            let (routability, attempted) = match engine.run_trial(
+                overlay,
+                &mask,
+                self.config.pairs_per_round,
+                pair_seeds.child(u64::from(round)),
+            ) {
+                Some(tally) => (tally.routability(), tally.attempted),
                 None => (0.0, 0),
             };
             rounds.push(ChurnRound {
@@ -245,5 +261,20 @@ mod tests {
         let a = ChurnExperiment::new(config).run(&overlay);
         let b = ChurnExperiment::new(config).run(&overlay);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_timeline() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let overlay = KademliaOverlay::build(9, &mut rng).unwrap();
+        let base = ChurnConfig::new(0.1, 0.3, 6)
+            .unwrap()
+            .with_pairs_per_round(3_000)
+            .with_seed(21);
+        let single = ChurnExperiment::new(base.with_threads(1)).run(&overlay);
+        for threads in [2, 5, 8] {
+            let multi = ChurnExperiment::new(base.with_threads(threads)).run(&overlay);
+            assert_eq!(single, multi, "threads = {threads}");
+        }
     }
 }

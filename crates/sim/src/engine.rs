@@ -1,0 +1,349 @@
+//! The sharded, deterministic trial engine behind every measured curve.
+//!
+//! Static-resilience and churn measurements reduce to the same hot loop:
+//! sample a pair of surviving nodes, route greedily under a frozen
+//! [`FailureMask`], tally the outcome — repeated millions of times. The seed
+//! implementation materialised a pair vector and an outcome vector per trial
+//! and split them across threads in chunks whose boundaries depended on the
+//! thread count, so parallel runs were only *statistically* equivalent to
+//! serial ones. [`TrialEngine`] replaces that with logical **shards**:
+//!
+//! * a trial's pair budget is cut into fixed-size shards
+//!   ([`TrialEngine::pairs_per_shard`], independent of the thread count);
+//! * shard `s` draws its pairs from its own ChaCha8 stream, derived from the
+//!   trial's pair seed via [`SeedSequence`];
+//! * worker threads (std scoped threads) each execute a contiguous range of
+//!   shards, and the per-shard [`TrialTally`]s are merged **in shard order**.
+//!
+//! Because both the shard boundaries and the shard streams are functions of
+//! the configuration alone, the merged tally is bit-identical for any thread
+//! count — one thread or sixty-four. The loop itself performs no per-route
+//! allocation: pairs are drawn by rank directly from the mask's bitset
+//! ([`PairSampler`]), outcomes are folded into the shard's tally on the
+//! spot, and the only scratch each shard owns is its RNG and tally.
+
+use crate::pair_sampler::PairSampler;
+use crate::rng::SeedSequence;
+use dht_mathkit::stats::RunningStats;
+use dht_overlay::{default_route_hop_limit, route_with_limit, FailureMask, Overlay, RouteOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Default number of pairs per logical shard.
+///
+/// Small enough that typical budgets (10⁴–10⁷ pairs) split into more shards
+/// than cores, large enough that a shard amortises its RNG setup. Changing
+/// the shard size changes the sampled streams (it re-partitions the budget),
+/// so it is a configuration input, not a tuning knob the engine may adjust
+/// silently.
+pub const DEFAULT_PAIRS_PER_SHARD: u64 = 4096;
+
+/// Outcome counts of one batch of routed pairs.
+///
+/// Tallies are plain sums plus a mergeable [`RunningStats`] over delivered
+/// hop counts, so per-shard tallies fold together associatively; the engine
+/// always folds them in shard order, which keeps even the floating-point
+/// fields deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrialTally {
+    /// Pairs routed.
+    pub attempted: u64,
+    /// Pairs whose message reached the target.
+    pub delivered: u64,
+    /// Pairs dropped because no alive neighbour made progress.
+    pub dropped: u64,
+    /// Pairs that exceeded the hop limit (a protocol bug if strictly greedy).
+    pub hop_limited: u64,
+    /// Hop-count statistics over delivered messages.
+    pub hop_stats: RunningStats,
+    /// Largest observed hop count over delivered messages.
+    pub max_hops: u32,
+}
+
+impl TrialTally {
+    /// Folds `other` into this tally (the engine calls this in shard order).
+    pub fn merge(&mut self, other: &TrialTally) {
+        self.attempted += other.attempted;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.hop_limited += other.hop_limited;
+        self.hop_stats.merge(&other.hop_stats);
+        self.max_hops = self.max_hops.max(other.max_hops);
+    }
+
+    /// Records one route outcome.
+    ///
+    /// `SourceFailed` / `TargetFailed` cannot occur for pairs drawn among
+    /// survivors and are counted as drops (with a debug assertion).
+    pub fn record(&mut self, outcome: RouteOutcome) {
+        self.attempted += 1;
+        match outcome {
+            RouteOutcome::Delivered { hops } => {
+                self.delivered += 1;
+                self.hop_stats.push(f64::from(hops));
+                self.max_hops = self.max_hops.max(hops);
+            }
+            RouteOutcome::Dropped { .. } => self.dropped += 1,
+            RouteOutcome::HopLimitExceeded { .. } => self.hop_limited += 1,
+            RouteOutcome::SourceFailed | RouteOutcome::TargetFailed => {
+                debug_assert!(false, "survivor pairs cannot have failed endpoints");
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Delivered fraction, 0 when nothing was attempted.
+    #[must_use]
+    pub fn routability(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Routes a trial's pair budget across scoped worker threads, bit-identically
+/// for any thread count.
+///
+/// See the [module docs](self) for the sharding scheme. The engine is shared
+/// by [`crate::StaticResilienceExperiment`], [`crate::ChurnExperiment`] and
+/// (transitively) [`crate::sweep_failure_grid`]; use it directly when driving
+/// a custom failure model:
+///
+/// ```rust
+/// use dht_overlay::{CanOverlay, FailureMask, Overlay};
+/// use dht_sim::TrialEngine;
+///
+/// let overlay = CanOverlay::build(8)?;
+/// let mask = FailureMask::none(overlay.key_space());
+/// let engine = TrialEngine::new(4);
+/// let tally = engine
+///     .run_trial(&overlay, &mask, 10_000, 7)
+///     .expect("two survivors exist");
+/// assert_eq!(tally.attempted, 10_000);
+/// assert_eq!(tally.routability(), 1.0);
+/// // Thread count never changes the numbers:
+/// assert_eq!(
+///     Some(tally),
+///     TrialEngine::new(1).run_trial(&overlay, &mask, 10_000, 7)
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialEngine {
+    threads: usize,
+    pairs_per_shard: u64,
+}
+
+impl TrialEngine {
+    /// Creates an engine running on up to `threads` scoped worker threads
+    /// (clamped to `1..=256`), with the default shard size.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        TrialEngine {
+            threads: threads.clamp(1, 256),
+            pairs_per_shard: DEFAULT_PAIRS_PER_SHARD,
+        }
+    }
+
+    /// Overrides the logical shard size (clamped to at least 1).
+    ///
+    /// The shard size partitions the pair budget across RNG streams, so two
+    /// runs only reproduce each other when it matches; thread count, by
+    /// contrast, never affects results.
+    #[must_use]
+    pub fn with_pairs_per_shard(mut self, pairs_per_shard: u64) -> Self {
+        self.pairs_per_shard = pairs_per_shard.max(1);
+        self
+    }
+
+    /// Worker threads the engine will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Pairs per logical shard.
+    #[must_use]
+    pub fn pairs_per_shard(&self) -> u64 {
+        self.pairs_per_shard
+    }
+
+    /// Routes `pairs` source/destination pairs among the survivors of `mask`
+    /// and returns the merged tally, or `None` when fewer than two nodes
+    /// survive. A zero budget is clamped to one pair (a trial that measures
+    /// nothing has no routability estimate).
+    ///
+    /// All pair randomness derives from `pair_seed` via per-shard
+    /// [`SeedSequence`] streams; the result is a pure function of
+    /// `(overlay, mask, pairs, pair_seed, pairs_per_shard)`.
+    pub fn run_trial<O>(
+        &self,
+        overlay: &O,
+        mask: &FailureMask,
+        pairs: u64,
+        pair_seed: u64,
+    ) -> Option<TrialTally>
+    where
+        O: Overlay + ?Sized,
+    {
+        let sampler = PairSampler::new(mask)?;
+        let pairs = pairs.max(1);
+        let shard_count = usize::try_from(pairs.div_ceil(self.pairs_per_shard))
+            .expect("shard count fits in usize");
+        let shard_seeds = SeedSequence::new(pair_seed);
+        let hop_limit = default_route_hop_limit(overlay);
+
+        let run_shard = |shard: usize| -> TrialTally {
+            let mut rng = shard_seeds.child_rng(shard as u64);
+            let budget = if shard + 1 == shard_count {
+                pairs - self.pairs_per_shard * (shard_count as u64 - 1)
+            } else {
+                self.pairs_per_shard
+            };
+            let mut tally = TrialTally::default();
+            for _ in 0..budget {
+                let (source, target) = sampler.sample(&mut rng);
+                tally.record(route_with_limit(overlay, source, target, mask, hop_limit));
+            }
+            tally
+        };
+
+        let threads = self.threads.min(shard_count);
+        let mut merged = TrialTally::default();
+        if threads <= 1 {
+            for shard in 0..shard_count {
+                merged.merge(&run_shard(shard));
+            }
+        } else {
+            let mut tallies: Vec<TrialTally> = vec![TrialTally::default(); shard_count];
+            let chunk = shard_count.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (worker, slots) in tallies.chunks_mut(chunk).enumerate() {
+                    let run_shard = &run_shard;
+                    let base = worker * chunk;
+                    scope.spawn(move || {
+                        for (offset, slot) in slots.iter_mut().enumerate() {
+                            *slot = run_shard(base + offset);
+                        }
+                    });
+                }
+            });
+            // Shard order, not completion order: keeps the floating-point
+            // hop statistics identical for every thread count.
+            for tally in &tallies {
+                merged.merge(tally);
+            }
+        }
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_id::KeySpace;
+    use dht_overlay::{CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn intact_overlay_delivers_everything() {
+        let overlay = CanOverlay::build(8).unwrap();
+        let mask = FailureMask::none(overlay.key_space());
+        let tally = TrialEngine::new(2)
+            .run_trial(&overlay, &mask, 5_000, 3)
+            .unwrap();
+        assert_eq!(tally.attempted, 5_000);
+        assert_eq!(tally.delivered, 5_000);
+        assert_eq!(tally.dropped, 0);
+        assert_eq!(tally.hop_limited, 0);
+        assert_eq!(tally.routability(), 1.0);
+        assert_eq!(tally.hop_stats.count(), 5_000);
+        assert!(tally.max_hops <= 8);
+    }
+
+    #[test]
+    fn results_are_invariant_under_thread_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let overlay = KademliaOverlay::build(9, &mut rng).unwrap();
+        let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut rng);
+        let reference = TrialEngine::new(1).run_trial(&overlay, &mask, 10_000, 11);
+        for threads in [2, 3, 4, 7, 16] {
+            let tally = TrialEngine::new(threads).run_trial(&overlay, &mask, 10_000, 11);
+            assert_eq!(reference, tally, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn shard_size_is_part_of_the_configuration() {
+        let overlay = ChordOverlay::build(8, ChordVariant::Deterministic).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mask = FailureMask::sample(overlay.key_space(), 0.2, &mut rng);
+        let small = TrialEngine::new(2)
+            .with_pairs_per_shard(128)
+            .run_trial(&overlay, &mask, 2_000, 1)
+            .unwrap();
+        let large = TrialEngine::new(2)
+            .with_pairs_per_shard(1 << 20)
+            .run_trial(&overlay, &mask, 2_000, 1)
+            .unwrap();
+        assert_eq!(small.attempted, 2_000);
+        assert_eq!(large.attempted, 2_000);
+        // Different shard grids draw different streams — documented, loud.
+        assert_ne!(small, large);
+        // But each grid is itself thread-invariant.
+        assert_eq!(
+            Some(small),
+            TrialEngine::new(7)
+                .with_pairs_per_shard(128)
+                .run_trial(&overlay, &mask, 2_000, 1)
+        );
+    }
+
+    #[test]
+    fn too_few_survivors_yields_none() {
+        let overlay = CanOverlay::build(4).unwrap();
+        let space = overlay.key_space();
+        let mask = FailureMask::from_failed_nodes(space, (1..16).map(|v| space.wrap(v)));
+        assert!(TrialEngine::new(2)
+            .run_trial(&overlay, &mask, 100, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn partial_last_shard_is_exact() {
+        let overlay = CanOverlay::build(6).unwrap();
+        let mask = FailureMask::none(overlay.key_space());
+        // 3 full shards of 100 plus a final shard of 1.
+        let tally = TrialEngine::new(2)
+            .with_pairs_per_shard(100)
+            .run_trial(&overlay, &mask, 301, 5)
+            .unwrap();
+        assert_eq!(tally.attempted, 301);
+    }
+
+    #[test]
+    fn tallies_merge_like_concatenation() {
+        let mut a = TrialTally::default();
+        let mut b = TrialTally::default();
+        let space = KeySpace::new(4).unwrap();
+        a.record(RouteOutcome::Delivered { hops: 3 });
+        a.record(RouteOutcome::Dropped {
+            hops: 1,
+            stuck_at: space.wrap(2),
+        });
+        b.record(RouteOutcome::Delivered { hops: 7 });
+        b.record(RouteOutcome::HopLimitExceeded { limit: 64 });
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.attempted, 4);
+        assert_eq!(merged.delivered, 2);
+        assert_eq!(merged.dropped, 1);
+        assert_eq!(merged.hop_limited, 1);
+        assert_eq!(merged.max_hops, 7);
+        assert_eq!(merged.hop_stats.count(), 2);
+        assert!((merged.hop_stats.mean() - 5.0).abs() < 1e-12);
+        assert!((merged.routability() - 0.5).abs() < 1e-12);
+    }
+}

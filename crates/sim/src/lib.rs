@@ -14,6 +14,10 @@
 //!
 //! The harness is deterministic: every experiment derives its randomness from
 //! an explicit seed, so any reported number can be regenerated bit-for-bit.
+//! Parallelism never weakens that guarantee — the sharded [`TrialEngine`]
+//! partitions every pair budget into fixed logical shards with their own RNG
+//! streams and merges tallies in shard order, so measurements are identical
+//! for any worker-thread count.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 
 pub mod churn;
 pub mod config;
+pub mod engine;
 pub mod pair_sampler;
 pub mod report;
 pub mod rng;
@@ -46,6 +51,7 @@ pub mod targeted;
 
 pub use churn::{ChurnConfig, ChurnExperiment, ChurnRound};
 pub use config::{SimError, StaticResilienceConfig};
+pub use engine::{TrialEngine, TrialTally, DEFAULT_PAIRS_PER_SHARD};
 pub use pair_sampler::PairSampler;
 pub use report::{write_csv, SimulationRecord};
 pub use rng::SeedSequence;

@@ -1,7 +1,7 @@
 //! Sampling of source/destination pairs among surviving nodes.
 
 use dht_id::NodeId;
-use dht_overlay::FailureMask;
+use dht_overlay::{select_in_word, FailureMask};
 use rand::Rng;
 
 /// Samples ordered source/destination pairs uniformly among the surviving
@@ -12,6 +12,13 @@ use rand::Rng;
 /// alive set and never returns a pair with `source == target`. Masks over a
 /// sparse [`dht_id::Population`] report unoccupied identifiers as failed, so
 /// the sampler automatically draws only occupied survivors.
+///
+/// The sampler draws by *rank* directly into the mask's bitset: construction
+/// builds one cumulative popcount per 64-identifier word (8 bytes per 64
+/// nodes, instead of the 16-byte `NodeId` per survivor the seed collected),
+/// and each draw binary-searches that index and then selects within a single
+/// word ([`dht_overlay::select_in_word`]). Because the sampler borrows the
+/// mask, the mask cannot be mutated out from under the index.
 ///
 /// # Example
 ///
@@ -32,43 +39,80 @@ use rand::Rng;
 /// # Ok::<(), dht_id::IdError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct PairSampler {
-    alive: Vec<NodeId>,
+pub struct PairSampler<'mask> {
+    mask: &'mask FailureMask,
+    /// `cumulative[i]` is the number of alive nodes in words `0..i` of the
+    /// mask; `cumulative.len() == words.len() + 1`.
+    cumulative: Vec<u64>,
 }
 
-impl PairSampler {
+impl<'mask> PairSampler<'mask> {
     /// Builds a sampler over the surviving nodes of `mask`.
     ///
     /// Returns `None` when fewer than two nodes survive (no pair exists).
     #[must_use]
-    pub fn new(mask: &FailureMask) -> Option<Self> {
-        let alive: Vec<NodeId> = mask.alive_nodes().collect();
-        if alive.len() < 2 {
-            None
-        } else {
-            Some(PairSampler { alive })
+    pub fn new(mask: &'mask FailureMask) -> Option<Self> {
+        if mask.alive_count() < 2 {
+            return None;
         }
+        let words = mask.words();
+        let mut cumulative = Vec::with_capacity(words.len() + 1);
+        let mut total = 0u64;
+        cumulative.push(0);
+        for word in words {
+            total += u64::from(word.count_ones());
+            cumulative.push(total);
+        }
+        debug_assert_eq!(total, mask.alive_count(), "mask counters match the bitset");
+        Some(PairSampler { mask, cumulative })
     }
 
     /// Number of surviving nodes the sampler draws from.
     #[must_use]
     pub fn survivor_count(&self) -> usize {
-        self.alive.len()
+        self.mask.alive_count() as usize
+    }
+
+    /// The surviving node of the given rank (ascending identifier order), via
+    /// the cumulative popcount index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= survivor_count()`.
+    #[must_use]
+    pub fn select(&self, rank: u64) -> NodeId {
+        assert!(
+            rank < self.mask.alive_count(),
+            "rank {rank} out of range for {} survivors",
+            self.mask.alive_count()
+        );
+        // Last index whose cumulative count is <= rank: the word holding the
+        // rank-th survivor.
+        let word_index = self.cumulative.partition_point(|&count| count <= rank) - 1;
+        let within = (rank - self.cumulative[word_index]) as u32;
+        let bit = select_in_word(self.mask.words()[word_index], within);
+        let value = word_index as u64 * 64 + u64::from(bit);
+        self.mask.key_space().wrap(value)
     }
 
     /// Draws one ordered pair of distinct surviving nodes.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (NodeId, NodeId) {
-        let source_index = rng.gen_range(0..self.alive.len());
+        let survivors = self.mask.alive_count();
+        let source_rank = rng.gen_range(0..survivors);
         // Draw the target from the remaining n-1 slots to guarantee
         // distinctness without rejection loops.
-        let mut target_index = rng.gen_range(0..self.alive.len() - 1);
-        if target_index >= source_index {
-            target_index += 1;
+        let mut target_rank = rng.gen_range(0..survivors - 1);
+        if target_rank >= source_rank {
+            target_rank += 1;
         }
-        (self.alive[source_index], self.alive[target_index])
+        (self.select(source_rank), self.select(target_rank))
     }
 
     /// Draws `count` ordered pairs.
+    ///
+    /// Batch drivers should prefer streaming [`PairSampler::sample`] calls
+    /// (the trial engine never materialises a pair vector); this helper
+    /// remains for examples and tests.
     pub fn sample_many<R: Rng + ?Sized>(&self, count: u64, rng: &mut R) -> Vec<(NodeId, NodeId)> {
         (0..count).map(|_| self.sample(rng)).collect()
     }
@@ -104,6 +148,16 @@ mod tests {
         let mask = FailureMask::sample(space(10), 0.25, &mut rng);
         let sampler = PairSampler::new(&mask).unwrap();
         assert_eq!(sampler.survivor_count() as u64, mask.alive_count());
+    }
+
+    #[test]
+    fn select_agrees_with_the_masks_linear_select() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mask = FailureMask::sample(space(9), 0.5, &mut rng);
+        let sampler = PairSampler::new(&mask).unwrap();
+        for rank in 0..mask.alive_count() {
+            assert_eq!(Some(sampler.select(rank)), mask.select_alive(rank));
+        }
     }
 
     #[test]

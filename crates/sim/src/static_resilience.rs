@@ -2,10 +2,10 @@
 //! overlay under a frozen failure pattern.
 
 use crate::config::StaticResilienceConfig;
-use crate::pair_sampler::PairSampler;
+use crate::engine::TrialEngine;
 use crate::rng::SeedSequence;
 use dht_mathkit::stats::{wilson_interval, ConfidenceInterval, RunningStats};
-use dht_overlay::{route, FailureMask, Overlay, RouteOutcome};
+use dht_overlay::{FailureMask, Overlay};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated outcome of a static-resilience measurement.
@@ -44,10 +44,12 @@ pub struct StaticResilienceResult {
 /// [`StaticResilienceConfig`].
 ///
 /// Each trial samples a fresh failure pattern over the overlay's
-/// [`dht_id::Population`] (only occupied identifiers fail or survive) and a
-/// fresh set of pairs; pairs within a trial are split across the configured
-/// number of worker threads (std scoped threads), which is safe because
-/// overlays and masks are only read during measurement.
+/// [`dht_id::Population`] (only occupied identifiers fail or survive) and
+/// hands its pair budget to the sharded [`TrialEngine`], which splits it
+/// across the configured number of worker threads. Sharding is by fixed
+/// logical shards with per-shard RNG streams, so the result is **bit
+/// identical for every thread count** — `with_threads(1)` and
+/// `with_threads(64)` produce the same `StaticResilienceResult`.
 #[derive(Debug, Clone)]
 pub struct StaticResilienceExperiment {
     config: StaticResilienceConfig,
@@ -73,10 +75,11 @@ impl StaticResilienceExperiment {
     /// attempted pairs and a routability of zero.
     pub fn run<O>(&self, overlay: &O) -> StaticResilienceResult
     where
-        O: Overlay + Sync + ?Sized,
+        O: Overlay + ?Sized,
     {
         let q = self.config.failure_probability();
         let seeds = SeedSequence::new(self.config.seed());
+        let engine = TrialEngine::new(self.config.threads());
         let mut delivered = 0u64;
         let mut attempted = 0u64;
         let mut hop_stats = RunningStats::new();
@@ -84,24 +87,22 @@ impl StaticResilienceExperiment {
         let mut surviving_fraction_stats = RunningStats::new();
 
         for trial in 0..self.config.trials() {
+            // Child stream 2t seeds the failure pattern (unchanged from the
+            // seed implementation); child seed 2t+1 roots the trial's
+            // per-shard pair streams.
             let mut failure_rng = seeds.child_rng(u64::from(trial) * 2);
-            let mut pair_rng = seeds.child_rng(u64::from(trial) * 2 + 1);
+            let pair_seed = seeds.child(u64::from(trial) * 2 + 1);
             let mask = FailureMask::sample_over(overlay.population(), q, &mut failure_rng);
             surviving_fraction_stats
                 .push(mask.alive_count() as f64 / overlay.population().node_count() as f64);
-            let Some(sampler) = PairSampler::new(&mask) else {
+            let Some(tally) = engine.run_trial(overlay, &mask, self.config.pairs(), pair_seed)
+            else {
                 continue;
             };
-            let pairs = sampler.sample_many(self.config.pairs(), &mut pair_rng);
-            let outcomes = self.route_pairs(overlay, &mask, &pairs);
-            for outcome in outcomes {
-                attempted += 1;
-                if let RouteOutcome::Delivered { hops } = outcome {
-                    delivered += 1;
-                    hop_stats.push(f64::from(hops));
-                    max_hops = max_hops.max(hops);
-                }
-            }
+            attempted += tally.attempted;
+            delivered += tally.delivered;
+            hop_stats.merge(&tally.hop_stats);
+            max_hops = max_hops.max(tally.max_hops);
         }
 
         let routability = if attempted == 0 {
@@ -134,44 +135,6 @@ impl StaticResilienceExperiment {
             max_hops,
             surviving_fraction: surviving_fraction_stats.mean(),
         }
-    }
-
-    /// Routes a batch of pairs, splitting the work across worker threads.
-    fn route_pairs<O>(
-        &self,
-        overlay: &O,
-        mask: &FailureMask,
-        pairs: &[(dht_id::NodeId, dht_id::NodeId)],
-    ) -> Vec<RouteOutcome>
-    where
-        O: Overlay + Sync + ?Sized,
-    {
-        let threads = self.config.threads().min(pairs.len().max(1));
-        if threads <= 1 {
-            return pairs
-                .iter()
-                .map(|&(source, target)| route(overlay, source, target, mask))
-                .collect();
-        }
-        let chunk_size = pairs.len().div_ceil(threads);
-        let mut results: Vec<Vec<RouteOutcome>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|&(source, target)| route(overlay, source, target, mask))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                results.push(handle.join().expect("routing worker panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
     }
 }
 
@@ -210,13 +173,17 @@ mod tests {
     }
 
     #[test]
-    fn multithreaded_run_matches_single_threaded() {
+    fn multithreaded_run_is_bit_identical_to_single_threaded() {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let overlay = KademliaOverlay::build(9, &mut rng).unwrap();
         let single = StaticResilienceExperiment::new(config(0.3).with_threads(1)).run(&overlay);
-        let multi = StaticResilienceExperiment::new(config(0.3).with_threads(4)).run(&overlay);
-        assert_eq!(single.pairs_delivered, multi.pairs_delivered);
-        assert_eq!(single.routability, multi.routability);
+        for threads in [2, 4, 13] {
+            let multi =
+                StaticResilienceExperiment::new(config(0.3).with_threads(threads)).run(&overlay);
+            // Full structural equality: every field, including the
+            // floating-point hop statistics, matches bit for bit.
+            assert_eq!(single, multi, "threads = {threads}");
+        }
     }
 
     #[test]

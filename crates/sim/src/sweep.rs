@@ -22,14 +22,13 @@ pub struct FailureSweepPoint {
 /// index, so the whole sweep is reproducible while points remain independent
 /// — which is also what lets the points run concurrently: grid points are
 /// measured on scoped threads (the overlay is only read), batched so that
-/// concurrent points times the per-point routing workers
+/// concurrent points times the per-point [`crate::TrialEngine`] workers
 /// (`base_config.threads()`) stay within
-/// [`std::thread::available_parallelism`] — each in-flight point also holds
-/// a `2^d`-slot failure mask, so unbounded fan-out would multiply both CPU
-/// oversubscription and peak memory. Batches are a barrier (a batch waits
-/// for its slowest point); for the short grids the experiments use that
-/// costs little and keeps the code queue-free. The returned points are in
-/// grid order regardless of completion order.
+/// [`std::thread::available_parallelism`]. Batches are a barrier (a batch
+/// waits for its slowest point); for the short grids the experiments use
+/// that costs little and keeps the code queue-free. The returned points are
+/// in grid order regardless of completion order, and — like every
+/// engine-backed measurement — bit-identical for any thread budget.
 ///
 /// # Errors
 ///

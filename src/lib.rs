@@ -70,7 +70,7 @@ pub mod prelude {
     pub use dht_rcm_core::prelude::*;
     pub use dht_sim::{
         sweep_failure_grid, ChurnConfig, ChurnExperiment, StaticResilienceConfig,
-        StaticResilienceExperiment,
+        StaticResilienceExperiment, TrialEngine, TrialTally,
     };
 }
 
