@@ -1,8 +1,11 @@
 //! Micro-benchmarks of single-message greedy routing on each overlay, with
 //! and without failures — the inner loop of every simulated figure — plus
 //! the machine-readable perf trajectory: per-geometry median ns/route and
-//! routes/sec at `2^16` and `2^20`, written to `BENCH_routing.json` and
-//! (when `BENCH_BASELINE` is set) enforced against a committed baseline.
+//! routes/sec at `2^16` and `2^20` for **both** the scalar path
+//! (`overlay_routing` entries) and the compiled rank-space kernel
+//! (`kernel_routing` entries, which also record median ns/hop), written to
+//! `BENCH_routing.json` and (when `BENCH_BASELINE` is set) enforced against
+//! a committed baseline.
 //!
 //! Environment: `BENCH_SMOKE=1` shrinks the measurement budget,
 //! `BENCH_OUTPUT`/`BENCH_BASELINE`/`BENCH_TOLERANCE` control the report —
@@ -11,8 +14,8 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dht_bench::perf;
 use dht_overlay::{
-    route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, KademliaOverlay, Overlay,
-    PlaxtonOverlay, SymphonyOverlay,
+    default_route_hop_limit, route, CanOverlay, ChordOverlay, ChordVariant, FailureMask,
+    KademliaOverlay, Overlay, PlaxtonOverlay, RouteOutcome, SymphonyOverlay,
 };
 use dht_sim::PairSampler;
 use rand::{Rng, SeedableRng};
@@ -74,15 +77,11 @@ fn bench_routing_under_failure(c: &mut Criterion) {
 
 criterion_group!(benches, bench_routing_intact, bench_routing_under_failure);
 
-/// Measures one `(geometry, bits, q)` trajectory point: routes alive pairs
-/// (pre-drawn by rank from the bitset, so the timed loop is route-only) and
-/// records the median ns/route.
-fn measure_point(
-    name: &str,
-    overlay: &dyn Overlay,
-    q: f64,
-    smoke: bool,
-) -> perf::RoutingBenchEntry {
+/// The frozen mask and alive pair set one `(overlay, q)` trajectory point
+/// is measured over. Both trajectories (scalar and kernel) are built from
+/// the *same* seeds, so their entries are directly comparable — the seeds
+/// live here, in one place, to keep that invariant structural.
+fn trajectory_workload(overlay: &dyn Overlay, q: f64) -> (FailureMask, Vec<(u64, u64)>) {
     let bits = overlay.key_space().bits();
     let mask = FailureMask::sample(
         overlay.key_space(),
@@ -91,25 +90,52 @@ fn measure_point(
     );
     let sampler = PairSampler::new(&mask).expect("enough survivors at these sizes");
     let mut pair_rng = ChaCha8Rng::seed_from_u64(0x7061_6972 ^ u64::from(bits));
-    let pairs: Vec<_> = sampler.sample_many(4096, &mut pair_rng);
+    let pairs: Vec<(u64, u64)> = (0..4096)
+        .map(|_| sampler.sample_values(&mut pair_rng))
+        .collect();
+    (mask, pairs)
+}
 
-    let mut cursor = 0usize;
-    let mut route_one = || {
-        let (source, target) = pairs[cursor];
-        cursor = (cursor + 1) % pairs.len();
-        black_box(route(overlay, source, target, &mask));
-    };
-
-    // Calibrate routes-per-sample so each sample lands near the wall-clock
-    // target regardless of how expensive this geometry's routes are.
+/// Calibrates routes-per-sample to the mode's wall-clock target and returns
+/// `(median_ns_per_route, routes_per_sample, samples)`.
+fn calibrated_median<F: FnMut()>(smoke: bool, mut route_one: F) -> (f64, u64, u64) {
     let calibration_ns = perf::measure_median_ns(64, 1, &mut route_one).max(1.0);
-    let (target_sample_ns, samples) = if smoke { (10e6, 3) } else { (100e6, 7) };
+    // Smoke needs five samples of ~25 ms each: the kernel entries sit at
+    // tens of nanoseconds per route, where a median of three 10 ms samples
+    // jitters past the regression gate's tolerance on a noisy host.
+    let (target_sample_ns, samples) = if smoke { (25e6, 5) } else { (100e6, 7) };
     let routes_per_sample = ((target_sample_ns / calibration_ns) as u64).clamp(64, 500_000);
     let median = perf::measure_median_ns(routes_per_sample, samples, &mut route_one);
+    (median, routes_per_sample, samples)
+}
+
+/// Measures one `(geometry, bits, q)` trajectory point of the scalar path:
+/// routes alive pairs (pre-drawn by rank from the bitset, so the timed loop
+/// is route-only) and records the median ns/route.
+fn measure_point(
+    name: &str,
+    overlay: &dyn Overlay,
+    q: f64,
+    smoke: bool,
+) -> perf::RoutingBenchEntry {
+    let space = overlay.key_space();
+    let (mask, pairs) = trajectory_workload(overlay, q);
+    let mut cursor = 0usize;
+    let route_one = || {
+        let (source, target) = pairs[cursor];
+        cursor = (cursor + 1) % pairs.len();
+        black_box(route(
+            overlay,
+            space.wrap(source),
+            space.wrap(target),
+            &mask,
+        ));
+    };
+    let (median, routes_per_sample, samples) = calibrated_median(smoke, route_one);
     let entry = perf::entry(
         "overlay_routing",
         name,
-        bits,
+        space.bits(),
         q,
         median,
         routes_per_sample,
@@ -124,8 +150,67 @@ fn measure_point(
     entry
 }
 
-/// Measures the perf trajectory at `2^16` and `2^20`, merges it into
-/// `BENCH_routing.json`, and enforces the committed baseline when asked.
+/// Measures one `(geometry, bits, q)` point of the compiled-kernel
+/// trajectory: the same mask and pair workload as [`measure_point`], routed
+/// through the rank-space kernel, with the mean executed hops of the pair
+/// set turning the route median into a ns/hop median.
+fn measure_kernel_point(
+    name: &str,
+    overlay: &dyn Overlay,
+    q: f64,
+    smoke: bool,
+) -> perf::RoutingBenchEntry {
+    let (mask, pairs) = trajectory_workload(overlay, q);
+    let kernel = overlay.kernel().expect("all five geometries compile");
+    let lowered = kernel.compile_mask(&mask);
+    let hop_limit = default_route_hop_limit(overlay);
+
+    // Mean executed hops over the pair set (drops included at the hops they
+    // travelled): the divisor that turns ns/route into ns/hop.
+    let total_hops: u64 = pairs
+        .iter()
+        .map(
+            |&(source, target)| match kernel.route_values(&lowered, source, target, hop_limit) {
+                RouteOutcome::Delivered { hops } | RouteOutcome::Dropped { hops, .. } => {
+                    u64::from(hops)
+                }
+                RouteOutcome::HopLimitExceeded { limit } => u64::from(limit),
+                RouteOutcome::SourceFailed | RouteOutcome::TargetFailed => 0,
+            },
+        )
+        .sum();
+    let mean_hops = (total_hops as f64 / pairs.len() as f64).max(1e-9);
+
+    let mut cursor = 0usize;
+    let route_one = || {
+        let (source, target) = pairs[cursor];
+        cursor = (cursor + 1) % pairs.len();
+        black_box(kernel.route_values(&lowered, source, target, hop_limit));
+    };
+    let (median, routes_per_sample, samples) = calibrated_median(smoke, route_one);
+    let entry = perf::entry(
+        "kernel_routing",
+        name,
+        overlay.key_space().bits(),
+        q,
+        median,
+        routes_per_sample,
+        samples,
+    )
+    .with_ns_per_hop(median / mean_hops);
+    println!(
+        "{:<40} {:>12.1} ns/route {:>10.1} ns/hop {:>14.0} routes/sec",
+        entry.key(),
+        entry.median_ns_per_route,
+        entry.median_ns_per_hop.unwrap_or(0.0),
+        entry.routes_per_sec
+    );
+    entry
+}
+
+/// Measures the perf trajectory at `2^16` and `2^20` — the scalar path and
+/// the compiled kernel side by side — merges it into `BENCH_routing.json`,
+/// and enforces the committed baseline when asked.
 fn perf_trajectory() {
     let smoke = perf::smoke_mode();
     let mut entries = Vec::new();
@@ -134,6 +219,7 @@ fn perf_trajectory() {
             let overlay = build_overlay(name, bits);
             for q in [0.0, 0.3] {
                 entries.push(measure_point(name, overlay.as_ref(), q, smoke));
+                entries.push(measure_kernel_point(name, overlay.as_ref(), q, smoke));
             }
         }
     }

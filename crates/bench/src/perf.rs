@@ -23,7 +23,10 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Schema tag written into every report.
-pub const SCHEMA: &str = "dht-bench/routing-v1";
+///
+/// `v2` added [`RoutingBenchEntry::median_ns_per_hop`] (the compiled-kernel
+/// per-hop trajectory); v1 reports are regenerated rather than migrated.
+pub const SCHEMA: &str = "dht-bench/routing-v2";
 
 /// Default regression tolerance: fail when the median is >25% slower.
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
@@ -47,6 +50,13 @@ pub struct RoutingBenchEntry {
     pub failure_probability: f64,
     /// Median wall-clock nanoseconds per routed message.
     pub median_ns_per_route: f64,
+    /// Median wall-clock nanoseconds per executed hop (`median_ns_per_route`
+    /// over the mean hops per route of the measured pair set), or `None`
+    /// when the bench does not measure hops. Kernel entries report this — it
+    /// is the number the per-hop optimisation work moves. `Option` keeps
+    /// schema-v1 reports (which predate the field) loadable: a missing field
+    /// reads as "not measured" instead of poisoning the whole report.
+    pub median_ns_per_hop: Option<f64>,
     /// Routes per second implied by the median.
     pub routes_per_sec: f64,
     /// Routes timed per sample.
@@ -226,6 +236,21 @@ pub fn baseline_regressions(current: &[RoutingBenchEntry]) -> Vec<String> {
                 100.0 * allowed,
             ));
         }
+        // The per-hop trajectory is gated too, where both sides measured it.
+        if let (Some(current_hop), Some(base_hop)) =
+            (entry.median_ns_per_hop, base.median_ns_per_hop)
+        {
+            if base_hop > 0.0 && current_hop > base_hop * (1.0 + allowed) {
+                regressions.push(format!(
+                    "{}: {:.1} ns/hop vs baseline {:.1} ns/hop (+{:.0}% > +{:.0}% allowed)",
+                    entry.key(),
+                    current_hop,
+                    base_hop,
+                    100.0 * (current_hop / base_hop - 1.0),
+                    100.0 * allowed,
+                ));
+            }
+        }
     }
     regressions
 }
@@ -294,6 +319,7 @@ pub fn entry(
         bits,
         failure_probability,
         median_ns_per_route,
+        median_ns_per_hop: None,
         routes_per_sec: if median_ns_per_route > 0.0 {
             1e9 / median_ns_per_route
         } else {
@@ -301,6 +327,16 @@ pub fn entry(
         },
         routes_per_sample,
         samples,
+    }
+}
+
+impl RoutingBenchEntry {
+    /// Attaches a measured per-hop median (`median_ns_per_route` divided by
+    /// the mean hops per route of the measured pair set).
+    #[must_use]
+    pub fn with_ns_per_hop(mut self, median_ns_per_hop: f64) -> Self {
+        self.median_ns_per_hop = Some(median_ns_per_hop);
+        self
     }
 }
 
@@ -342,6 +378,38 @@ mod tests {
         let e = sample_entry("ring", 16, 200.0);
         assert!((e.routes_per_sec - 5_000_000.0).abs() < 1e-6);
         assert_eq!(e.key(), "overlay_routing/ring/2^16/q=0.30/full");
+        assert_eq!(e.median_ns_per_hop, None, "per-hop is opt-in");
+        let hopped = e.with_ns_per_hop(25.0);
+        assert_eq!(hopped.median_ns_per_hop, Some(25.0));
+    }
+
+    #[test]
+    fn per_hop_medians_survive_serde() {
+        let mut report = RoutingBenchReport::new();
+        report.upsert(vec![sample_entry("ring", 20, 80.0).with_ns_per_hop(11.5)]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RoutingBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries[0].median_ns_per_hop, Some(11.5));
+        assert_eq!(back.schema, SCHEMA);
+    }
+
+    #[test]
+    fn v1_reports_without_the_per_hop_field_still_load() {
+        // The committed baseline predating schema v2 must not be wiped by a
+        // bench that fails to parse it: a missing median_ns_per_hop reads as
+        // "not measured".
+        let v1 = r#"{
+            "schema": "dht-bench/routing-v1",
+            "entries": [{
+                "bench": "overlay_routing", "mode": "full", "geometry": "ring",
+                "bits": 16, "failure_probability": 0.3,
+                "median_ns_per_route": 100.0, "routes_per_sec": 1e7,
+                "routes_per_sample": 1000, "samples": 5
+            }]
+        }"#;
+        let report: RoutingBenchReport = serde_json::from_str(v1).unwrap();
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].median_ns_per_hop, None);
     }
 
     #[test]

@@ -226,9 +226,26 @@ impl Population {
         if node.bits() != self.space.bits() {
             return None;
         }
+        self.rank_of_value(node.value())
+    }
+
+    /// The rank of the occupied identifier with raw value `value`, or `None`
+    /// when the value is unoccupied or lies outside the space.
+    ///
+    /// This is the [`NodeId`]-free twin of [`Population::index_of`]: batch
+    /// drivers that move identifiers around as raw `u64`s (the compiled
+    /// routing kernel of `dht-overlay`) map value → rank without
+    /// materialising an identifier. For a full population the rank *is* the
+    /// value; for a sparse one this is a dense-table read, O(1).
+    #[inline]
+    #[must_use]
+    pub fn rank_of_value(&self, value: u64) -> Option<u64> {
+        if value > self.space.max_value() {
+            return None;
+        }
         match &self.sparse {
-            None => Some(node.value()),
-            Some(index) => match index.rank[node.value() as usize] {
+            None => Some(value),
+            Some(index) => match index.rank[value as usize] {
                 UNOCCUPIED => None,
                 rank => Some(u64::from(rank)),
             },

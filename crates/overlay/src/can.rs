@@ -62,6 +62,12 @@ impl GeometryStrategy for CanStrategy {
             .filter(|&n| alive.is_alive(n) && hamming(n, target) < current_distance)
             .min_by_key(|n| n.value() ^ target.value())
     }
+
+    fn kernel_rule(&self) -> Option<crate::kernel::KernelRule> {
+        // Hop key: each link's flipped-bit weight, most significant first —
+        // the first weight still set in the XOR diff is the scalar minimum.
+        Some(crate::kernel::KernelRule::HypercubeBit)
+    }
 }
 
 /// A binary hypercube overlay: node identifiers are coordinates in a
@@ -138,6 +144,10 @@ impl Overlay for CanOverlay {
 
     fn edge_count(&self) -> u64 {
         self.inner.edge_count()
+    }
+
+    fn kernel(&self) -> Option<&crate::kernel::RoutingKernel> {
+        self.inner.routing_kernel()
     }
 }
 

@@ -90,6 +90,11 @@ impl GeometryStrategy for ChordStrategy {
     ) -> Option<NodeId> {
         ring_greedy_next_hop(neighbors, current, target, alive)
     }
+
+    fn kernel_rule(&self) -> Option<crate::kernel::KernelRule> {
+        // Hop key: each finger's clockwise advance, fixed at build time.
+        Some(crate::kernel::KernelRule::RingAdvance)
+    }
 }
 
 /// The greedy non-overshooting ring rule shared by the Chord and Symphony
@@ -231,6 +236,10 @@ impl Overlay for ChordOverlay {
 
     fn edge_count(&self) -> u64 {
         self.inner.edge_count()
+    }
+
+    fn kernel(&self) -> Option<&crate::kernel::RoutingKernel> {
+        self.inner.routing_kernel()
     }
 }
 

@@ -221,6 +221,30 @@ impl FailureMask {
         !self.is_failed(node)
     }
 
+    /// Rank-indexed fast path of [`FailureMask::is_alive`]: a direct bit test
+    /// of slot `rank`, with no identifier construction or key-space check.
+    ///
+    /// Valid as an *occupied-rank* probe only for masks over a **full**
+    /// population, where a node's occupied rank equals its identifier value —
+    /// which is exactly when the compiled routing kernel
+    /// ([`crate::kernel::KernelMask`]) borrows the mask's bitset instead of
+    /// compressing it. Debug builds assert both preconditions; release
+    /// builds perform the raw bit test.
+    #[inline]
+    #[must_use]
+    pub fn is_alive_rank(&self, rank: u32) -> bool {
+        debug_assert_eq!(
+            self.population_size,
+            self.space.population(),
+            "rank-indexed probes require a full-population mask (ranks == values)"
+        );
+        debug_assert!(
+            u64::from(rank) < self.space.population(),
+            "rank {rank} outside the key space"
+        );
+        self.alive[(rank >> 6) as usize] & (1u64 << (rank & 63)) != 0
+    }
+
     /// Number of failed occupied nodes.
     #[must_use]
     pub fn failed_count(&self) -> u64 {

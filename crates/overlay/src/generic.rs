@@ -2,9 +2,11 @@
 
 use crate::arena::RoutingArena;
 use crate::failure::FailureMask;
+use crate::kernel::{KernelRule, RoutingKernel};
 use crate::traits::{validate_population, Overlay, OverlayError};
 use dht_id::{NodeId, Population};
 use rand::Rng;
+use std::sync::{Arc, OnceLock};
 
 /// One routing geometry: how tables are built and how the greedy hop is
 /// chosen.
@@ -50,6 +52,18 @@ pub trait GeometryStrategy: Send + Sync {
         target: NodeId,
         alive: &FailureMask,
     ) -> Option<NodeId>;
+
+    /// The hop-key rule the compiled routing kernel lowers this geometry
+    /// with, or `None` when the geometry cannot be compiled (scalar routing
+    /// only — the default).
+    ///
+    /// A strategy that exports a rule asserts that the rule's dispatch over
+    /// its precomputed hop keys reproduces [`GeometryStrategy::next_hop`]
+    /// *exactly* — the kernel equivalence suite holds every geometry to
+    /// bit-identical [`crate::RouteOutcome`]s.
+    fn kernel_rule(&self) -> Option<KernelRule> {
+        None
+    }
 }
 
 /// An executable overlay: a [`GeometryStrategy`] plus a [`Population`] plus
@@ -80,9 +94,15 @@ pub trait GeometryStrategy: Send + Sync {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GeometryOverlay<S> {
-    population: Population,
+    /// Shared with the compiled kernel (which needs the rank tables for
+    /// value↔rank mapping) instead of cloned into it — a sparse population's
+    /// dense rank table is the size of the identifier space.
+    population: Arc<Population>,
     strategy: S,
     arena: RoutingArena,
+    /// Lazily compiled rank-space plan (see [`crate::kernel`]); only
+    /// geometries whose strategy exports a [`KernelRule`] ever initialise it.
+    kernel: OnceLock<RoutingKernel>,
 }
 
 impl<S: GeometryStrategy> GeometryOverlay<S> {
@@ -111,9 +131,10 @@ impl<S: GeometryStrategy> GeometryOverlay<S> {
             arena.push_table(&table);
         }
         Ok(GeometryOverlay {
-            population,
+            population: Arc::new(population),
             strategy,
             arena,
+            kernel: OnceLock::new(),
         })
     }
 
@@ -127,6 +148,22 @@ impl<S: GeometryStrategy> GeometryOverlay<S> {
     #[must_use]
     pub fn arena(&self) -> &RoutingArena {
         &self.arena
+    }
+
+    /// The compiled rank-space routing kernel, or `None` when the strategy
+    /// exports no [`KernelRule`].
+    ///
+    /// Compilation is lazy (first call pays the O(edges) lowering) and
+    /// cached, so overlays that are only built or routed scalar never spend
+    /// the plan's memory. Thread-safe: concurrent first calls race on a
+    /// [`OnceLock`] and agree on one plan.
+    #[must_use]
+    pub fn routing_kernel(&self) -> Option<&RoutingKernel> {
+        let rule = self.strategy.kernel_rule()?;
+        Some(
+            self.kernel
+                .get_or_init(|| RoutingKernel::compile(rule, &self.population, &self.arena)),
+        )
     }
 }
 
@@ -159,6 +196,10 @@ impl<S: GeometryStrategy> Overlay for GeometryOverlay<S> {
 
     fn edge_count(&self) -> u64 {
         self.arena.entry_count()
+    }
+
+    fn kernel(&self) -> Option<&RoutingKernel> {
+        self.routing_kernel()
     }
 }
 

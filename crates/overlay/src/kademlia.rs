@@ -104,6 +104,12 @@ impl GeometryStrategy for KademliaStrategy {
             .filter(|&n| alive.is_alive(n) && xor_distance(n, target) < current_distance)
             .min_by_key(|&n| xor_distance(n, target))
     }
+
+    fn kernel_rule(&self) -> Option<crate::kernel::KernelRule> {
+        // Hop key: the contact's value at its bucket position; the bucket of
+        // the highest differing bit is provably the XOR minimum when alive.
+        Some(crate::kernel::KernelRule::PrefixXor)
+    }
 }
 
 /// An XOR-metric overlay modelling the basic Kademlia geometry: one contact
@@ -201,6 +207,10 @@ impl Overlay for KademliaOverlay {
 
     fn edge_count(&self) -> u64 {
         self.inner.edge_count()
+    }
+
+    fn kernel(&self) -> Option<&crate::kernel::RoutingKernel> {
+        self.inner.routing_kernel()
     }
 }
 

@@ -1,0 +1,898 @@
+//! The compiled rank-space routing kernel.
+//!
+//! Scalar routing ([`crate::route_with_limit`]) asks the overlay's
+//! [`GeometryStrategy`](crate::generic::GeometryStrategy) for a greedy hop,
+//! and every strategy answers the same way: linearly scan the full neighbour
+//! table, recompute the geometry's distance metric for each entry, and probe
+//! the failure mask through a per-identifier lookup. That is flexible — it is
+//! the reference semantics — but it pays O(d) distance recomputations per hop
+//! for work that is knowable at *build* time: a finger's clockwise advance
+//! never changes, a bucket contact's position in the table *is* its XOR
+//! bucket, a hypercube link always corrects the same bit.
+//!
+//! [`RoutingKernel`] lowers a built overlay into a plan that precomputes all
+//! of it, in **rank space** (nodes addressed by their occupied rank, exactly
+//! like the [`crate::RoutingArena`]):
+//!
+//! * neighbour tables become dense `u32` rank indices, packed with their hop
+//!   keys into 8-byte entries (half the scalar arena's `NodeId`) behind a
+//!   CSR `offsets` array;
+//! * each entry's **hop key** is precomputed per geometry — clockwise advance
+//!   for ring/Symphony (largest first), XOR-bucket position for
+//!   Kademlia/Plaxton, flipped-bit weight for the hypercube — and laid out in
+//!   greedy-preference order;
+//! * `next_hop` becomes an expected-O(1) scan over the advance-sorted
+//!   entries (ring; the sorted layout also admits a plain binary search) or
+//!   a leading-zero dispatch (prefix geometries) plus a short alive-probe
+//!   scan, instead of an O(d) distance-recomputing pass;
+//! * alive probes are direct bit tests on the rank index
+//!   ([`KernelMask::is_alive_rank`]) — no sparse population-rank lookup per
+//!   probe.
+//!
+//! The kernel's outcomes are **bit-identical** to the scalar path: every
+//! [`RouteOutcome`] (including `Dropped { stuck_at }` and hop counts) matches
+//! `route_with_limit` for all five geometries, full and sparse populations
+//! alike — proven by the `kernel_equivalence` proptest suite. That is what
+//! lets `dht_sim`'s trial engine switch onto the kernel without perturbing a
+//! single committed measurement.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dht_overlay::{default_route_hop_limit, route, ChordOverlay, ChordVariant};
+//! use dht_overlay::{FailureMask, Overlay};
+//!
+//! let overlay = ChordOverlay::build(10, ChordVariant::Deterministic)?;
+//! let kernel = overlay.kernel().expect("ring geometry compiles");
+//! let space = overlay.key_space();
+//! let mask = FailureMask::none(space);
+//! let lowered = kernel.compile_mask(&mask);
+//! let limit = default_route_hop_limit(&overlay);
+//! let (a, b) = (space.wrap(3), space.wrap(900));
+//! assert_eq!(
+//!     kernel.route(&lowered, a, b, limit),
+//!     route(&overlay, a, b, &mask),
+//! );
+//! # Ok::<(), dht_overlay::OverlayError>(())
+//! ```
+
+use crate::arena::RoutingArena;
+use crate::failure::FailureMask;
+use crate::router::RouteOutcome;
+use dht_id::{KeySpace, NodeId, Population};
+use std::sync::Arc;
+
+/// Sentinel rank for an absent entry (the sparse self-placeholder of an empty
+/// bucket or tree level).
+const NO_ENTRY: u32 = u32::MAX;
+
+/// Which hop key a geometry precomputes per entry, and which dispatch rule
+/// the kernel's next-hop uses over it.
+///
+/// Each [`GeometryStrategy`](crate::generic::GeometryStrategy) exports its
+/// rule through `kernel_rule`; strategies that return `None` cannot be
+/// lowered and keep routing through the scalar path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelRule {
+    /// Greedy non-overshooting ring forwarding (Chord, Symphony). Hop key:
+    /// the entry's clockwise advance from its owner, stored largest first
+    /// (greedy-preference order). Dispatch: scan forward, skipping
+    /// overshoots (advance greater than the remaining clockwise distance)
+    /// and dead probes in one walk — expected O(1) probes per hop.
+    RingAdvance,
+    /// Prefix forwarding with XOR fallback (Kademlia). Hop key: the contact's
+    /// raw identifier value, stored at its bucket position. Dispatch:
+    /// leading-zero dispatch to the bucket of the highest differing bit
+    /// (whose contact, when alive, is provably the unique XOR minimum), with
+    /// a fallback scan over the lower-order buckets when it is dead.
+    PrefixXor,
+    /// Rigid prefix forwarding (the Plaxton tree). Hop key: the entry's raw
+    /// identifier value, stored at its level position. Dispatch: leading-zero
+    /// dispatch to the level of the highest differing bit, single probe — the
+    /// protocol has no fallback.
+    PrefixTree,
+    /// Greedy Hamming forwarding (the CAN hypercube). Hop key: the weight of
+    /// the entry's flipped bit, laid out most-significant first. Dispatch:
+    /// first entry whose bit is set in the remaining XOR diff and alive.
+    HypercubeBit,
+}
+
+/// A [`FailureMask`] lowered into a kernel's rank space: alive probes become
+/// direct bit tests indexed by occupied rank.
+///
+/// Created once per (kernel, mask) pair by [`RoutingKernel::compile_mask`];
+/// the per-route key-space assertions of the scalar path are paid there, once
+/// per batch, instead of on every routed pair.
+#[derive(Debug, Clone)]
+pub enum KernelMask<'mask> {
+    /// Full population: occupied ranks coincide with identifier values, so
+    /// the mask's own bitset is already rank-indexed and is borrowed as-is.
+    Full(&'mask FailureMask),
+    /// Sparse population: a rank-compressed copy of the alive bits (bit `r`
+    /// set iff the rank-`r` occupied node survived).
+    Compressed(Vec<u64>),
+}
+
+impl KernelMask<'_> {
+    /// Returns `true` when the occupied node of the given rank survived.
+    ///
+    /// This is the kernel's only per-probe mask query: one shift and mask,
+    /// with no population-rank indirection.
+    #[inline]
+    #[must_use]
+    pub fn is_alive_rank(&self, rank: u32) -> bool {
+        match self {
+            KernelMask::Full(mask) => mask.is_alive_rank(rank),
+            KernelMask::Compressed(words) => {
+                words[(rank >> 6) as usize] & (1u64 << (rank & 63)) != 0
+            }
+        }
+    }
+
+    /// The rank-indexed bitset words, resolved once so route loops probe a
+    /// bare slice instead of re-matching the representation per hop.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match self {
+            KernelMask::Full(mask) => mask.words(),
+            KernelMask::Compressed(words) => words,
+        }
+    }
+}
+
+/// Tests bit `rank` of a rank-indexed alive bitset.
+#[inline]
+fn alive_bit(words: &[u64], rank: u32) -> bool {
+    words[(rank >> 6) as usize] & (1u64 << (rank & 63)) != 0
+}
+
+/// A built overlay lowered into a rank-space routing plan.
+///
+/// See the [module docs](self) for the representation. Obtain one through
+/// [`Overlay::kernel`](crate::Overlay::kernel) (compiled lazily, cached on
+/// the overlay); drive it with [`RoutingKernel::route`] /
+/// [`RoutingKernel::route_values`] after lowering the failure mask once with
+/// [`RoutingKernel::compile_mask`].
+#[derive(Debug, Clone)]
+pub struct RoutingKernel {
+    rule: KernelRule,
+    space: KeySpace,
+    bits: u32,
+    full: bool,
+    /// Shared with the owning overlay (value↔rank mapping for sparse
+    /// populations), not cloned — the sparse rank table is space-sized.
+    population: Arc<Population>,
+    /// `offsets[r]..offsets[r + 1]` delimits the plan entries of rank `r`.
+    offsets: Vec<u32>,
+    /// When every table has the same length (always true for full
+    /// populations), the common length: rank `r`'s entries start at
+    /// `r * stride` and the hot loops skip the `offsets` load entirely.
+    stride: Option<u32>,
+    /// The packed plan entries, tables back to back in rank order.
+    entries: Vec<PlanEntry>,
+    /// rank → identifier value; empty for full populations (identity).
+    values: Vec<u32>,
+}
+
+/// One packed plan entry: the precomputed hop key and the neighbour's
+/// occupied rank, interleaved so the key compare and the follow-up alive
+/// probe share a cache line. Both fields fit `u32` because executable
+/// identifier spaces are capped at [`crate::traits::MAX_OVERLAY_BITS`] bits:
+/// the whole entry is 8 bytes, half the scalar arena's `NodeId`.
+#[derive(Debug, Clone, Copy)]
+struct PlanEntry {
+    /// The hop key (meaning depends on the [`KernelRule`]).
+    key: u32,
+    /// The neighbour's occupied rank, or [`NO_ENTRY`].
+    target: u32,
+}
+
+impl RoutingKernel {
+    /// Lowers `arena`'s routing tables over `population` into a plan for
+    /// `rule`.
+    ///
+    /// Ranks follow the arena/population convention (occupied identifiers in
+    /// ascending order). Construction is O(edges) plus, for the ring rule, a
+    /// per-table sort by advance.
+    #[must_use]
+    pub(crate) fn compile(
+        rule: KernelRule,
+        population: &Arc<Population>,
+        arena: &RoutingArena,
+    ) -> Self {
+        let space = population.space();
+        let bits = space.bits();
+        let full = population.is_full();
+        let node_count = usize::try_from(population.node_count()).expect("overlay sizes fit usize");
+        debug_assert_eq!(arena.node_count(), node_count);
+
+        let values: Vec<u32> = if full {
+            Vec::new()
+        } else {
+            population
+                .iter_nodes()
+                .map(|node| node.value() as u32)
+                .collect()
+        };
+        let rank_of = |node: NodeId| -> u32 {
+            population
+                .rank_of_value(node.value())
+                .expect("routing tables only reference occupied identifiers") as u32
+        };
+
+        let entry_hint = arena.entry_count() as usize;
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut entries: Vec<PlanEntry> = Vec::with_capacity(entry_hint);
+        offsets.push(0u32);
+        let mut ring_scratch: Vec<(u32, u32)> = Vec::new();
+
+        for (rank, node) in population.iter_nodes().enumerate() {
+            let table = arena.neighbors(rank);
+            match rule {
+                KernelRule::RingAdvance => {
+                    // Sorted by greedy preference — largest clockwise advance
+                    // first, so the hop scan reads forward from the row
+                    // start. Self-entries (advance 0, the sparse placeholder)
+                    // never make greedy progress and are dropped, and
+                    // duplicate advances are the same identifier, so one
+                    // probe suffices.
+                    ring_scratch.clear();
+                    for &entry in table {
+                        let advance = ring_distance_raw(node.value(), entry.value(), space);
+                        if advance > 0 {
+                            ring_scratch.push((advance as u32, rank_of(entry)));
+                        }
+                    }
+                    ring_scratch.sort_unstable();
+                    ring_scratch.dedup_by_key(|&mut (advance, _)| advance);
+                    entries.extend(
+                        ring_scratch
+                            .iter()
+                            .rev()
+                            .map(|&(advance, target)| PlanEntry {
+                                key: advance,
+                                target,
+                            }),
+                    );
+                }
+                KernelRule::PrefixXor | KernelRule::PrefixTree => {
+                    // Positional: entry j sits at bucket/level j, so the
+                    // leading-zero dispatch can index directly. Placeholders
+                    // keep their slot with a NO_ENTRY rank.
+                    debug_assert_eq!(table.len(), bits as usize, "prefix tables hold d entries");
+                    for &entry in table {
+                        if entry == node {
+                            entries.push(PlanEntry {
+                                key: 0,
+                                target: NO_ENTRY,
+                            });
+                        } else {
+                            entries.push(PlanEntry {
+                                key: entry.value() as u32,
+                                target: rank_of(entry),
+                            });
+                        }
+                    }
+                }
+                KernelRule::HypercubeBit => {
+                    // Build order is bit 0 (most significant) downward, so
+                    // the first entry whose bit survives in the XOR diff is
+                    // the scalar rule's minimum.
+                    for &entry in table {
+                        let weight = node.value() ^ entry.value();
+                        debug_assert_eq!(weight.count_ones(), 1, "hypercube links flip one bit");
+                        entries.push(PlanEntry {
+                            key: weight as u32,
+                            target: rank_of(entry),
+                        });
+                    }
+                }
+            }
+            let end =
+                u32::try_from(entries.len()).expect("kernel plans hold at most u32::MAX entries");
+            offsets.push(end);
+        }
+
+        let stride = uniform_stride(&offsets);
+        RoutingKernel {
+            rule,
+            space,
+            bits,
+            full,
+            population: Arc::clone(population),
+            offsets,
+            stride,
+            entries,
+            values,
+        }
+    }
+
+    /// The dispatch rule this kernel was compiled with.
+    #[must_use]
+    pub fn rule(&self) -> KernelRule {
+        self.rule
+    }
+
+    /// The identifier space the kernel routes in.
+    #[must_use]
+    pub fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    /// Number of plan entries (directed edges, placeholders included for the
+    /// positional prefix rules).
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Bytes of the plan's own storage (offsets, packed key/rank entries and
+    /// the sparse value table) — the kernel's memory cost on top of the
+    /// overlay it was lowered from: 8 bytes per entry plus ~4 per node. The
+    /// population is shared with the overlay, not duplicated, and is not
+    /// counted here.
+    #[must_use]
+    pub fn plan_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.entries.len() * std::mem::size_of::<PlanEntry>()
+            + self.values.len() * 4
+    }
+
+    /// Lowers `mask` into this kernel's rank space.
+    ///
+    /// For a full population the mask's bitset is already rank-indexed and is
+    /// borrowed; for a sparse one the occupied bits are compressed into a
+    /// rank-indexed copy, O(n). Either way this is the **batch-entry
+    /// validation point**: the key-space checks the scalar path performs on
+    /// every routed pair are asserted here exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` covers a different key space or population size than
+    /// the kernel.
+    #[must_use]
+    pub fn compile_mask<'mask>(&self, mask: &'mask FailureMask) -> KernelMask<'mask> {
+        assert_eq!(
+            mask.key_space().bits(),
+            self.bits,
+            "mask is from a different key space"
+        );
+        assert_eq!(
+            mask.population_size(),
+            self.population.node_count(),
+            "mask covers a different population"
+        );
+        if self.full {
+            KernelMask::Full(mask)
+        } else {
+            let node_count = self.values.len();
+            let mut words = vec![0u64; node_count.div_ceil(64)];
+            for (rank, node) in self.population.iter_nodes().enumerate() {
+                if mask.is_alive(node) {
+                    words[rank >> 6] |= 1u64 << (rank & 63);
+                }
+            }
+            KernelMask::Compressed(words)
+        }
+    }
+
+    /// rank → raw identifier value.
+    #[inline]
+    fn value_of(&self, rank: u32) -> u64 {
+        if self.full {
+            u64::from(rank)
+        } else {
+            u64::from(self.values[rank as usize])
+        }
+    }
+
+    /// raw identifier value → occupied rank, `None` when unoccupied.
+    #[inline]
+    fn rank_of_value(&self, value: u64) -> Option<u32> {
+        if self.full {
+            Some(value as u32)
+        } else {
+            self.population.rank_of_value(value).map(|rank| rank as u32)
+        }
+    }
+
+    /// Routes `source` → `target` under the lowered `mask`, giving up after
+    /// `hop_limit` hops.
+    ///
+    /// The outcome is bit-identical to
+    /// [`route_with_limit`](crate::route_with_limit) on the overlay this
+    /// kernel was compiled from, for the same mask and limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `target` do not belong to the kernel's key space
+    /// (the same contract as the scalar driver).
+    #[must_use]
+    pub fn route(
+        &self,
+        mask: &KernelMask<'_>,
+        source: NodeId,
+        target: NodeId,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        assert_eq!(
+            source.bits(),
+            self.bits,
+            "source is from a different key space"
+        );
+        assert_eq!(
+            target.bits(),
+            self.bits,
+            "target is from a different key space"
+        );
+        self.route_values(mask, source.value(), target.value(), hop_limit)
+    }
+
+    /// [`RoutingKernel::route`] over raw identifier values — the batch entry
+    /// point used by `dht_sim`'s trial engine, with the key-space validation
+    /// hoisted to [`RoutingKernel::compile_mask`] (debug assertions only
+    /// here).
+    #[must_use]
+    pub fn route_values(
+        &self,
+        mask: &KernelMask<'_>,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        debug_assert!(source <= self.space.max_value(), "source outside the space");
+        debug_assert!(target <= self.space.max_value(), "target outside the space");
+        // The mask representation is resolved to its bitset once per route;
+        // every probe below is a bare shift-and-mask on the slice.
+        let words = mask.words();
+        // Mirrors the scalar driver exactly: source first, then target, then
+        // the greedy loop.
+        let Some(source_rank) = self.alive_rank_of(words, source) else {
+            return RouteOutcome::SourceFailed;
+        };
+        if self.alive_rank_of(words, target).is_none() {
+            return RouteOutcome::TargetFailed;
+        }
+        match self.rule {
+            KernelRule::RingAdvance => {
+                self.route_ring(words, source_rank, source, target, hop_limit)
+            }
+            KernelRule::PrefixXor => self.route_xor(words, source_rank, source, target, hop_limit),
+            KernelRule::PrefixTree => {
+                self.route_tree(words, source_rank, source, target, hop_limit)
+            }
+            KernelRule::HypercubeBit => {
+                self.route_hypercube(words, source_rank, source, target, hop_limit)
+            }
+        }
+    }
+
+    /// The greedy next hop from `current` towards `target`, or `None` when no
+    /// alive entry makes progress — a single step of the compiled plan,
+    /// equivalent to [`Overlay::next_hop`](crate::Overlay::next_hop) on the
+    /// source overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` or `target` do not belong to the kernel's key
+    /// space.
+    #[must_use]
+    pub fn next_hop(
+        &self,
+        mask: &KernelMask<'_>,
+        current: NodeId,
+        target: NodeId,
+    ) -> Option<NodeId> {
+        assert_eq!(
+            current.bits(),
+            self.bits,
+            "current is from a different key space"
+        );
+        assert_eq!(
+            target.bits(),
+            self.bits,
+            "target is from a different key space"
+        );
+        // An unoccupied identifier has no routing table (the scalar path
+        // yields an empty neighbour slice and therefore no hop).
+        let rank = self.rank_of_value(current.value())?;
+        let words = mask.words();
+        let current = current.value();
+        let target = target.value();
+        let value = match self.rule {
+            KernelRule::RingAdvance => {
+                let remaining = ring_distance_raw(current, target, self.space);
+                let (_, next) = self.ring_hop(words, rank, remaining)?;
+                self.value_of(next)
+            }
+            KernelRule::PrefixXor => {
+                if current == target {
+                    return None;
+                }
+                self.xor_hop(words, rank, current, target)?.0
+            }
+            KernelRule::PrefixTree => {
+                if current == target {
+                    return None;
+                }
+                self.tree_hop(words, rank, current, target)?.0
+            }
+            KernelRule::HypercubeBit => {
+                let (weight, _) = self.cube_hop(words, rank, current ^ target)?;
+                current ^ weight
+            }
+        };
+        Some(self.space.wrap(value))
+    }
+
+    /// `Some(rank)` when `value` is an occupied identifier that survived.
+    #[inline]
+    fn alive_rank_of(&self, words: &[u64], value: u64) -> Option<u32> {
+        let rank = self.rank_of_value(value)?;
+        alive_bit(words, rank).then_some(rank)
+    }
+
+    /// The plan-entry range of rank `r`: a multiply for fixed-stride plans,
+    /// two `offsets` loads for ragged ones.
+    #[inline]
+    fn bounds(&self, rank: u32) -> (usize, usize) {
+        match self.stride {
+            Some(stride) => {
+                let start = rank as usize * stride as usize;
+                (start, start + stride as usize)
+            }
+            None => (
+                self.offsets[rank as usize] as usize,
+                self.offsets[rank as usize + 1] as usize,
+            ),
+        }
+    }
+
+    /// One ring hop: the largest advance `<=` remaining whose entry is alive.
+    /// Returns the advance taken and the new rank.
+    ///
+    /// Entries are stored largest-advance first, so a forward scan over the
+    /// row finds the answer: overshooting advances and dead probes are both
+    /// skipped by the same walk. The scan is expected O(1) probes — the
+    /// number of advances above the remaining distance is geometrically
+    /// distributed (one per phase above the current one), which beats a
+    /// branchy O(log d) binary search on real tables.
+    #[inline]
+    fn ring_hop(&self, words: &[u64], rank: u32, remaining: u64) -> Option<(u64, u32)> {
+        let (start, end) = self.bounds(rank);
+        for entry in &self.entries[start..end] {
+            let advance = u64::from(entry.key);
+            if advance <= remaining && alive_bit(words, entry.target) {
+                return Some((advance, entry.target));
+            }
+        }
+        None
+    }
+
+    /// One tree hop: probe the level of the highest differing bit, no
+    /// fallback. Returns the entry's value and rank.
+    #[inline]
+    fn tree_hop(&self, words: &[u64], rank: u32, current: u64, target: u64) -> Option<(u64, u32)> {
+        let level = self.leading_level(current ^ target);
+        let entry = self.entries[self.bounds(rank).0 + level];
+        (entry.target != NO_ENTRY && alive_bit(words, entry.target))
+            .then(|| (u64::from(entry.key), entry.target))
+    }
+
+    /// One XOR hop: the bucket of the highest differing bit when alive (the
+    /// provable minimum), else the XOR-closest alive contact among the
+    /// lower-order buckets. Returns the contact's value and rank.
+    #[inline]
+    fn xor_hop(&self, words: &[u64], rank: u32, current: u64, target: u64) -> Option<(u64, u32)> {
+        let diff = current ^ target;
+        let level = self.leading_level(diff);
+        let base = self.bounds(rank).0;
+        let primary = self.entries[base + level];
+        if primary.target != NO_ENTRY && alive_bit(words, primary.target) {
+            return Some((u64::from(primary.key), primary.target));
+        }
+        // Fallback: buckets above `level` can never beat the current
+        // distance; buckets below compete on their (precomputed) contact
+        // values' XOR distance to the target. Strictly-smaller keeps the
+        // scalar path's first-minimum tie behaviour.
+        let mut best: Option<(u64, u64, u32)> = None;
+        for slot in base + level + 1..base + self.bits as usize {
+            let entry = self.entries[slot];
+            if entry.target == NO_ENTRY || !alive_bit(words, entry.target) {
+                continue;
+            }
+            let value = u64::from(entry.key);
+            let distance = value ^ target;
+            if distance < diff && best.is_none_or(|(d, _, _)| distance < d) {
+                best = Some((distance, value, entry.target));
+            }
+        }
+        best.map(|(_, value, next)| (value, next))
+    }
+
+    /// One hypercube hop: the first (highest-weight) entry whose bit is still
+    /// set in `diff` and alive. Returns the corrected bit weight and the new
+    /// rank.
+    #[inline]
+    fn cube_hop(&self, words: &[u64], rank: u32, diff: u64) -> Option<(u64, u32)> {
+        let (start, end) = self.bounds(rank);
+        for entry in &self.entries[start..end] {
+            if diff & u64::from(entry.key) != 0 && alive_bit(words, entry.target) {
+                return Some((u64::from(entry.key), entry.target));
+            }
+        }
+        None
+    }
+
+    /// The bucket/level (0 = most significant) of the highest set bit of a
+    /// non-zero `diff` — the leading-zero dispatch.
+    #[inline]
+    fn leading_level(&self, diff: u64) -> usize {
+        debug_assert_ne!(diff, 0);
+        (diff.leading_zeros() - (64 - self.bits)) as usize
+    }
+
+    fn route_ring(
+        &self,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        // The whole loop runs on the remaining clockwise distance: it starts
+        // at ring_distance(source, target), every hop subtracts its advance,
+        // and zero means arrival — no identifier arithmetic per hop.
+        let mut remaining = ring_distance_raw(source, target, self.space);
+        let mut hops = 0u32;
+        while remaining != 0 {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match self.ring_hop(words, rank, remaining) {
+                Some((advance, next)) => {
+                    remaining -= advance;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(self.value_of(rank)),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+
+    fn route_tree(
+        &self,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        let mut current = source;
+        let mut hops = 0u32;
+        while current != target {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match self.tree_hop(words, rank, current, target) {
+                Some((value, next)) => {
+                    current = value;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(current),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+
+    fn route_xor(
+        &self,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        let mut current = source;
+        let mut hops = 0u32;
+        while current != target {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match self.xor_hop(words, rank, current, target) {
+                Some((value, next)) => {
+                    current = value;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(current),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+
+    fn route_hypercube(
+        &self,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        // The current identifier is always `target ^ diff`, so the loop only
+        // tracks the diff; correcting a bit is one XOR.
+        let mut diff = source ^ target;
+        let mut hops = 0u32;
+        while diff != 0 {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match self.cube_hop(words, rank, diff) {
+                Some((weight, next)) => {
+                    diff ^= weight;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(target ^ diff),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+}
+
+/// Clockwise ring distance over raw values (the kernel never constructs
+/// identifiers in its hot loops).
+#[inline]
+fn ring_distance_raw(from: u64, to: u64, space: KeySpace) -> u64 {
+    to.wrapping_sub(from) & space.max_value()
+}
+
+/// The common row width when every CSR row is equally wide (always the case
+/// over full populations), or `None` for ragged rows.
+fn uniform_stride(offsets: &[u32]) -> Option<u32> {
+    let first = offsets.get(1)? - offsets[0];
+    offsets
+        .windows(2)
+        .all(|pair| pair[1] - pair[0] == first)
+        .then_some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{default_route_hop_limit, route_with_limit};
+    use crate::traits::Overlay;
+    use crate::{CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay, SymphonyOverlay};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ring_kernel_precomputes_sorted_advances() {
+        let overlay = ChordOverlay::build(6, ChordVariant::Deterministic).unwrap();
+        let kernel = overlay.kernel().expect("ring compiles");
+        assert_eq!(kernel.rule(), KernelRule::RingAdvance);
+        assert_eq!(kernel.entry_count(), 64 * 6);
+        assert!(kernel.plan_bytes() > 0);
+        // Deterministic fingers advance by 1, 2, 4, ..., already sorted.
+        let mask = FailureMask::none(overlay.key_space());
+        let lowered = kernel.compile_mask(&mask);
+        let space = overlay.key_space();
+        let hop = kernel
+            .next_hop(&lowered, space.wrap(0), space.wrap(48))
+            .unwrap();
+        assert_eq!(hop, space.wrap(32), "longest non-overshooting finger");
+    }
+
+    #[test]
+    fn kernel_route_matches_scalar_route_spot_checks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let overlay = KademliaOverlay::build(10, &mut rng).unwrap();
+        let kernel = overlay.kernel().expect("xor compiles");
+        let space = overlay.key_space();
+        let mask = FailureMask::sample(space, 0.3, &mut rng);
+        let lowered = kernel.compile_mask(&mask);
+        let limit = default_route_hop_limit(&overlay);
+        for _ in 0..500 {
+            let source = space.random_id(&mut rng);
+            let target = space.random_id(&mut rng);
+            assert_eq!(
+                kernel.route(&lowered, source, target, limit),
+                route_with_limit(&overlay, source, target, &mask, limit),
+            );
+        }
+    }
+
+    #[test]
+    fn hop_limit_is_reported_identically() {
+        let overlay = CanOverlay::build(6).unwrap();
+        let kernel = overlay.kernel().expect("hypercube compiles");
+        let space = overlay.key_space();
+        let mask = FailureMask::none(space);
+        let lowered = kernel.compile_mask(&mask);
+        let source = space.wrap(0);
+        let target = space.wrap(0b111111);
+        assert_eq!(
+            kernel.route(&lowered, source, target, 3),
+            RouteOutcome::HopLimitExceeded { limit: 3 },
+        );
+        assert_eq!(
+            kernel.route(&lowered, source, target, 3),
+            route_with_limit(&overlay, source, target, &mask, 3),
+        );
+    }
+
+    #[test]
+    fn sparse_kernels_compress_the_mask_by_rank() {
+        let space = dht_id::KeySpace::new(10).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let population = Population::sample_uniform(space, 200, &mut rng).unwrap();
+        let overlay = SymphonyOverlay::build_over(population, 1, 2, &mut rng).unwrap();
+        let kernel = overlay.kernel().expect("symphony compiles");
+        let mask = FailureMask::sample_over(overlay.population(), 0.4, &mut rng);
+        let lowered = kernel.compile_mask(&mask);
+        assert!(matches!(lowered, KernelMask::Compressed(_)));
+        for (rank, node) in overlay.population().iter_nodes().enumerate() {
+            assert_eq!(lowered.is_alive_rank(rank as u32), mask.is_alive(node));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different population")]
+    fn mask_population_mismatch_is_rejected() {
+        let space = dht_id::KeySpace::new(8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let population = Population::sample_uniform(space, 50, &mut rng).unwrap();
+        let overlay =
+            ChordOverlay::build_over(population, ChordVariant::Randomized, &mut rng).unwrap();
+        let kernel = overlay.kernel().unwrap();
+        // A full-space mask over a 50-node overlay is a caller bug.
+        let _ = kernel.compile_mask(&FailureMask::none(space));
+    }
+
+    #[test]
+    fn unoccupied_current_has_no_next_hop() {
+        let space = dht_id::KeySpace::new(8).unwrap();
+        let population =
+            Population::sparse(space, [space.wrap(10), space.wrap(200), space.wrap(90)]).unwrap();
+        let overlay = ChordOverlay::build_over(
+            population,
+            ChordVariant::Deterministic,
+            &mut crate::generic::NoRandomness,
+        )
+        .unwrap();
+        let kernel = overlay.kernel().unwrap();
+        let mask = FailureMask::none_over(overlay.population());
+        let lowered = kernel.compile_mask(&mask);
+        assert_eq!(
+            kernel.next_hop(&lowered, space.wrap(11), space.wrap(90)),
+            None
+        );
+        assert_eq!(
+            kernel.next_hop(&lowered, space.wrap(10), space.wrap(10)),
+            None,
+            "arrived: no hop makes progress"
+        );
+    }
+}

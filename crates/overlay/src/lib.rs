@@ -27,6 +27,13 @@
 //! identifiers), in which case fingers, bucket contacts and successors
 //! resolve against the occupied set, the way deployed DHTs do.
 //!
+//! For batch measurement, every geometry also lowers into a compiled
+//! rank-space [`RoutingKernel`] (see [`kernel`]): per-entry hop keys are
+//! precomputed at build time and alive checks become direct bit tests by
+//! occupied rank, with outcomes bit-identical to the scalar path. The
+//! kernel compiles lazily on first [`Overlay::kernel`] call; `dht_sim`'s
+//! trial engine routes through it automatically.
+//!
 //! # Example
 //!
 //! ```rust
@@ -60,6 +67,7 @@ pub mod chord;
 pub mod failure;
 pub mod generic;
 pub mod kademlia;
+pub mod kernel;
 pub mod plaxton;
 pub mod router;
 pub mod symphony;
@@ -71,7 +79,10 @@ pub use chord::{ChordOverlay, ChordVariant};
 pub use failure::{select_in_word, FailureMask};
 pub use generic::{GeometryOverlay, GeometryStrategy};
 pub use kademlia::KademliaOverlay;
+pub use kernel::{KernelMask, KernelRule, RoutingKernel};
 pub use plaxton::PlaxtonOverlay;
-pub use router::{default_route_hop_limit, route, route_with_limit, RouteOutcome};
+pub use router::{
+    default_route_hop_limit, route, route_prevalidated, route_with_limit, RouteOutcome,
+};
 pub use symphony::SymphonyOverlay;
 pub use traits::{Overlay, OverlayError};

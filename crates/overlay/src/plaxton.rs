@@ -51,6 +51,12 @@ impl GeometryStrategy for PlaxtonStrategy {
         }
         alive.is_alive(entry).then_some(entry)
     }
+
+    fn kernel_rule(&self) -> Option<crate::kernel::KernelRule> {
+        // Hop key: the entry's value at its level position; a single
+        // leading-zero-dispatched probe, no fallback.
+        Some(crate::kernel::KernelRule::PrefixTree)
+    }
 }
 
 /// A prefix-routing (tree) overlay in the style of Plaxton, Tapestry and
@@ -149,6 +155,10 @@ impl Overlay for PlaxtonOverlay {
 
     fn edge_count(&self) -> u64 {
         self.inner.edge_count()
+    }
+
+    fn kernel(&self) -> Option<&crate::kernel::RoutingKernel> {
+        self.inner.routing_kernel()
     }
 }
 

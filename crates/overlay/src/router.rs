@@ -126,6 +126,36 @@ where
         space.bits(),
         "target is from a different key space"
     );
+    route_prevalidated(overlay, source, target, mask, hop_limit)
+}
+
+/// [`route_with_limit`] with the key-space validation hoisted to the caller.
+///
+/// Batch drivers that route millions of pairs drawn from the overlay's own
+/// population (the trial engine of `dht_sim`) validate the key space once per
+/// batch and call this directly, so the hot loop stops paying two asserts per
+/// routed pair. Debug builds still assert; release builds trust the caller.
+#[must_use]
+pub fn route_prevalidated<O>(
+    overlay: &O,
+    source: NodeId,
+    target: NodeId,
+    mask: &FailureMask,
+    hop_limit: u32,
+) -> RouteOutcome
+where
+    O: Overlay + ?Sized,
+{
+    debug_assert_eq!(
+        source.bits(),
+        overlay.key_space().bits(),
+        "source is from a different key space"
+    );
+    debug_assert_eq!(
+        target.bits(),
+        overlay.key_space().bits(),
+        "target is from a different key space"
+    );
 
     if mask.is_failed(source) {
         return RouteOutcome::SourceFailed;

@@ -86,6 +86,12 @@ impl GeometryStrategy for SymphonyStrategy {
     ) -> Option<NodeId> {
         crate::chord::ring_greedy_next_hop(neighbors, current, target, alive)
     }
+
+    fn kernel_rule(&self) -> Option<crate::kernel::KernelRule> {
+        // Near neighbours and shortcuts share the ring rule: the kernel
+        // merges them into one advance-sorted plan per node.
+        Some(crate::kernel::KernelRule::RingAdvance)
+    }
 }
 
 /// A one-dimensional small-world overlay in the style of Symphony.
@@ -224,6 +230,10 @@ impl Overlay for SymphonyOverlay {
 
     fn edge_count(&self) -> u64 {
         self.inner.edge_count()
+    }
+
+    fn kernel(&self) -> Option<&crate::kernel::RoutingKernel> {
+        self.inner.routing_kernel()
     }
 }
 

@@ -115,6 +115,19 @@ pub trait Overlay: Send + Sync {
             .map(|node| self.neighbors(node).len() as u64)
             .sum()
     }
+
+    /// The compiled rank-space routing kernel, when the overlay can lower
+    /// itself into one (see [`crate::kernel`]).
+    ///
+    /// Batch drivers (`dht_sim`'s trial engine) route through the kernel
+    /// whenever it is available; its outcomes are bit-identical to
+    /// [`Overlay::next_hop`] driven hop by hop, so callers never observe the
+    /// difference except in speed. The default is `None`: scalar routing
+    /// only. [`crate::GeometryOverlay`] compiles the kernel lazily on first
+    /// call and caches it.
+    fn kernel(&self) -> Option<&crate::kernel::RoutingKernel> {
+        None
+    }
 }
 
 /// Validates an identifier length against [`MAX_OVERLAY_BITS`].

@@ -193,4 +193,25 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn rank_indexed_probes_match_identifier_probes_on_full_masks(
+        bits in 1u32..10,
+        seed in 0u64..1 << 20,
+        q in 0.0f64..1.0,
+    ) {
+        // The kernel's fast path: over a full population a node's occupied
+        // rank is its identifier value, so `is_alive_rank(v)` must agree
+        // with `is_alive(NodeId(v))` bit for bit.
+        let space = KeySpace::new(bits).unwrap();
+        let mask = FailureMask::sample(space, q, &mut ChaCha8Rng::seed_from_u64(seed));
+        for node in space.iter_ids() {
+            prop_assert_eq!(
+                mask.is_alive_rank(node.value() as u32),
+                mask.is_alive(node),
+                "rank probe diverges at {}",
+                node
+            );
+        }
+    }
 }

@@ -25,7 +25,10 @@
 use crate::pair_sampler::PairSampler;
 use crate::rng::SeedSequence;
 use dht_mathkit::stats::RunningStats;
-use dht_overlay::{default_route_hop_limit, route_with_limit, FailureMask, Overlay, RouteOutcome};
+use dht_overlay::{
+    default_route_hop_limit, route_prevalidated, FailureMask, Overlay, RouteOutcome,
+};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Default number of pairs per logical shard.
@@ -177,6 +180,13 @@ impl TrialEngine {
     /// All pair randomness derives from `pair_seed` via per-shard
     /// [`SeedSequence`] streams; the result is a pure function of
     /// `(overlay, mask, pairs, pair_seed, pairs_per_shard)`.
+    ///
+    /// When the overlay exposes a compiled routing kernel
+    /// ([`Overlay::kernel`]) the pairs are routed through it — the mask is
+    /// lowered into rank space once and every hop becomes a precomputed-key
+    /// dispatch. Kernel outcomes are bit-identical to the scalar path (the
+    /// kernel equivalence suite proves it), so which path ran is not
+    /// observable in the tally.
     pub fn run_trial<O>(
         &self,
         overlay: &O,
@@ -188,11 +198,49 @@ impl TrialEngine {
         O: Overlay + ?Sized,
     {
         let sampler = PairSampler::new(mask)?;
+        // Batch-entry validation, hoisted: every pair the sampler yields
+        // lives in the mask's key space, so the key-space checks the scalar
+        // router would repeat per routed pair are paid once per trial here.
+        let space = mask.key_space();
+        assert_eq!(
+            space.bits(),
+            overlay.key_space().bits(),
+            "mask is from a different key space than the overlay"
+        );
+        let hop_limit = default_route_hop_limit(overlay);
+        let tally = match overlay.kernel() {
+            Some(kernel) => {
+                let lowered = kernel.compile_mask(mask);
+                self.run_shards(pairs, pair_seed, |rng, tally| {
+                    let (source, target) = sampler.sample_values(rng);
+                    tally.record(kernel.route_values(&lowered, source, target, hop_limit));
+                })
+            }
+            None => self.run_shards(pairs, pair_seed, |rng, tally| {
+                let (source, target) = sampler.sample_values(rng);
+                tally.record(route_prevalidated(
+                    overlay,
+                    space.wrap(source),
+                    space.wrap(target),
+                    mask,
+                    hop_limit,
+                ));
+            }),
+        };
+        Some(tally)
+    }
+
+    /// Runs the sharded pair budget, calling `route_pair` once per pair with
+    /// the shard's RNG and tally, and merges the per-shard tallies in shard
+    /// order (the thread-count-invariance contract lives here).
+    fn run_shards<F>(&self, pairs: u64, pair_seed: u64, route_pair: F) -> TrialTally
+    where
+        F: Fn(&mut ChaCha8Rng, &mut TrialTally) + Sync,
+    {
         let pairs = pairs.max(1);
         let shard_count = usize::try_from(pairs.div_ceil(self.pairs_per_shard))
             .expect("shard count fits in usize");
         let shard_seeds = SeedSequence::new(pair_seed);
-        let hop_limit = default_route_hop_limit(overlay);
 
         let run_shard = |shard: usize| -> TrialTally {
             let mut rng = shard_seeds.child_rng(shard as u64);
@@ -203,8 +251,7 @@ impl TrialEngine {
             };
             let mut tally = TrialTally::default();
             for _ in 0..budget {
-                let (source, target) = sampler.sample(&mut rng);
-                tally.record(route_with_limit(overlay, source, target, mask, hop_limit));
+                route_pair(&mut rng, &mut tally);
             }
             tally
         };
@@ -235,7 +282,7 @@ impl TrialEngine {
                 merged.merge(tally);
             }
         }
-        Some(merged)
+        merged
     }
 }
 
@@ -299,6 +346,54 @@ mod tests {
                 .with_pairs_per_shard(128)
                 .run_trial(&overlay, &mask, 2_000, 1)
         );
+    }
+
+    /// Hides an overlay's compiled kernel so the engine takes the scalar
+    /// path: the two paths must tally identically.
+    struct ScalarOnly<'o, O: Overlay + ?Sized>(&'o O);
+
+    impl<O: Overlay + ?Sized> Overlay for ScalarOnly<'_, O> {
+        fn geometry_name(&self) -> &'static str {
+            self.0.geometry_name()
+        }
+        fn population(&self) -> &dht_id::Population {
+            self.0.population()
+        }
+        fn neighbors(&self, node: dht_id::NodeId) -> &[dht_id::NodeId] {
+            self.0.neighbors(node)
+        }
+        fn next_hop(
+            &self,
+            current: dht_id::NodeId,
+            target: dht_id::NodeId,
+            alive: &FailureMask,
+        ) -> Option<dht_id::NodeId> {
+            self.0.next_hop(current, target, alive)
+        }
+        // kernel() deliberately left at the default None.
+    }
+
+    #[test]
+    fn kernel_path_tallies_identically_to_the_scalar_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let overlays: Vec<Box<dyn Overlay>> = vec![
+            Box::new(ChordOverlay::build(9, ChordVariant::Deterministic).unwrap()),
+            Box::new(KademliaOverlay::build(9, &mut rng).unwrap()),
+            Box::new(CanOverlay::build(9).unwrap()),
+        ];
+        for overlay in &overlays {
+            assert!(overlay.kernel().is_some(), "geometries compile kernels");
+            let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut rng);
+            let engine = TrialEngine::new(3);
+            let with_kernel = engine.run_trial(overlay.as_ref(), &mask, 8_000, 13);
+            let scalar = engine.run_trial(&ScalarOnly(overlay.as_ref()), &mask, 8_000, 13);
+            assert_eq!(
+                with_kernel,
+                scalar,
+                "kernel and scalar paths diverge on {}",
+                overlay.geometry_name()
+            );
+        }
     }
 
     #[test]

@@ -81,6 +81,17 @@ impl<'mask> PairSampler<'mask> {
     /// Panics if `rank >= survivor_count()`.
     #[must_use]
     pub fn select(&self, rank: u64) -> NodeId {
+        self.mask.key_space().wrap(self.select_value(rank))
+    }
+
+    /// [`PairSampler::select`] as a raw identifier value — the rank is
+    /// resolved against the bitset directly, with no [`NodeId`] constructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= survivor_count()`.
+    #[must_use]
+    pub fn select_value(&self, rank: u64) -> u64 {
         assert!(
             rank < self.mask.alive_count(),
             "rank {rank} out of range for {} survivors",
@@ -91,12 +102,24 @@ impl<'mask> PairSampler<'mask> {
         let word_index = self.cumulative.partition_point(|&count| count <= rank) - 1;
         let within = (rank - self.cumulative[word_index]) as u32;
         let bit = select_in_word(self.mask.words()[word_index], within);
-        let value = word_index as u64 * 64 + u64::from(bit);
-        self.mask.key_space().wrap(value)
+        word_index as u64 * 64 + u64::from(bit)
     }
 
     /// Draws one ordered pair of distinct surviving nodes.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (NodeId, NodeId) {
+        let (source, target) = self.sample_values(rng);
+        let space = self.mask.key_space();
+        (space.wrap(source), space.wrap(target))
+    }
+
+    /// [`PairSampler::sample`] as raw identifier values: the same two rank
+    /// draws (bit-for-bit the same RNG stream), resolved straight off the
+    /// bitset without the `NodeId` → rank → `NodeId` round trip.
+    ///
+    /// This is the trial engine's hot path: the compiled routing kernel
+    /// consumes raw values, so identifiers never need to be materialised
+    /// between the draw and the route.
+    pub fn sample_values<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, u64) {
         let survivors = self.mask.alive_count();
         let source_rank = rng.gen_range(0..survivors);
         // Draw the target from the remaining n-1 slots to guarantee
@@ -105,7 +128,10 @@ impl<'mask> PairSampler<'mask> {
         if target_rank >= source_rank {
             target_rank += 1;
         }
-        (self.select(source_rank), self.select(target_rank))
+        (
+            self.select_value(source_rank),
+            self.select_value(target_rank),
+        )
     }
 
     /// Draws `count` ordered pairs.
@@ -197,6 +223,26 @@ mod tests {
         let mask = FailureMask::sample(space(8), 0.1, &mut rng);
         let sampler = PairSampler::new(&mask).unwrap();
         assert_eq!(sampler.sample_many(257, &mut rng).len(), 257);
+    }
+
+    #[test]
+    fn sample_values_is_the_same_stream_as_sample() {
+        // The value-level sampler must make exactly the same RNG draws and
+        // resolve to the same identifiers: it is a representation change,
+        // not a new stream.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mask = FailureMask::sample(space(10), 0.35, &mut rng);
+        let sampler = PairSampler::new(&mask).unwrap();
+        let mut a = ChaCha8Rng::seed_from_u64(77);
+        let mut b = ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..500 {
+            let (source, target) = sampler.sample(&mut a);
+            let (source_value, target_value) = sampler.sample_values(&mut b);
+            assert_eq!(source.value(), source_value);
+            assert_eq!(target.value(), target_value);
+        }
+        // Both consumed the identical amount of randomness.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub mod prelude {
     pub use dht_id::{KeySpace, NodeId, Population};
     pub use dht_overlay::{
         route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, GeometryOverlay,
-        KademliaOverlay, Overlay, PlaxtonOverlay, RouteOutcome, RoutingArena, SymphonyOverlay,
+        KademliaOverlay, Overlay, PlaxtonOverlay, RouteOutcome, RoutingArena, RoutingKernel,
+        SymphonyOverlay,
     };
     pub use dht_percolation::{connected_components, percolation_threshold, reachable_component};
     pub use dht_rcm_core::prelude::*;
