@@ -1,0 +1,117 @@
+//! Benchmarks of the live-churn discrete-event engine: whole-simulation
+//! event throughput with incremental overlay repair on the hot path.
+//! Contributes `live_churn` entries to the machine-readable
+//! `BENCH_routing.json` — here `median_ns_per_route` is **ns per processed
+//! event** and `routes_per_sec` is **events per second** (departures,
+//! returns and lookups all count; repair work is attributed to the event
+//! that caused it). See [`dht_bench::perf`].
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dht_bench::perf;
+use dht_id::{KeySpace, Population};
+use dht_overlay::chord::ChordStrategy;
+use dht_overlay::kademlia::KademliaStrategy;
+use dht_overlay::{ChordVariant, GeometryStrategy, LiveOverlay};
+use dht_sim::{LifetimeDistribution, LiveChurnConfig, LiveChurnExperiment, LiveChurnTally};
+use std::hint::black_box;
+
+const BITS: u32 = 8;
+
+/// The measured workload: one replica of exponential churn (`E[L] = 2`,
+/// `E[D] = 0.5`, so `q* = 0.2`) with Poisson lookups, repair mode on —
+/// every departure and return delta-patches the overlay.
+fn config(duration: f64) -> LiveChurnConfig {
+    LiveChurnConfig::new(
+        LifetimeDistribution::exponential(2.0).expect("valid mean"),
+        LifetimeDistribution::exponential(0.5).expect("valid mean"),
+        duration,
+        300.0,
+    )
+    .expect("valid horizon")
+    .with_repair(true)
+    .with_seed(23)
+}
+
+fn run_once<S: GeometryStrategy + Clone>(
+    experiment: &LiveChurnExperiment,
+    strategy: S,
+) -> LiveChurnTally {
+    let space = KeySpace::new(BITS).expect("valid bits");
+    experiment.run(move |master_seed| {
+        LiveOverlay::build(Population::full(space), strategy.clone(), master_seed)
+            .expect("geometry supports live churn")
+    })
+}
+
+fn bench_live_churn(c: &mut Criterion) {
+    let experiment = LiveChurnExperiment::new(config(4.0));
+    let mut group = c.benchmark_group("live_churn_repair_2_8");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("ring"), &experiment, |b, e| {
+        b.iter(|| black_box(run_once(e, ChordStrategy::new(ChordVariant::Deterministic)).events))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("xor"), &experiment, |b, e| {
+        b.iter(|| black_box(run_once(e, KademliaStrategy).events))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_churn);
+
+/// Contributes event-throughput entries: the engine is deterministic, so
+/// the event count of a run is fixed per configuration and the median
+/// run time divides into a stable ns-per-event figure.
+fn perf_trajectory() {
+    let smoke = perf::smoke_mode();
+    let duration = if smoke { 5.0 } else { 20.0 };
+    let samples = if smoke { 3 } else { 5 };
+    let experiment = LiveChurnExperiment::new(config(duration));
+    let mut entries = Vec::new();
+
+    let ring_events = run_once(&experiment, ChordStrategy::new(ChordVariant::Deterministic)).events;
+    let ring_median = perf::measure_median_ns(1, samples, || {
+        black_box(run_once(
+            &experiment,
+            ChordStrategy::new(ChordVariant::Deterministic),
+        ));
+    }) / ring_events as f64;
+    entries.push(perf::entry(
+        "live_churn",
+        "ring",
+        BITS,
+        0.2,
+        ring_median,
+        ring_events,
+        samples,
+    ));
+
+    let xor_events = run_once(&experiment, KademliaStrategy).events;
+    let xor_median = perf::measure_median_ns(1, samples, || {
+        black_box(run_once(&experiment, KademliaStrategy));
+    }) / xor_events as f64;
+    entries.push(perf::entry(
+        "live_churn",
+        "xor",
+        BITS,
+        0.2,
+        xor_median,
+        xor_events,
+        samples,
+    ));
+
+    for entry in &entries {
+        println!(
+            "{:<40} {:>12.1} ns/event {:>14.0} events/sec",
+            entry.key(),
+            entry.median_ns_per_route,
+            entry.routes_per_sec
+        );
+    }
+    perf::merge_into_output(entries.clone()).expect("BENCH_routing.json is writable");
+    perf::enforce_baseline(&entries);
+}
+
+fn main() {
+    benches();
+    perf_trajectory();
+}

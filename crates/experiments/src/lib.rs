@@ -14,6 +14,7 @@
 //! | [`fig7`] | Fig. 7(a)/(b), asymptotic behaviour |
 //! | [`scalability_table`] | §5 scalable/unscalable classification |
 //! | [`markov_validation`] | closed forms vs the Markov chains of Fig. 4, 5, 8 |
+//! | [`live_churn`] | beyond the paper: continuous-time churn with incremental repair |
 //! | [`percolation_contrast`] | §1 reachable vs connected components |
 //! | [`symphony_ablation`] | §1/§3.5 remark: buying routability with more neighbours |
 //! | [`ring_bound_gap`] | §4.3.3 lower-bound tightness (Fig. 6b discussion) |
@@ -30,6 +31,7 @@
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
+pub mod live_churn;
 pub mod markov_validation;
 pub mod output;
 pub mod percolation_contrast;

@@ -112,6 +112,28 @@ impl RoutingArena {
         let end = self.offsets[rank + 1] as usize;
         &self.entries[start..end]
     }
+
+    /// Overwrites the routing table of the rank-`rank` node in place.
+    ///
+    /// Delta-patching for live churn: the CSR layout is preserved (offsets
+    /// untouched), so the replacement must have exactly the existing row's
+    /// width — live overlays use fixed-width tables precisely so repairs
+    /// never resize rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= node_count()` or `table.len()` differs from the
+    /// stored row width.
+    pub fn rewrite_table(&mut self, rank: usize, table: &[NodeId]) {
+        let start = self.offsets[rank] as usize;
+        let end = self.offsets[rank + 1] as usize;
+        assert_eq!(
+            table.len(),
+            end - start,
+            "rewrite_table must preserve the row width"
+        );
+        self.entries[start..end].copy_from_slice(table);
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +166,27 @@ mod tests {
         assert_eq!(arena.neighbors(0), ids(space, &[1, 2, 3]).as_slice());
         assert_eq!(arena.neighbors(1), &[]);
         assert_eq!(arena.neighbors(2), ids(space, &[9, 10]).as_slice());
+    }
+
+    #[test]
+    fn rewrite_table_patches_a_row_in_place() {
+        let space = KeySpace::new(6).unwrap();
+        let mut arena = RoutingArena::new();
+        arena.push_table(&ids(space, &[1, 2, 3]));
+        arena.push_table(&ids(space, &[9, 10]));
+        arena.rewrite_table(0, &ids(space, &[4, 5, 6]));
+        assert_eq!(arena.neighbors(0), ids(space, &[4, 5, 6]).as_slice());
+        assert_eq!(arena.neighbors(1), ids(space, &[9, 10]).as_slice());
+        assert_eq!(arena.entry_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rewrite_table_rejects_width_changes() {
+        let space = KeySpace::new(6).unwrap();
+        let mut arena = RoutingArena::new();
+        arena.push_table(&ids(space, &[1, 2]));
+        arena.rewrite_table(0, &ids(space, &[1]));
     }
 
     #[test]

@@ -68,6 +68,58 @@ impl GeometryStrategy for CanStrategy {
         // the first weight still set in the XOR diff is the scalar minimum.
         Some(crate::kernel::KernelRule::HypercubeBit)
     }
+
+    fn supports_live(&self) -> bool {
+        true
+    }
+
+    fn live_table_width(&self, population: &Population) -> usize {
+        // Unlike the variable-width static tables, the live family keeps one
+        // slot per dimension (self placeholders for unoccupied or dead flips)
+        // so in-place repair never resizes a row.
+        population.space().bits() as usize
+    }
+
+    fn build_live_table(
+        &self,
+        population: &Population,
+        node: NodeId,
+        _node_seed: u64,
+        alive: &FailureMask,
+        table: &mut Vec<NodeId>,
+    ) {
+        for bit in 0..population.space().bits() {
+            let neighbor = node
+                .flip_bit(bit)
+                .expect("bit index is within the key space");
+            if population.contains(neighbor) && alive.is_alive(neighbor) {
+                table.push(neighbor);
+            } else {
+                table.push(node);
+            }
+        }
+    }
+
+    fn live_repair_candidates(
+        &self,
+        population: &Population,
+        node: NodeId,
+        alive: &FailureMask,
+        _witnesses: &mut Vec<NodeId>,
+        direct: &mut Vec<NodeId>,
+    ) {
+        // A hypercube link is mutual: the only tables a join changes are the
+        // occupied alive single-bit flips, whose stale entries were self
+        // placeholders (no reverse edge records them, hence `direct`).
+        for bit in 0..population.space().bits() {
+            let neighbor = node
+                .flip_bit(bit)
+                .expect("bit index is within the key space");
+            if population.contains(neighbor) && alive.is_alive(neighbor) {
+                direct.push(neighbor);
+            }
+        }
+    }
 }
 
 /// A binary hypercube overlay: node identifiers are coordinates in a

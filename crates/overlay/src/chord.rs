@@ -95,6 +95,69 @@ impl GeometryStrategy for ChordStrategy {
         // Hop key: each finger's clockwise advance, fixed at build time.
         Some(crate::kernel::KernelRule::RingAdvance)
     }
+
+    fn supports_live(&self) -> bool {
+        true
+    }
+
+    fn live_table_width(&self, population: &Population) -> usize {
+        population.space().bits() as usize
+    }
+
+    fn build_live_table(
+        &self,
+        population: &Population,
+        node: NodeId,
+        node_seed: u64,
+        alive: &FailureMask,
+        table: &mut Vec<NodeId>,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(node_seed);
+        let bits = population.space().bits();
+        for finger in 1..=bits {
+            let base = 1u64 << (finger - 1);
+            let span = base;
+            // The offset is drawn for every finger, alive set unseen —
+            // membership-independent draws keep the table a pure function of
+            // the alive set (the live-family purity contract).
+            let offset = match self.variant {
+                ChordVariant::Deterministic => 0,
+                ChordVariant::Randomized => {
+                    if span <= 1 {
+                        0
+                    } else {
+                        rng.gen_range(0..span)
+                    }
+                }
+            };
+            let target_point = node.value().wrapping_add(base + offset);
+            table.push(crate::live::alive_successor(
+                population,
+                alive,
+                target_point,
+            ));
+        }
+    }
+
+    fn live_repair_candidates(
+        &self,
+        population: &Population,
+        node: NodeId,
+        alive: &FailureMask,
+        witnesses: &mut Vec<NodeId>,
+        _direct: &mut Vec<NodeId>,
+    ) {
+        // Every live finger is `alive_successor(p)` for a fixed point `p`,
+        // and reviving `node` changes that resolution only where the old
+        // result was the first alive node clockwise of `node` — so every
+        // table entry that should now point at the joiner currently points
+        // at that single successor.
+        let witness = crate::live::alive_successor(population, alive, node.value().wrapping_add(1));
+        if witness != node {
+            witnesses.push(witness);
+        }
+    }
 }
 
 /// The greedy non-overshooting ring rule shared by the Chord and Symphony

@@ -358,6 +358,22 @@ impl FailureMask {
     ///
     /// Panics if `node` does not belong to the mask's key space.
     pub fn fail_node(&mut self, node: NodeId) {
+        let _ = self.kill(node);
+    }
+
+    /// Marks a single node as failed, reporting whether the bit actually
+    /// flipped (`false` for nodes already failed or unoccupied, which stay
+    /// counted no-ops).
+    ///
+    /// This is [`FailureMask::fail_node`] with the flip made observable — the
+    /// live-churn event engine uses the return value to keep its own
+    /// bookkeeping (dirty-table queues, session tallies) in lockstep with the
+    /// mask without a separate pre-read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the mask's key space.
+    pub fn kill(&mut self, node: NodeId) -> bool {
         assert_eq!(
             node.bits(),
             self.space.bits(),
@@ -369,6 +385,42 @@ impl FailureMask {
         if *slot & bit != 0 {
             *slot &= !bit;
             self.failed_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a single node as alive again, reporting whether the bit actually
+    /// flipped (`false` for nodes already alive).
+    ///
+    /// The inverse of [`FailureMask::kill`], letting churn engines toggle
+    /// liveness in place instead of reallocating masks per event. **Caller
+    /// contract:** only *occupied* identifiers may be revived — the mask
+    /// cannot distinguish "failed occupied node" from "unoccupied identifier"
+    /// (both read as zero), so reviving an unoccupied identifier would corrupt
+    /// the occupied-relative counts. Every caller in this workspace drives
+    /// the mask from a fixed [`Population`] universe, which guarantees the
+    /// contract structurally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the mask's key space.
+    pub fn set_alive(&mut self, node: NodeId) -> bool {
+        assert_eq!(
+            node.bits(),
+            self.space.bits(),
+            "node belongs to a different key space"
+        );
+        let value = node.value();
+        let slot = &mut self.alive[(value / WORD_BITS) as usize];
+        let bit = 1u64 << (value % WORD_BITS);
+        if *slot & bit == 0 {
+            *slot |= bit;
+            self.failed_count -= 1;
+            true
+        } else {
+            false
         }
     }
 }
@@ -470,6 +522,19 @@ mod tests {
         mask.fail_node(s.wrap(2));
         mask.fail_node(s.wrap(2));
         assert_eq!(mask.failed_count(), 3);
+    }
+
+    #[test]
+    fn kill_and_set_alive_round_trip() {
+        let s = space(6);
+        let mut mask = FailureMask::none(s);
+        assert!(mask.kill(s.wrap(9)), "first kill flips the bit");
+        assert!(!mask.kill(s.wrap(9)), "second kill is a no-op");
+        assert_eq!(mask.failed_count(), 1);
+        assert!(mask.set_alive(s.wrap(9)), "revive flips it back");
+        assert!(!mask.set_alive(s.wrap(9)), "already alive is a no-op");
+        assert_eq!(mask.failed_count(), 0);
+        assert_eq!(mask, FailureMask::none(s), "round trip is canonical");
     }
 
     #[test]

@@ -64,6 +64,83 @@ pub trait GeometryStrategy: Send + Sync {
     fn kernel_rule(&self) -> Option<KernelRule> {
         None
     }
+
+    /// Whether the geometry implements the live-churn maintenance hooks
+    /// below ([`crate::LiveOverlay`] refuses strategies that do not).
+    ///
+    /// The default is `false`: a strategy only participates in live churn
+    /// once it provides [`GeometryStrategy::build_live_table`] and
+    /// [`GeometryStrategy::live_repair_candidates`] and has argued their
+    /// rebuild-equivalence (the `incremental_equivalence` property suite
+    /// holds every live geometry to entry-for-entry agreement with a
+    /// from-scratch rebuild).
+    fn supports_live(&self) -> bool {
+        false
+    }
+
+    /// The fixed per-node table width of the live construction family.
+    ///
+    /// Live tables are fixed-width by contract (self-entries pad
+    /// unsatisfiable slots) so [`crate::RoutingArena::rewrite_table`] and the
+    /// kernel's in-place row repair never resize rows.
+    fn live_table_width(&self, population: &Population) -> usize {
+        let _ = population;
+        panic!(
+            "geometry `{}` does not support live churn",
+            self.geometry_name()
+        );
+    }
+
+    /// Builds `node`'s live routing table against the current `alive` set,
+    /// appending exactly [`GeometryStrategy::live_table_width`] entries.
+    ///
+    /// **Purity contract:** the table must be a pure function of
+    /// `(population, node, node_seed, alive)`. All randomness comes from
+    /// `node_seed` alone, and every random draw must be made *before* it is
+    /// resolved against the alive set (membership-independent draws), so
+    /// that repairing a node after any event sequence reproduces exactly the
+    /// table a from-scratch rebuild would choose. Unsatisfiable slots push
+    /// `node` itself as a placeholder.
+    fn build_live_table(
+        &self,
+        population: &Population,
+        node: NodeId,
+        node_seed: u64,
+        alive: &FailureMask,
+        table: &mut Vec<NodeId>,
+    ) {
+        let _ = (population, node, node_seed, alive, table);
+        panic!(
+            "geometry `{}` does not support live churn",
+            self.geometry_name()
+        );
+    }
+
+    /// Names the nodes whose tables may change when `node` (just revived,
+    /// already marked alive in `alive`) joins the overlay.
+    ///
+    /// Two channels: `witnesses` collects alive nodes with the property that
+    /// *every* table entry that should now point at `node` currently points
+    /// at (or past) a witness — the repair engine dirties every owner of an
+    /// in-edge to a witness. `direct` collects owners that must be recomputed
+    /// unconditionally (e.g. hypercube neighbours, whose stale entries are
+    /// self placeholders that no reverse edge records). Leaves need no
+    /// candidates: the reverse index of the departed node's in-edges is
+    /// complete by construction.
+    fn live_repair_candidates(
+        &self,
+        population: &Population,
+        node: NodeId,
+        alive: &FailureMask,
+        witnesses: &mut Vec<NodeId>,
+        direct: &mut Vec<NodeId>,
+    ) {
+        let _ = (population, node, alive, witnesses, direct);
+        panic!(
+            "geometry `{}` does not support live churn",
+            self.geometry_name()
+        );
+    }
 }
 
 /// An executable overlay: a [`GeometryStrategy`] plus a [`Population`] plus

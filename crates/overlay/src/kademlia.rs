@@ -71,6 +71,81 @@ pub(crate) fn build_prefix_table<R: Rng + ?Sized>(
     }
 }
 
+/// The live construction family shared by the XOR and tree geometries: per
+/// bucket, draw a uniform starting point in the subtree *before* looking at
+/// the alive set (membership-independent, the live-family purity contract),
+/// then store the first alive occupied identifier cyclically from it — or the
+/// node itself when the subtree holds no alive node.
+pub(crate) fn build_live_prefix_table(
+    population: &Population,
+    node: NodeId,
+    node_seed: u64,
+    alive: &FailureMask,
+    table: &mut Vec<NodeId>,
+) {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(node_seed);
+    let bits = population.space().bits();
+    for bucket in 0..bits {
+        let (lo, hi) = bucket_range(node, bucket);
+        let from = rng.gen_range(lo..=hi);
+        match crate::live::alive_in_range_cyclic(population, alive, lo, hi, from, None) {
+            Some(contact) => table.push(contact),
+            None => table.push(node),
+        }
+    }
+}
+
+/// Join candidates for the prefix geometries. At each level the joiner's own
+/// subtree (the *home block*) is where other nodes' level contacts pointing
+/// at it live:
+///
+/// * if another alive node exists there, every contact the join changes
+///   previously resolved to the first alive member cyclically after the
+///   joiner — a single witness (`alive_in_range_cyclic` was first-alive from
+///   the owner's drawn point, and the joiner landing inside `[point, old)`
+///   means `old` is also first-alive from `joiner + 1`);
+/// * otherwise every alive owner (the occupied nodes of the *sibling* block
+///   at that level) held a self placeholder that no reverse edge records, so
+///   they are all recomputed directly.
+pub(crate) fn live_prefix_repair_candidates(
+    population: &Population,
+    node: NodeId,
+    alive: &FailureMask,
+    witnesses: &mut Vec<NodeId>,
+    direct: &mut Vec<NodeId>,
+) {
+    let bits = population.space().bits();
+    for bucket in 0..bits {
+        let flipped = node
+            .flip_bit(bucket)
+            .expect("bucket index is within the key space");
+        let (home_lo, home_hi) = bucket_range(flipped, bucket);
+        debug_assert!(home_lo <= node.value() && node.value() <= home_hi);
+        let from = if node.value() == home_hi {
+            home_lo
+        } else {
+            node.value() + 1
+        };
+        match crate::live::alive_in_range_cyclic(
+            population,
+            alive,
+            home_lo,
+            home_hi,
+            from,
+            Some(node),
+        ) {
+            Some(witness) => witnesses.push(witness),
+            None => {
+                let (own_lo, own_hi) = bucket_range(node, bucket);
+                crate::live::for_each_alive_in_range(population, alive, own_lo, own_hi, |owner| {
+                    direct.push(owner);
+                });
+            }
+        }
+    }
+}
+
 impl GeometryStrategy for KademliaStrategy {
     fn geometry_name(&self) -> &'static str {
         "xor"
@@ -109,6 +184,36 @@ impl GeometryStrategy for KademliaStrategy {
         // Hop key: the contact's value at its bucket position; the bucket of
         // the highest differing bit is provably the XOR minimum when alive.
         Some(crate::kernel::KernelRule::PrefixXor)
+    }
+
+    fn supports_live(&self) -> bool {
+        true
+    }
+
+    fn live_table_width(&self, population: &Population) -> usize {
+        population.space().bits() as usize
+    }
+
+    fn build_live_table(
+        &self,
+        population: &Population,
+        node: NodeId,
+        node_seed: u64,
+        alive: &FailureMask,
+        table: &mut Vec<NodeId>,
+    ) {
+        build_live_prefix_table(population, node, node_seed, alive, table);
+    }
+
+    fn live_repair_candidates(
+        &self,
+        population: &Population,
+        node: NodeId,
+        alive: &FailureMask,
+        witnesses: &mut Vec<NodeId>,
+        direct: &mut Vec<NodeId>,
+    ) {
+        live_prefix_repair_candidates(population, node, alive, witnesses, direct);
     }
 }
 

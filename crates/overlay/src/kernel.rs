@@ -179,7 +179,7 @@ pub struct RoutingKernel {
 /// probe share a cache line. Both fields fit `u32` because executable
 /// identifier spaces are capped at [`crate::traits::MAX_OVERLAY_BITS`] bits:
 /// the whole entry is 8 bytes, half the scalar arena's `NodeId`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PlanEntry {
     /// The hop key (meaning depends on the [`KernelRule`]).
     key: u32,
@@ -305,6 +305,144 @@ impl RoutingKernel {
             entries,
             values,
         }
+    }
+
+    /// Lowers a live overlay's fixed-width arena into a *repairable* plan.
+    ///
+    /// Unlike [`RoutingKernel::compile`], every plan row keeps exactly the
+    /// arena row's width: ring rows retain duplicate and zero-advance (self)
+    /// entries in descending-advance order (the dispatch guard in `ring_hop`
+    /// stops at the zero tail), and hypercube self placeholders lower to
+    /// inert [`NO_ENTRY`] slots. Fixed-width rows are what let
+    /// [`RoutingKernel::relower_rank`] repatch a single row in place after a
+    /// live repair instead of recompiling the whole plan.
+    #[must_use]
+    pub(crate) fn compile_live(
+        rule: KernelRule,
+        population: &Arc<Population>,
+        arena: &RoutingArena,
+    ) -> Self {
+        let space = population.space();
+        let bits = space.bits();
+        let full = population.is_full();
+        let node_count = usize::try_from(population.node_count()).expect("overlay sizes fit usize");
+        debug_assert_eq!(arena.node_count(), node_count);
+
+        let values: Vec<u32> = if full {
+            Vec::new()
+        } else {
+            population
+                .iter_nodes()
+                .map(|node| node.value() as u32)
+                .collect()
+        };
+        let rank_of = |node: NodeId| -> u32 {
+            population
+                .rank_of_value(node.value())
+                .expect("routing tables only reference occupied identifiers") as u32
+        };
+
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut entries: Vec<PlanEntry> = Vec::with_capacity(arena.entry_count() as usize);
+        offsets.push(0u32);
+        for (rank, node) in population.iter_nodes().enumerate() {
+            lower_live_row(
+                rule,
+                space,
+                node,
+                arena.neighbors(rank),
+                &rank_of,
+                &mut entries,
+            );
+            let end =
+                u32::try_from(entries.len()).expect("kernel plans hold at most u32::MAX entries");
+            offsets.push(end);
+        }
+
+        let stride = uniform_stride(&offsets);
+        RoutingKernel {
+            rule,
+            space,
+            bits,
+            full,
+            population: Arc::clone(population),
+            offsets,
+            stride,
+            entries,
+            values,
+        }
+    }
+
+    /// Repatches the plan row of `rank` in place from the node's rewritten
+    /// live table — the kernel half of a live repair (dirty-rank
+    /// invalidation): only the repaired row is re-lowered, every other row
+    /// and the CSR layout stay untouched.
+    ///
+    /// Only valid on plans produced by [`RoutingKernel::compile_live`], whose
+    /// rows are fixed-width by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lowered row width differs from the stored row (a
+    /// violation of the live fixed-width contract).
+    pub(crate) fn relower_rank(&mut self, rank: usize, node: NodeId, table: &[NodeId]) {
+        let (start, end) = self.bounds(rank as u32);
+        let population = Arc::clone(&self.population);
+        let rank_of = |n: NodeId| -> u32 {
+            population
+                .rank_of_value(n.value())
+                .expect("routing tables only reference occupied identifiers") as u32
+        };
+        let mut row: Vec<PlanEntry> = Vec::with_capacity(end - start);
+        lower_live_row(self.rule, self.space, node, table, &rank_of, &mut row);
+        assert_eq!(
+            row.len(),
+            end - start,
+            "live repairs preserve the row width"
+        );
+        self.entries[start..end].copy_from_slice(&row);
+    }
+
+    /// `true` when `other` encodes entry-for-entry the same routing plan:
+    /// same rule, key space, CSR layout and packed hop keys/ranks.
+    ///
+    /// This is the kernel-level equality the incremental-equivalence property
+    /// suite asserts between a delta-repaired plan and a from-scratch
+    /// live compile over the same state.
+    #[must_use]
+    pub fn plan_eq(&self, other: &RoutingKernel) -> bool {
+        self.rule == other.rule
+            && self.space == other.space
+            && self.bits == other.bits
+            && self.full == other.full
+            && self.offsets == other.offsets
+            && self.stride == other.stride
+            && self.entries == other.entries
+            && self.values == other.values
+    }
+
+    /// A 64-bit digest of the full plan (rule, layout, every packed entry),
+    /// folded with SplitMix64. Plans that satisfy [`RoutingKernel::plan_eq`]
+    /// digest identically; the live-churn engine folds this into its
+    /// final-state hashes so thread-count determinism covers the compiled
+    /// plans, not just the tallies.
+    #[must_use]
+    pub fn plan_digest(&self) -> u64 {
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |value: u64| digest = crate::live::splitmix64(digest ^ value);
+        fold(self.rule as u64);
+        fold(u64::from(self.bits));
+        fold(u64::from(self.full));
+        for &offset in &self.offsets {
+            fold(u64::from(offset));
+        }
+        for entry in &self.entries {
+            fold(u64::from(entry.key) << 32 | u64::from(entry.target));
+        }
+        for &value in &self.values {
+            fold(u64::from(value));
+        }
+        digest
     }
 
     /// The dispatch rule this kernel was compiled with.
@@ -440,11 +578,40 @@ impl RoutingKernel {
         target: u64,
         hop_limit: u32,
     ) -> RouteOutcome {
-        debug_assert!(source <= self.space.max_value(), "source outside the space");
-        debug_assert!(target <= self.space.max_value(), "target outside the space");
         // The mask representation is resolved to its bitset once per route;
         // every probe below is a bare shift-and-mask on the slice.
-        let words = mask.words();
+        self.route_on_words(mask.words(), source, target, hop_limit)
+    }
+
+    /// [`RoutingKernel::route_values`] over a caller-held rank-indexed alive
+    /// bitset, bypassing [`KernelMask`] entirely.
+    ///
+    /// The live-churn engine maintains its rank words incrementally (one bit
+    /// flip per join/leave), so per-lookup routing never recompiles a mask.
+    /// `alive_words` must have bit `r` set iff the rank-`r` occupied node is
+    /// alive, with `node_count.div_ceil(64)` words — exactly the layout of
+    /// [`KernelMask::Compressed`] and of a full population's
+    /// [`FailureMask::words`].
+    #[must_use]
+    pub fn route_ranked(
+        &self,
+        alive_words: &[u64],
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        self.route_on_words(alive_words, source, target, hop_limit)
+    }
+
+    fn route_on_words(
+        &self,
+        words: &[u64],
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        debug_assert!(source <= self.space.max_value(), "source outside the space");
+        debug_assert!(target <= self.space.max_value(), "target outside the space");
         // Mirrors the scalar driver exactly: source first, then target, then
         // the greedy loop.
         let Some(source_rank) = self.alive_rank_of(words, source) else {
@@ -561,6 +728,14 @@ impl RoutingKernel {
     fn ring_hop(&self, words: &[u64], rank: u32, remaining: u64) -> Option<(u64, u32)> {
         let (start, end) = self.bounds(rank);
         for entry in &self.entries[start..end] {
+            // Live plans keep zero-advance self entries at the row tail
+            // (fixed-width rows, sorted descending); a zero advance never
+            // makes greedy progress, so reaching the tail means the hop
+            // fails. Static plans drop zero advances at compile time, so the
+            // guard is inert there.
+            if entry.key == 0 {
+                return None;
+            }
             let advance = u64::from(entry.key);
             if advance <= remaining && alive_bit(words, entry.target) {
                 return Some((advance, entry.target));
@@ -759,6 +934,73 @@ impl RoutingKernel {
             }
         }
         RouteOutcome::Delivered { hops }
+    }
+}
+
+/// Lowers one fixed-width live table row into plan entries.
+///
+/// The live lowering differs from the static one in exactly one way: the row
+/// width is preserved. Ring rows keep duplicate advances and zero-advance
+/// self entries (sorted descending so real advances come first and the
+/// `ring_hop` zero guard stops at the tail); prefix and hypercube rows are
+/// positional and already fixed-width, with self placeholders lowered to
+/// [`NO_ENTRY`]. Shared by [`RoutingKernel::compile_live`] (all rows) and
+/// [`RoutingKernel::relower_rank`] (one row).
+fn lower_live_row(
+    rule: KernelRule,
+    space: KeySpace,
+    node: NodeId,
+    table: &[NodeId],
+    rank_of: &impl Fn(NodeId) -> u32,
+    entries: &mut Vec<PlanEntry>,
+) {
+    match rule {
+        KernelRule::RingAdvance => {
+            let mut row: Vec<(u32, u32)> = table
+                .iter()
+                .map(|&entry| {
+                    let advance = ring_distance_raw(node.value(), entry.value(), space);
+                    (advance as u32, rank_of(entry))
+                })
+                .collect();
+            row.sort_unstable();
+            entries.extend(row.iter().rev().map(|&(advance, target)| PlanEntry {
+                key: advance,
+                target,
+            }));
+        }
+        KernelRule::PrefixXor | KernelRule::PrefixTree => {
+            for &entry in table {
+                if entry == node {
+                    entries.push(PlanEntry {
+                        key: 0,
+                        target: NO_ENTRY,
+                    });
+                } else {
+                    entries.push(PlanEntry {
+                        key: entry.value() as u32,
+                        target: rank_of(entry),
+                    });
+                }
+            }
+        }
+        KernelRule::HypercubeBit => {
+            for &entry in table {
+                if entry == node {
+                    entries.push(PlanEntry {
+                        key: 0,
+                        target: NO_ENTRY,
+                    });
+                } else {
+                    let weight = node.value() ^ entry.value();
+                    debug_assert_eq!(weight.count_ones(), 1, "hypercube links flip one bit");
+                    entries.push(PlanEntry {
+                        key: weight as u32,
+                        target: rank_of(entry),
+                    });
+                }
+            }
+        }
     }
 }
 

@@ -34,6 +34,17 @@
 //! kernel compiles lazily on first [`Overlay::kernel`] call; `dht_sim`'s
 //! trial engine routes through it automatically.
 //!
+//! Beyond the frozen snapshots, [`LiveOverlay`] (see [`live`]) runs the same
+//! five geometries under *live churn*: nodes of a fixed universe depart and
+//! return while lookups run, and each event delta-patches the arena, the
+//! reverse edge index and the compiled kernel plan in place (dirty-rank
+//! invalidation) instead of rebuilding. Every geometry's repair protocol is
+//! expressed through the [`GeometryStrategy`] live hooks, and the maintained
+//! state is provably identical to a from-scratch rebuild at the current
+//! liveness — the `incremental_equivalence` property suite asserts it entry
+//! for entry. `dht_sim::events` drives these overlays from its discrete-event
+//! scheduler.
+//!
 //! # Example
 //!
 //! ```rust
@@ -68,6 +79,7 @@ pub mod failure;
 pub mod generic;
 pub mod kademlia;
 pub mod kernel;
+pub mod live;
 pub mod plaxton;
 pub mod router;
 pub mod symphony;
@@ -80,6 +92,7 @@ pub use failure::{select_in_word, FailureMask};
 pub use generic::{GeometryOverlay, GeometryStrategy};
 pub use kademlia::KademliaOverlay;
 pub use kernel::{KernelMask, KernelRule, RoutingKernel};
+pub use live::LiveOverlay;
 pub use plaxton::PlaxtonOverlay;
 pub use router::{
     default_route_hop_limit, route, route_prevalidated, route_with_limit, RouteOutcome,

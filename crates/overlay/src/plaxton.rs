@@ -57,6 +57,38 @@ impl GeometryStrategy for PlaxtonStrategy {
         // leading-zero-dispatched probe, no fallback.
         Some(crate::kernel::KernelRule::PrefixTree)
     }
+
+    fn supports_live(&self) -> bool {
+        true
+    }
+
+    fn live_table_width(&self, population: &Population) -> usize {
+        population.space().bits() as usize
+    }
+
+    fn build_live_table(
+        &self,
+        population: &Population,
+        node: NodeId,
+        node_seed: u64,
+        alive: &FailureMask,
+        table: &mut Vec<NodeId>,
+    ) {
+        // Same live family as the XOR geometry — the tables are structurally
+        // identical, only the forwarding rule differs.
+        crate::kademlia::build_live_prefix_table(population, node, node_seed, alive, table);
+    }
+
+    fn live_repair_candidates(
+        &self,
+        population: &Population,
+        node: NodeId,
+        alive: &FailureMask,
+        witnesses: &mut Vec<NodeId>,
+        direct: &mut Vec<NodeId>,
+    ) {
+        crate::kademlia::live_prefix_repair_candidates(population, node, alive, witnesses, direct);
+    }
 }
 
 /// A prefix-routing (tree) overlay in the style of Plaxton, Tapestry and

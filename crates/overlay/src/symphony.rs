@@ -92,6 +92,68 @@ impl GeometryStrategy for SymphonyStrategy {
         // merges them into one advance-sorted plan per node.
         Some(crate::kernel::KernelRule::RingAdvance)
     }
+
+    fn supports_live(&self) -> bool {
+        true
+    }
+
+    fn live_table_width(&self, _population: &Population) -> usize {
+        (self.near_neighbors + self.shortcuts) as usize
+    }
+
+    fn build_live_table(
+        &self,
+        population: &Population,
+        node: NodeId,
+        node_seed: u64,
+        alive: &FailureMask,
+        table: &mut Vec<NodeId>,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(node_seed);
+        // The near list is the chain of alive successors: each link starts
+        // from the previous one, which is how deployed Symphony maintains its
+        // successor list under churn. The chain may wrap back to the node
+        // itself when few nodes are alive; such self entries are inert.
+        let mut current = node.value();
+        for _ in 0..self.near_neighbors {
+            let next = crate::live::alive_successor(population, alive, current.wrapping_add(1));
+            table.push(next);
+            current = next.value();
+        }
+        // Shortcut distances are drawn before any alive resolution
+        // (membership-independent draws, the live-family purity contract) and
+        // land on the first alive node clockwise of the landing point.
+        let node_count = population.node_count();
+        let id_population = population.space().population();
+        for _ in 0..self.shortcuts {
+            let distance = harmonic_distance(node_count, id_population, &mut rng);
+            table.push(crate::live::alive_successor(
+                population,
+                alive,
+                node.value().wrapping_add(distance),
+            ));
+        }
+    }
+
+    fn live_repair_candidates(
+        &self,
+        population: &Population,
+        node: NodeId,
+        alive: &FailureMask,
+        witnesses: &mut Vec<NodeId>,
+        _direct: &mut Vec<NodeId>,
+    ) {
+        // Both the successor chain and the shortcuts resolve through
+        // `alive_successor`; the first entry of any table that the join
+        // changes was previously the joiner's own alive successor (the chain
+        // argument: the first changed link's input point is unchanged, so its
+        // old value is that successor).
+        let witness = crate::live::alive_successor(population, alive, node.value().wrapping_add(1));
+        if witness != node {
+            witnesses.push(witness);
+        }
+    }
 }
 
 /// A one-dimensional small-world overlay in the style of Symphony.

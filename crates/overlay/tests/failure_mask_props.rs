@@ -62,10 +62,28 @@ impl Model {
     }
 
     fn fail_node(&mut self, node: NodeId) {
+        let _ = self.kill(node);
+    }
+
+    fn kill(&mut self, node: NodeId) -> bool {
         let slot = &mut self.failed[node.value() as usize];
         if !*slot {
             *slot = true;
             self.failed_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn set_alive(&mut self, node: NodeId) -> bool {
+        let slot = &mut self.failed[node.value() as usize];
+        if *slot {
+            *slot = false;
+            self.failed_count -= 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -179,6 +197,38 @@ proptest! {
             let node = space.random_id(&mut rng);
             model.fail_node(node);
             mask.fail_node(node);
+        }
+        assert_equivalent(&model, &mask)?;
+    }
+
+    #[test]
+    fn kill_and_set_alive_sequences_match_the_seed_semantics(
+        bits in 2u32..9,
+        seed in 0u64..1 << 20,
+        flips in 1usize..128,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = Population::sample_uniform(
+            space,
+            (space.population() / 2).max(2),
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        )
+        .unwrap();
+        let mut model = Model::none_over(&population);
+        let mut mask = FailureMask::none_over(&population);
+        // Random churn over *occupied* identifiers (the `set_alive` caller
+        // contract): kills and revivals interleave, repeats included, and
+        // both representations must report the same flip outcome while the
+        // popcount rank/select invariants keep holding.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD1CE);
+        for _ in 0..flips {
+            let rank = rng.gen_range(0..population.node_count());
+            let node = population.node_at(rank);
+            if rng.gen_bool(0.5) {
+                prop_assert_eq!(model.kill(node), mask.kill(node));
+            } else {
+                prop_assert_eq!(model.set_alive(node), mask.set_alive(node));
+            }
         }
         assert_equivalent(&model, &mask)?;
     }

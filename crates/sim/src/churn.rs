@@ -1,12 +1,19 @@
-//! A simple churn extension of the static model.
+//! **Snapshot churn**: a round-based churn extension of the static model.
 //!
 //! The paper analyses a *static* failure pattern and notes that the
 //! applicability of the results to dynamic conditions (churn) "is currently
-//! under study" (§1). This module provides the natural simulation-side
-//! extension: nodes toggle between alive and failed over a sequence of
-//! rounds while routing tables stay frozen, and routability is measured per
-//! round. It is exercised by the `churn_timeline` example and by tests; no
-//! figure of the paper depends on it.
+//! under study" (§1). This module provides the simplest simulation-side
+//! extension: nodes toggle between alive and failed between discrete
+//! rounds, routing tables stay frozen at the initial build, and routability
+//! is measured on the *static snapshot* each round leaves behind — time
+//! does not pass while messages route, and nothing is ever repaired. It is
+//! exercised by the `churn_timeline` example and by tests; no figure of the
+//! paper depends on it.
+//!
+//! For churn as a *process* — continuous-time node sessions, concurrent
+//! lookup traffic, and (optionally) incremental table repair after every
+//! departure and return — see [`crate::events`], whose frozen-table mode
+//! reduces to the same static model this module samples round by round.
 
 use crate::config::SimError;
 use crate::engine::TrialEngine;
@@ -114,7 +121,14 @@ pub struct ChurnRound {
     pub pairs_attempted: u64,
 }
 
-/// Runs a churn simulation on an overlay with frozen routing tables.
+/// Runs a **snapshot-churn** simulation: the liveness mask evolves between
+/// discrete rounds while the overlay's routing tables stay frozen at the
+/// initial build, and each round is measured as a static snapshot.
+///
+/// This is the paper's static model sampled along a Markov liveness
+/// trajectory — not live churn. For continuous-time sessions with
+/// concurrent traffic and incremental repair, use
+/// [`crate::events::LiveChurnExperiment`].
 #[derive(Debug, Clone)]
 pub struct ChurnExperiment {
     config: ChurnConfig,

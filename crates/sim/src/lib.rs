@@ -42,6 +42,7 @@
 pub mod churn;
 pub mod config;
 pub mod engine;
+pub mod events;
 pub mod pair_sampler;
 pub mod report;
 pub mod rng;
@@ -52,6 +53,9 @@ pub mod targeted;
 pub use churn::{ChurnConfig, ChurnExperiment, ChurnRound};
 pub use config::{SimError, StaticResilienceConfig};
 pub use engine::{TrialEngine, TrialTally, DEFAULT_PAIRS_PER_SHARD};
+pub use events::{
+    CalendarQueue, LifetimeDistribution, LiveChurnConfig, LiveChurnExperiment, LiveChurnTally,
+};
 pub use pair_sampler::PairSampler;
 pub use report::{write_csv, SimulationRecord};
 pub use rng::SeedSequence;

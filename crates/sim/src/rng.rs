@@ -55,7 +55,7 @@ impl SeedSequence {
 }
 
 /// SplitMix64 finaliser — a well-mixed 64-bit permutation.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

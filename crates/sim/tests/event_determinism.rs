@@ -1,0 +1,116 @@
+//! Determinism contract of the live-churn discrete-event engine: for a
+//! fixed configuration the merged [`LiveChurnTally`] — counters, hop
+//! statistics, dead-time integral and the folded overlay state digests —
+//! must be **bit-identical** across thread counts 1, 2 and 8 and across
+//! repeated same-seed runs, in both frozen and repair mode and for every
+//! geometry with a live family. Distinct seeds must diverge, otherwise the
+//! digest is vacuous.
+
+use dht_id::{KeySpace, Population};
+use dht_overlay::can::CanStrategy;
+use dht_overlay::chord::ChordStrategy;
+use dht_overlay::kademlia::KademliaStrategy;
+use dht_overlay::plaxton::PlaxtonStrategy;
+use dht_overlay::symphony::SymphonyStrategy;
+use dht_overlay::{ChordVariant, GeometryStrategy, LiveOverlay};
+use dht_sim::{LifetimeDistribution, LiveChurnConfig, LiveChurnExperiment, LiveChurnTally};
+
+/// A small but non-trivial run: several replicas so the thread pool has
+/// real work to shard, enough traffic that any divergence has somewhere to
+/// show up.
+fn config(seed: u64, repair: bool) -> LiveChurnConfig {
+    LiveChurnConfig::new(
+        LifetimeDistribution::exponential(2.0).unwrap(),
+        LifetimeDistribution::pareto(2.5, 0.3).unwrap(),
+        10.0,
+        60.0,
+    )
+    .unwrap()
+    .with_warmup(3.0)
+    .with_repair(repair)
+    .with_replicas(6)
+    .with_seed(seed)
+}
+
+fn run<S: GeometryStrategy + Clone>(
+    config: LiveChurnConfig,
+    threads: usize,
+    strategy: S,
+) -> LiveChurnTally {
+    let space = KeySpace::new(6).unwrap();
+    LiveChurnExperiment::new(config.with_threads(threads)).run(move |master_seed| {
+        LiveOverlay::build(Population::full(space), strategy.clone(), master_seed)
+            .expect("geometry supports live churn")
+    })
+}
+
+fn assert_thread_invariance<S: GeometryStrategy + Clone>(strategy: S, repair: bool) {
+    let reference = run(config(41, repair), 1, strategy.clone());
+    assert!(reference.events > 0 && reference.attempted > 0);
+    for threads in [2, 8] {
+        let tally = run(config(41, repair), threads, strategy.clone());
+        assert_eq!(
+            reference,
+            tally,
+            "{} tally diverged at {} threads (repair = {})",
+            strategy.geometry_name(),
+            threads,
+            repair
+        );
+    }
+}
+
+#[test]
+fn ring_tallies_are_thread_count_invariant() {
+    assert_thread_invariance(ChordStrategy::new(ChordVariant::Randomized), true);
+    assert_thread_invariance(ChordStrategy::new(ChordVariant::Deterministic), false);
+}
+
+#[test]
+fn symphony_tallies_are_thread_count_invariant() {
+    assert_thread_invariance(SymphonyStrategy::new(2, 2), true);
+}
+
+#[test]
+fn xor_tallies_are_thread_count_invariant() {
+    assert_thread_invariance(KademliaStrategy, true);
+    assert_thread_invariance(KademliaStrategy, false);
+}
+
+#[test]
+fn tree_tallies_are_thread_count_invariant() {
+    assert_thread_invariance(PlaxtonStrategy, true);
+}
+
+#[test]
+fn hypercube_tallies_are_thread_count_invariant() {
+    assert_thread_invariance(CanStrategy, true);
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    for repair in [false, true] {
+        let first = run(config(7, repair), 3, KademliaStrategy);
+        let second = run(config(7, repair), 3, KademliaStrategy);
+        assert_eq!(first, second, "same-seed runs diverged (repair = {repair})");
+    }
+}
+
+#[test]
+fn distinct_seeds_diverge() {
+    let a = run(
+        config(1, true),
+        2,
+        ChordStrategy::new(ChordVariant::Randomized),
+    );
+    let b = run(
+        config(2, true),
+        2,
+        ChordStrategy::new(ChordVariant::Randomized),
+    );
+    assert_ne!(
+        a.state_digest, b.state_digest,
+        "distinct seeds must produce distinct end states"
+    );
+    assert_ne!(a, b);
+}

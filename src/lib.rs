@@ -12,7 +12,8 @@
 //! * [`overlay`] (`dht-overlay`) — executable overlays of the same five
 //!   geometries with static-resilience routing.
 //! * [`sim`] (`dht-sim`) — the measurement harness (failure patterns, pair
-//!   sampling, sweeps, churn).
+//!   sampling, sweeps, snapshot churn, and the live-churn discrete-event
+//!   simulator).
 //! * [`markov`] (`dht-markov`) — the routing Markov chains the closed forms
 //!   are derived from.
 //! * [`percolation`] (`dht-percolation`) — connectivity and percolation
@@ -64,14 +65,15 @@ pub mod prelude {
     pub use dht_id::{KeySpace, NodeId, Population};
     pub use dht_overlay::{
         route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, GeometryOverlay,
-        KademliaOverlay, Overlay, PlaxtonOverlay, RouteOutcome, RoutingArena, RoutingKernel,
-        SymphonyOverlay,
+        KademliaOverlay, LiveOverlay, Overlay, PlaxtonOverlay, RouteOutcome, RoutingArena,
+        RoutingKernel, SymphonyOverlay,
     };
     pub use dht_percolation::{connected_components, percolation_threshold, reachable_component};
     pub use dht_rcm_core::prelude::*;
     pub use dht_sim::{
-        sweep_failure_grid, ChurnConfig, ChurnExperiment, StaticResilienceConfig,
-        StaticResilienceExperiment, TrialEngine, TrialTally,
+        sweep_failure_grid, ChurnConfig, ChurnExperiment, LifetimeDistribution, LiveChurnConfig,
+        LiveChurnExperiment, LiveChurnTally, StaticResilienceConfig, StaticResilienceExperiment,
+        TrialEngine, TrialTally,
     };
 }
 

@@ -11,16 +11,27 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A configuration running `cases` cases.
+    /// A configuration running `cases` cases — unless the `PROPTEST_CASES`
+    /// environment variable is set to a valid count, which overrides the
+    /// requested number. CI raises the variable to run every property suite
+    /// harder without each suite re-implementing the plumbing; local runs
+    /// keep the fast in-code defaults.
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
+}
+
+/// The `PROPTEST_CASES` override, if set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig::with_cases(256)
     }
 }
 
