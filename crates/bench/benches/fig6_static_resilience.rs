@@ -1,15 +1,18 @@
 //! Benchmarks of the Fig. 6 reproduction pipeline: overlay construction and
 //! static-resilience measurement for the four simulated geometries
 //! (experiments E3/E4). Also contributes trial-engine measurement
-//! throughput (ns per routed pair through `StaticResilienceExperiment`) to
-//! the machine-readable `BENCH_routing.json`; see [`dht_bench::perf`].
+//! throughput (ns per routed pair through `StaticResilienceExperiment`, now
+//! routed through the lockstep batch internally) and raw `batch_routing`
+//! entries at this bench's `2^12` size to the machine-readable
+//! `BENCH_routing.json`; see [`dht_bench::perf`].
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dht_bench::perf;
 use dht_overlay::{
-    CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay, Overlay, PlaxtonOverlay,
+    default_route_hop_limit, CanOverlay, ChordOverlay, ChordVariant, FailureMask, KademliaOverlay,
+    Overlay, PlaxtonOverlay, RouteBatch,
 };
-use dht_sim::{StaticResilienceConfig, StaticResilienceExperiment};
+use dht_sim::{PairSampler, StaticResilienceConfig, StaticResilienceExperiment};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -136,9 +139,58 @@ fn perf_trajectory() {
             entry.routes_per_sec
         );
         entries.push(entry);
+        entries.push(measure_batch_point(name, overlay.as_ref(), smoke));
     }
     perf::merge_into_output(entries.clone()).expect("BENCH_routing.json is writable");
     perf::enforce_baseline(&entries);
+}
+
+/// Contributes the lockstep-batch counterpart at this bench's size: the
+/// same `q = 0.3` regime, a frozen mask and pre-drawn alive pairs, the
+/// whole slice routed through [`RouteBatch`] per timed invocation. The
+/// entry isolates raw batched routing from the engine's sampling and
+/// tallying overhead the `fig6_static_resilience` entries include.
+fn measure_batch_point(name: &str, overlay: &dyn Overlay, smoke: bool) -> perf::RoutingBenchEntry {
+    let q = 0.3;
+    let mask = FailureMask::sample(
+        overlay.key_space(),
+        q,
+        &mut ChaCha8Rng::seed_from_u64(0x6D61_736B ^ u64::from(BITS)),
+    );
+    let sampler = PairSampler::new(&mask).expect("enough survivors at 2^12");
+    let mut pair_rng = ChaCha8Rng::seed_from_u64(0x7061_6972 ^ u64::from(BITS));
+    let mut pairs = Vec::new();
+    sampler.sample_values_into(2_048, &mut pair_rng, &mut pairs);
+
+    let kernel = overlay.kernel().expect("simulated geometries compile");
+    let lowered = kernel.compile_mask(&mask);
+    let words = lowered.words();
+    let hop_limit = default_route_hop_limit(overlay);
+    let mut batch = RouteBatch::default();
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    let samples = if smoke { 3 } else { 5 };
+    let batches_per_sample = if smoke { 32 } else { 128 };
+    let median_per_batch = perf::measure_median_ns(batches_per_sample, samples, || {
+        kernel.route_batch(&mut batch, words, &pairs, hop_limit, &mut outcomes);
+        black_box(&outcomes);
+    });
+    let median = median_per_batch / pairs.len() as f64;
+    let entry = perf::entry(
+        "batch_routing",
+        name,
+        BITS,
+        q,
+        median,
+        batches_per_sample * pairs.len() as u64,
+        samples,
+    );
+    println!(
+        "{:<40} {:>12.1} ns/route {:>14.0} routes/sec",
+        entry.key(),
+        entry.median_ns_per_route,
+        entry.routes_per_sec
+    );
+    entry
 }
 
 fn main() {

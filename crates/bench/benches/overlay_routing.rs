@@ -1,11 +1,12 @@
 //! Micro-benchmarks of single-message greedy routing on each overlay, with
 //! and without failures — the inner loop of every simulated figure — plus
 //! the machine-readable perf trajectory: per-geometry median ns/route and
-//! routes/sec at `2^16` and `2^20` for **both** the scalar path
-//! (`overlay_routing` entries) and the compiled rank-space kernel
-//! (`kernel_routing` entries, which also record median ns/hop), written to
-//! `BENCH_routing.json` and (when `BENCH_BASELINE` is set) enforced against
-//! a committed baseline.
+//! routes/sec at `2^16` and `2^20` for the scalar path (`overlay_routing`
+//! entries), the compiled rank-space kernel routed one message at a time
+//! (`kernel_routing` entries, which also record median ns/hop), and the
+//! lockstep batched router driving the whole pair workload per invocation
+//! (`batch_routing` entries), written to `BENCH_routing.json` and (when
+//! `BENCH_BASELINE` is set) enforced against a committed baseline.
 //!
 //! Environment: `BENCH_SMOKE=1` shrinks the measurement budget,
 //! `BENCH_OUTPUT`/`BENCH_BASELINE`/`BENCH_TOLERANCE` control the report —
@@ -15,7 +16,7 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use dht_bench::perf;
 use dht_overlay::{
     default_route_hop_limit, route, CanOverlay, ChordOverlay, ChordVariant, FailureMask,
-    KademliaOverlay, Overlay, PlaxtonOverlay, RouteOutcome, SymphonyOverlay,
+    KademliaOverlay, Overlay, PlaxtonOverlay, RouteBatch, RouteOutcome, SymphonyOverlay,
 };
 use dht_sim::PairSampler;
 use rand::{Rng, SeedableRng};
@@ -163,29 +164,18 @@ fn measure_kernel_point(
     let (mask, pairs) = trajectory_workload(overlay, q);
     let kernel = overlay.kernel().expect("all five geometries compile");
     let lowered = kernel.compile_mask(&mask);
+    // Resolve the alive words once — the timed loop is pure routing, with no
+    // per-route mask-representation match, exactly how the trial engine
+    // drives the kernel per shard.
+    let words = lowered.words();
     let hop_limit = default_route_hop_limit(overlay);
-
-    // Mean executed hops over the pair set (drops included at the hops they
-    // travelled): the divisor that turns ns/route into ns/hop.
-    let total_hops: u64 = pairs
-        .iter()
-        .map(
-            |&(source, target)| match kernel.route_values(&lowered, source, target, hop_limit) {
-                RouteOutcome::Delivered { hops } | RouteOutcome::Dropped { hops, .. } => {
-                    u64::from(hops)
-                }
-                RouteOutcome::HopLimitExceeded { limit } => u64::from(limit),
-                RouteOutcome::SourceFailed | RouteOutcome::TargetFailed => 0,
-            },
-        )
-        .sum();
-    let mean_hops = (total_hops as f64 / pairs.len() as f64).max(1e-9);
+    let mean_hops = mean_executed_hops(kernel, words, &pairs, hop_limit);
 
     let mut cursor = 0usize;
     let route_one = || {
         let (source, target) = pairs[cursor];
         cursor = (cursor + 1) % pairs.len();
-        black_box(kernel.route_values(&lowered, source, target, hop_limit));
+        black_box(kernel.route_ranked(words, source, target, hop_limit));
     };
     let (median, routes_per_sample, samples) = calibrated_median(smoke, route_one);
     let entry = perf::entry(
@@ -195,6 +185,78 @@ fn measure_kernel_point(
         q,
         median,
         routes_per_sample,
+        samples,
+    )
+    .with_ns_per_hop(median / mean_hops);
+    println!(
+        "{:<40} {:>12.1} ns/route {:>10.1} ns/hop {:>14.0} routes/sec",
+        entry.key(),
+        entry.median_ns_per_route,
+        entry.median_ns_per_hop.unwrap_or(0.0),
+        entry.routes_per_sec
+    );
+    entry
+}
+
+/// Mean executed hops over the pair set (drops included at the hops they
+/// travelled): the divisor that turns ns/route into ns/hop.
+fn mean_executed_hops(
+    kernel: &dht_overlay::RoutingKernel,
+    words: &[u64],
+    pairs: &[(u64, u64)],
+    hop_limit: u32,
+) -> f64 {
+    let total_hops: u64 = pairs
+        .iter()
+        .map(
+            |&(source, target)| match kernel.route_ranked(words, source, target, hop_limit) {
+                RouteOutcome::Delivered { hops } | RouteOutcome::Dropped { hops, .. } => {
+                    u64::from(hops)
+                }
+                RouteOutcome::HopLimitExceeded { limit } => u64::from(limit),
+                RouteOutcome::SourceFailed | RouteOutcome::TargetFailed => 0,
+            },
+        )
+        .sum();
+    (total_hops as f64 / pairs.len().max(1) as f64).max(1e-9)
+}
+
+/// Measures one `(geometry, bits, q)` point of the lockstep batch
+/// trajectory: the same mask and pair workload as [`measure_point`] and
+/// [`measure_kernel_point`], but each timed invocation drives the *entire*
+/// pair slice through [`RoutingKernel::route_batch`] — software-prefetched
+/// plan rows, word-parallel aliveness, retire-and-refill compaction — and
+/// the median is the per-invocation median divided by the slice length.
+///
+/// [`RoutingKernel::route_batch`]: dht_overlay::RoutingKernel::route_batch
+fn measure_batch_point(
+    name: &str,
+    overlay: &dyn Overlay,
+    q: f64,
+    smoke: bool,
+) -> perf::RoutingBenchEntry {
+    let (mask, pairs) = trajectory_workload(overlay, q);
+    let kernel = overlay.kernel().expect("all five geometries compile");
+    let lowered = kernel.compile_mask(&mask);
+    let words = lowered.words();
+    let hop_limit = default_route_hop_limit(overlay);
+    let mean_hops = mean_executed_hops(kernel, words, &pairs, hop_limit);
+
+    let mut batch = RouteBatch::default();
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    let route_all = || {
+        kernel.route_batch(&mut batch, words, &pairs, hop_limit, &mut outcomes);
+        black_box(&outcomes);
+    };
+    let (median_per_batch, batches_per_sample, samples) = calibrated_median(smoke, route_all);
+    let median = median_per_batch / pairs.len() as f64;
+    let entry = perf::entry(
+        "batch_routing",
+        name,
+        overlay.key_space().bits(),
+        q,
+        median,
+        batches_per_sample * pairs.len() as u64,
         samples,
     )
     .with_ns_per_hop(median / mean_hops);
@@ -220,6 +282,7 @@ fn perf_trajectory() {
             for q in [0.0, 0.3] {
                 entries.push(measure_point(name, overlay.as_ref(), q, smoke));
                 entries.push(measure_kernel_point(name, overlay.as_ref(), q, smoke));
+                entries.push(measure_batch_point(name, overlay.as_ref(), q, smoke));
             }
         }
     }

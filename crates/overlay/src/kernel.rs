@@ -56,11 +56,15 @@
 //! # Ok::<(), dht_overlay::OverlayError>(())
 //! ```
 
+pub mod batch;
+
 use crate::arena::RoutingArena;
 use crate::failure::FailureMask;
 use crate::router::RouteOutcome;
 use dht_id::{KeySpace, NodeId, Population};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+pub use batch::{RouteBatch, DEFAULT_BATCH_WIDTH};
 
 /// Sentinel rank for an absent entry (the sparse self-placeholder of an empty
 /// bucket or tree level).
@@ -109,8 +113,11 @@ pub enum KernelMask<'mask> {
     /// the mask's own bitset is already rank-indexed and is borrowed as-is.
     Full(&'mask FailureMask),
     /// Sparse population: a rank-compressed copy of the alive bits (bit `r`
-    /// set iff the rank-`r` occupied node survived).
-    Compressed(Vec<u64>),
+    /// set iff the rank-`r` occupied node survived), shared with the
+    /// kernel's per-generation lowering cache so repeated
+    /// [`RoutingKernel::compile_mask`] calls over an unmutated mask reuse
+    /// one lowering.
+    Compressed(Arc<Vec<u64>>),
 }
 
 impl KernelMask<'_> {
@@ -131,8 +138,13 @@ impl KernelMask<'_> {
 
     /// The rank-indexed bitset words, resolved once so route loops probe a
     /// bare slice instead of re-matching the representation per hop.
+    ///
+    /// Batch drivers resolve this once per shard and route through
+    /// [`RoutingKernel::route_ranked`] / [`RoutingKernel::route_batch`], so
+    /// not even the per-route match is paid on the hot path.
     #[inline]
-    fn words(&self) -> &[u64] {
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
         match self {
             KernelMask::Full(mask) => mask.words(),
             KernelMask::Compressed(words) => words,
@@ -153,7 +165,7 @@ fn alive_bit(words: &[u64], rank: u32) -> bool {
 /// the overlay); drive it with [`RoutingKernel::route`] /
 /// [`RoutingKernel::route_values`] after lowering the failure mask once with
 /// [`RoutingKernel::compile_mask`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RoutingKernel {
     rule: KernelRule,
     space: KeySpace,
@@ -172,6 +184,34 @@ pub struct RoutingKernel {
     entries: Vec<PlanEntry>,
     /// rank → identifier value; empty for full populations (identity).
     values: Vec<u32>,
+    /// Memoized sparse-mask lowering, keyed by [`FailureMask::generation`]:
+    /// repeated [`RoutingKernel::compile_mask`] calls over the same unmutated
+    /// mask (every trial of a static-resilience grid point) reuse one O(n)
+    /// rank compression. Never consulted for full populations (their
+    /// lowering borrows the mask bitset for free). Scratch state only —
+    /// ignored by [`RoutingKernel::plan_eq`] / [`RoutingKernel::plan_digest`]
+    /// and reset by `Clone`.
+    lowering: Mutex<Option<(u64, Arc<Vec<u64>>)>>,
+}
+
+/// Clones the routing plan; the lowering memo starts empty (it repopulates on
+/// the first `compile_mask`, and a fresh cache is cheaper than locking the
+/// source's).
+impl Clone for RoutingKernel {
+    fn clone(&self) -> Self {
+        RoutingKernel {
+            rule: self.rule,
+            space: self.space,
+            bits: self.bits,
+            full: self.full,
+            population: Arc::clone(&self.population),
+            offsets: self.offsets.clone(),
+            stride: self.stride,
+            entries: self.entries.clone(),
+            values: self.values.clone(),
+            lowering: Mutex::new(None),
+        }
+    }
 }
 
 /// One packed plan entry: the precomputed hop key and the neighbour's
@@ -304,6 +344,7 @@ impl RoutingKernel {
             stride,
             entries,
             values,
+            lowering: Mutex::new(None),
         }
     }
 
@@ -370,6 +411,7 @@ impl RoutingKernel {
             stride,
             entries,
             values,
+            lowering: Mutex::new(None),
         }
     }
 
@@ -480,9 +522,13 @@ impl RoutingKernel {
     ///
     /// For a full population the mask's bitset is already rank-indexed and is
     /// borrowed; for a sparse one the occupied bits are compressed into a
-    /// rank-indexed copy, O(n). Either way this is the **batch-entry
-    /// validation point**: the key-space checks the scalar path performs on
-    /// every routed pair are asserted here exactly once.
+    /// rank-indexed copy, O(n). The sparse lowering is memoized per
+    /// [`FailureMask::generation`]: lowering the same unmutated mask again
+    /// (every trial of a grid point reuses one sampled mask) returns a shared
+    /// handle to the cached words instead of recompressing. Either way this
+    /// is the **batch-entry validation point**: the key-space checks the
+    /// scalar path performs on every routed pair are asserted here exactly
+    /// once.
     ///
     /// # Panics
     ///
@@ -501,17 +547,32 @@ impl RoutingKernel {
             "mask covers a different population"
         );
         if self.full {
-            KernelMask::Full(mask)
-        } else {
-            let node_count = self.values.len();
-            let mut words = vec![0u64; node_count.div_ceil(64)];
-            for (rank, node) in self.population.iter_nodes().enumerate() {
-                if mask.is_alive(node) {
-                    words[rank >> 6] |= 1u64 << (rank & 63);
-                }
-            }
-            KernelMask::Compressed(words)
+            return KernelMask::Full(mask);
         }
+        let generation = mask.generation();
+        if let Some((cached_generation, words)) = self
+            .lowering
+            .lock()
+            .expect("lowering cache poisoned")
+            .as_ref()
+        {
+            // A generation match guarantees identical content: stamps are
+            // workspace-unique and re-drawn on every mask mutation.
+            if *cached_generation == generation {
+                return KernelMask::Compressed(Arc::clone(words));
+            }
+        }
+        let node_count = self.values.len();
+        let mut words = vec![0u64; node_count.div_ceil(64)];
+        for (rank, node) in self.population.iter_nodes().enumerate() {
+            if mask.is_alive(node) {
+                words[rank >> 6] |= 1u64 << (rank & 63);
+            }
+        }
+        let words = Arc::new(words);
+        *self.lowering.lock().expect("lowering cache poisoned") =
+            Some((generation, Arc::clone(&words)));
+        KernelMask::Compressed(words)
     }
 
     /// rank → raw identifier value.
@@ -1097,6 +1158,47 @@ mod tests {
         assert!(matches!(lowered, KernelMask::Compressed(_)));
         for (rank, node) in overlay.population().iter_nodes().enumerate() {
             assert_eq!(lowered.is_alive_rank(rank as u32), mask.is_alive(node));
+        }
+    }
+
+    #[test]
+    fn sparse_lowering_is_memoized_per_mask_generation() {
+        let space = dht_id::KeySpace::new(10).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let population = Population::sample_uniform(space, 300, &mut rng).unwrap();
+        let overlay =
+            ChordOverlay::build_over(population, ChordVariant::Randomized, &mut rng).unwrap();
+        let kernel = overlay.kernel().expect("ring compiles");
+        let mut mask = FailureMask::sample_over(overlay.population(), 0.3, &mut rng);
+
+        let (KernelMask::Compressed(first), KernelMask::Compressed(second)) =
+            (kernel.compile_mask(&mask), kernel.compile_mask(&mask))
+        else {
+            panic!("sparse populations lower to compressed masks");
+        };
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "unmutated mask reuses the cached lowering"
+        );
+
+        // A clone keeps the generation (same content), so it still hits.
+        let clone = mask.clone();
+        let KernelMask::Compressed(cloned) = kernel.compile_mask(&clone) else {
+            panic!("sparse lowering");
+        };
+        assert!(Arc::ptr_eq(&first, &cloned));
+
+        // Mutation re-stamps the mask: the cache misses and the fresh
+        // lowering reflects the new content.
+        let victim = mask.alive_nodes().next().expect("someone survived");
+        assert!(mask.kill(victim));
+        let relowered = kernel.compile_mask(&mask);
+        let KernelMask::Compressed(words) = &relowered else {
+            panic!("sparse lowering");
+        };
+        assert!(!Arc::ptr_eq(&first, words), "mutated mask relowers");
+        for (rank, node) in overlay.population().iter_nodes().enumerate() {
+            assert_eq!(relowered.is_alive_rank(rank as u32), mask.is_alive(node));
         }
     }
 

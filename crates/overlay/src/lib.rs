@@ -68,7 +68,11 @@
 //! # Ok::<(), dht_overlay::OverlayError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the batched router's software-prefetch shim
+// (`kernel::batch::prefetch_read`) carries the crate's only `allow` — a
+// bounds-checked cache hint that cannot fault. Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -91,7 +95,7 @@ pub use chord::{ChordOverlay, ChordVariant};
 pub use failure::{select_in_word, FailureMask};
 pub use generic::{GeometryOverlay, GeometryStrategy};
 pub use kademlia::KademliaOverlay;
-pub use kernel::{KernelMask, KernelRule, RoutingKernel};
+pub use kernel::{KernelMask, KernelRule, RouteBatch, RoutingKernel, DEFAULT_BATCH_WIDTH};
 pub use live::LiveOverlay;
 pub use plaxton::PlaxtonOverlay;
 pub use router::{

@@ -1,0 +1,216 @@
+//! Batch equivalence properties: the lockstep batched router must be
+//! **bit-identical per lookup** to the per-route kernel path.
+//!
+//! For every geometry, over random full *and* sparse populations, random
+//! failure masks, random (not necessarily occupied or alive) endpoint pairs
+//! and random hop limits, the properties route the same pair slice through
+//! [`RoutingKernel::route_values`] one lookup at a time and through
+//! [`RoutingKernel::route_batch`] in lockstep, then compare the outcome
+//! vectors element for element. Batch widths range from 1 (every lane
+//! retires and refills every pass) past the frontier size (the whole slice
+//! fits in one admission wave), so mid-batch retirement, `swap_remove`
+//! compaction and refill are all exercised, as is a frontier narrower than
+//! the batch width.
+//!
+//! Both batch entry points are covered: `route_batch` over pre-resolved
+//! alive words and `route_batch_masked` over a lowered [`KernelMask`].
+//!
+//! This is the contract that lets `dht_sim`'s trial engine and the live
+//! churn drain route whole shards through the batch path without perturbing
+//! any committed measurement.
+
+use dht_id::{KeySpace, Population};
+use dht_overlay::{
+    default_route_hop_limit, CanOverlay, ChordOverlay, ChordVariant, FailureMask, KademliaOverlay,
+    Overlay, PlaxtonOverlay, RouteBatch, RouteOutcome, SymphonyOverlay,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Draws the population for a case: full, or a uniform sample of the given
+/// occupancy (at least four nodes so every geometry can be built).
+fn population(space: KeySpace, occupancy: f64, seed: u64) -> Population {
+    if occupancy >= 1.0 {
+        return Population::full(space);
+    }
+    let count = ((space.population() as f64 * occupancy) as u64).max(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0070_6F70);
+    Population::sample_uniform(space, count, &mut rng).expect("valid sparse size")
+}
+
+/// Routes the same random pair slice through the scalar kernel path and the
+/// lockstep batch (both entry points) and asserts every outcome agrees.
+fn assert_batch_equivalent<O>(
+    overlay: &O,
+    q: f64,
+    mask_seed: u64,
+    pair_seed: u64,
+) -> Result<(), TestCaseError>
+where
+    O: Overlay + ?Sized,
+{
+    // Width 1 retires and refills every pass; 3 keeps compaction churning;
+    // 256 swallows the whole slice in one admission wave (a frontier
+    // narrower than the batch). Pair count 0 is the degenerate no-op, 17 is
+    // below every non-unit width, 200 forces mid-batch refill.
+    const WIDTHS: [usize; 4] = [1, 3, 64, 256];
+    const PAIR_COUNTS: [usize; 3] = [0, 17, 200];
+    let width = WIDTHS[(pair_seed % 4) as usize];
+    let pair_count = PAIR_COUNTS[((pair_seed >> 2) % 3) as usize];
+    let kernel = overlay
+        .kernel()
+        .expect("all five geometries export a kernel rule");
+    let space = overlay.key_space();
+    let mask = FailureMask::sample_over(
+        overlay.population(),
+        q,
+        &mut ChaCha8Rng::seed_from_u64(mask_seed),
+    );
+    let lowered = kernel.compile_mask(&mask);
+    let words = lowered.words();
+    let mut rng = ChaCha8Rng::seed_from_u64(pair_seed);
+
+    // Arbitrary in-space identifiers: occupied or not, alive or not, equal
+    // or not — the batch must agree wherever the scalar path has an answer.
+    let pairs: Vec<(u64, u64)> = (0..pair_count)
+        .map(|_| {
+            (
+                space.random_id(&mut rng).value(),
+                space.random_id(&mut rng).value(),
+            )
+        })
+        .collect();
+
+    let mut batch = RouteBatch::new(width);
+    let mut outcomes: Vec<RouteOutcome> = Vec::new();
+    // Random limits down to 0 force HopLimitExceeded retirement mid-pass;
+    // the default limit exercises full Delivered/Dropped trajectories.
+    let limits = [default_route_hop_limit(overlay), rng.gen_range(0..4)];
+    for limit in limits {
+        let scalar: Vec<RouteOutcome> = pairs
+            .iter()
+            .map(|&(source, target)| kernel.route_values(&lowered, source, target, limit))
+            .collect();
+
+        kernel.route_batch(&mut batch, words, &pairs, limit, &mut outcomes);
+        prop_assert_eq!(batch.in_flight(), 0, "batch must drain completely");
+        prop_assert_eq!(outcomes.len(), pairs.len());
+        for (index, (batched, reference)) in outcomes.iter().zip(scalar.iter()).enumerate() {
+            prop_assert_eq!(
+                batched,
+                reference,
+                "outcome diverges at slot {} ({} -> {}, width {}, limit {})",
+                index,
+                pairs[index].0,
+                pairs[index].1,
+                width,
+                limit
+            );
+        }
+
+        kernel.route_batch_masked(&mut batch, &lowered, &pairs, limit, &mut outcomes);
+        prop_assert_eq!(
+            &outcomes,
+            &scalar,
+            "masked entry point diverges (width {}, limit {})",
+            width,
+            limit
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn chord_batches_are_bit_identical(
+        bits in 4u32..9,
+        occupancy in prop_oneof![Just(1.0f64), Just(0.25), Just(0.6)],
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.7,
+        deterministic in prop_oneof![Just(true), Just(false)],
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = population(space, occupancy, seed);
+        let variant = if deterministic {
+            ChordVariant::Deterministic
+        } else {
+            ChordVariant::Randomized
+        };
+        let overlay = ChordOverlay::build_over(
+            population,
+            variant,
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        )
+        .unwrap();
+        assert_batch_equivalent(&overlay, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn kademlia_batches_are_bit_identical(
+        bits in 4u32..9,
+        occupancy in prop_oneof![Just(1.0f64), Just(0.25), Just(0.6)],
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.7,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = population(space, occupancy, seed);
+        let overlay =
+            KademliaOverlay::build_over(population, &mut ChaCha8Rng::seed_from_u64(seed))
+                .unwrap();
+        assert_batch_equivalent(&overlay, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn plaxton_batches_are_bit_identical(
+        bits in 4u32..9,
+        occupancy in prop_oneof![Just(1.0f64), Just(0.25), Just(0.6)],
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.7,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = population(space, occupancy, seed);
+        let overlay =
+            PlaxtonOverlay::build_over(population, &mut ChaCha8Rng::seed_from_u64(seed))
+                .unwrap();
+        assert_batch_equivalent(&overlay, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn can_batches_are_bit_identical(
+        bits in 4u32..9,
+        occupancy in prop_oneof![Just(1.0f64), Just(0.25), Just(0.6)],
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.7,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = population(space, occupancy, seed);
+        // Sparse hypercubes may be unroutable even intact — exactly the sort
+        // of Dropped outcome the batch must reproduce verbatim.
+        let overlay = CanOverlay::build_over(population).unwrap();
+        assert_batch_equivalent(&overlay, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+
+    #[test]
+    fn symphony_batches_are_bit_identical(
+        bits in 4u32..9,
+        occupancy in prop_oneof![Just(1.0f64), Just(0.25), Just(0.6)],
+        seed in 0u64..1 << 20,
+        q in 0.0f64..0.7,
+        kn in 1u32..3,
+        ks in 1u32..3,
+    ) {
+        let space = KeySpace::new(bits).unwrap();
+        let population = population(space, occupancy, seed);
+        let overlay = SymphonyOverlay::build_over(
+            population,
+            kn,
+            ks,
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        )
+        .unwrap();
+        assert_batch_equivalent(&overlay, q, seed ^ 0xA5, seed ^ 0x5A)?;
+    }
+}

@@ -20,13 +20,23 @@
 //! count — one thread or sixty-four. The loop itself performs no per-route
 //! allocation: pairs are drawn by rank directly from the mask's bitset
 //! ([`PairSampler`]), outcomes are folded into the shard's tally on the
-//! spot, and the only scratch each shard owns is its RNG and tally.
+//! spot, and each worker thread reuses one scratch allocation (its routing
+//! frontier and pair buffer) across every shard it executes.
+//!
+//! When the overlay exposes a compiled kernel, shards route through the
+//! **batched lockstep path** ([`RoutingKernel::route_batch`]): the shard's
+//! whole pair budget is drawn in one [`PairSampler::sample_values_into`] call
+//! (the identical RNG stream as per-pair draws), routed with up to a
+//! [`RouteBatch`] width of lookups in flight, and recorded in draw order —
+//! so the batched engine's tallies are bit-identical to the per-route
+//! engine's, which are bit-identical to the scalar path's.
 
 use crate::pair_sampler::PairSampler;
 use crate::rng::SeedSequence;
 use dht_mathkit::stats::RunningStats;
 use dht_overlay::{
-    default_route_hop_limit, route_prevalidated, FailureMask, Overlay, RouteOutcome,
+    default_route_hop_limit, route_prevalidated, FailureMask, Overlay, RouteBatch, RouteOutcome,
+    RoutingKernel,
 };
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -182,11 +192,16 @@ impl TrialEngine {
     /// `(overlay, mask, pairs, pair_seed, pairs_per_shard)`.
     ///
     /// When the overlay exposes a compiled routing kernel
-    /// ([`Overlay::kernel`]) the pairs are routed through it — the mask is
-    /// lowered into rank space once and every hop becomes a precomputed-key
-    /// dispatch. Kernel outcomes are bit-identical to the scalar path (the
-    /// kernel equivalence suite proves it), so which path ran is not
-    /// observable in the tally.
+    /// ([`Overlay::kernel`]) the pairs are routed through its **batched
+    /// lockstep path**: the mask is lowered into rank space once (memoized
+    /// per mask generation), its bitset words are resolved once for the whole
+    /// trial, and each shard draws its full pair budget in one call and
+    /// routes it with up to a frontier's width of lookups in flight
+    /// ([`RoutingKernel::route_batch`]). Batched outcomes are bit-identical
+    /// per pair to the per-route kernel path, which is bit-identical to the
+    /// scalar path (the `kernel_equivalence` and `batch_equivalence` suites
+    /// prove it), and outcomes are recorded in draw order — so which path ran
+    /// is not observable in the tally.
     pub fn run_trial<O>(
         &self,
         overlay: &O,
@@ -211,38 +226,65 @@ impl TrialEngine {
         let tally = match overlay.kernel() {
             Some(kernel) => {
                 let lowered = kernel.compile_mask(mask);
-                self.run_shards(pairs, pair_seed, |rng, tally| {
-                    let (source, target) = sampler.sample_values(rng);
-                    tally.record(kernel.route_values(&lowered, source, target, hop_limit));
-                })
+                // Resolve the mask representation to its bitset words once
+                // per trial; shards route against the bare slice.
+                let words = lowered.words();
+                self.run_shards(
+                    pairs,
+                    pair_seed,
+                    BatchScratch::new,
+                    |budget, rng, tally, scratch| {
+                        scratch.route_shard(kernel, words, &sampler, budget, hop_limit, rng, tally);
+                    },
+                )
             }
-            None => self.run_shards(pairs, pair_seed, |rng, tally| {
-                let (source, target) = sampler.sample_values(rng);
-                tally.record(route_prevalidated(
-                    overlay,
-                    space.wrap(source),
-                    space.wrap(target),
-                    mask,
-                    hop_limit,
-                ));
-            }),
+            None => self.run_shards(
+                pairs,
+                pair_seed,
+                || (),
+                |budget, rng, tally, ()| {
+                    for _ in 0..budget {
+                        let (source, target) = sampler.sample_values(rng);
+                        tally.record(route_prevalidated(
+                            overlay,
+                            space.wrap(source),
+                            space.wrap(target),
+                            mask,
+                            hop_limit,
+                        ));
+                    }
+                },
+            ),
         };
         Some(tally)
     }
 
-    /// Runs the sharded pair budget, calling `route_pair` once per pair with
-    /// the shard's RNG and tally, and merges the per-shard tallies in shard
-    /// order (the thread-count-invariance contract lives here).
-    fn run_shards<F>(&self, pairs: u64, pair_seed: u64, route_pair: F) -> TrialTally
+    /// Runs the sharded pair budget, calling `run_shard_body` once per shard
+    /// with the shard's budget, RNG, tally and the worker's reusable scratch,
+    /// and merges the per-shard tallies in shard order (the
+    /// thread-count-invariance contract lives here).
+    ///
+    /// `make_scratch` runs once per worker thread — a shard body that batches
+    /// its routing reuses one frontier and pair buffer across every shard the
+    /// worker executes. Scratch must not carry results between shards; the
+    /// tally is the only output channel.
+    fn run_shards<S, M, F>(
+        &self,
+        pairs: u64,
+        pair_seed: u64,
+        make_scratch: M,
+        run_shard_body: F,
+    ) -> TrialTally
     where
-        F: Fn(&mut ChaCha8Rng, &mut TrialTally) + Sync,
+        M: Fn() -> S + Sync,
+        F: Fn(u64, &mut ChaCha8Rng, &mut TrialTally, &mut S) + Sync,
     {
         let pairs = pairs.max(1);
         let shard_count = usize::try_from(pairs.div_ceil(self.pairs_per_shard))
             .expect("shard count fits in usize");
         let shard_seeds = SeedSequence::new(pair_seed);
 
-        let run_shard = |shard: usize| -> TrialTally {
+        let run_shard = |shard: usize, scratch: &mut S| -> TrialTally {
             let mut rng = shard_seeds.child_rng(shard as u64);
             let budget = if shard + 1 == shard_count {
                 pairs - self.pairs_per_shard * (shard_count as u64 - 1)
@@ -250,17 +292,16 @@ impl TrialEngine {
                 self.pairs_per_shard
             };
             let mut tally = TrialTally::default();
-            for _ in 0..budget {
-                route_pair(&mut rng, &mut tally);
-            }
+            run_shard_body(budget, &mut rng, &mut tally, scratch);
             tally
         };
 
         let threads = self.threads.min(shard_count);
         let mut merged = TrialTally::default();
         if threads <= 1 {
+            let mut scratch = make_scratch();
             for shard in 0..shard_count {
-                merged.merge(&run_shard(shard));
+                merged.merge(&run_shard(shard, &mut scratch));
             }
         } else {
             let mut tallies: Vec<TrialTally> = vec![TrialTally::default(); shard_count];
@@ -268,10 +309,12 @@ impl TrialEngine {
             std::thread::scope(|scope| {
                 for (worker, slots) in tallies.chunks_mut(chunk).enumerate() {
                     let run_shard = &run_shard;
+                    let make_scratch = &make_scratch;
                     let base = worker * chunk;
                     scope.spawn(move || {
+                        let mut scratch = make_scratch();
                         for (offset, slot) in slots.iter_mut().enumerate() {
-                            *slot = run_shard(base + offset);
+                            *slot = run_shard(base + offset, &mut scratch);
                         }
                     });
                 }
@@ -283,6 +326,54 @@ impl TrialEngine {
             }
         }
         merged
+    }
+}
+
+/// Per-worker scratch of the batched kernel path: one routing frontier, one
+/// pair buffer and one outcome buffer, reused across every shard the worker
+/// executes — the engine's only allocations after the first shard.
+struct BatchScratch {
+    batch: RouteBatch,
+    pairs: Vec<(u64, u64)>,
+    outcomes: Vec<RouteOutcome>,
+}
+
+impl BatchScratch {
+    fn new() -> Self {
+        BatchScratch {
+            batch: RouteBatch::default(),
+            pairs: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Routes one shard through the batched lockstep path: draw the whole
+    /// budget (the identical RNG stream as per-pair draws), route it with a
+    /// full frontier, record outcomes in draw order.
+    #[allow(clippy::too_many_arguments)]
+    fn route_shard(
+        &mut self,
+        kernel: &RoutingKernel,
+        alive_words: &[u64],
+        sampler: &PairSampler<'_>,
+        budget: u64,
+        hop_limit: u32,
+        rng: &mut ChaCha8Rng,
+        tally: &mut TrialTally,
+    ) {
+        sampler.sample_values_into(budget, rng, &mut self.pairs);
+        kernel.route_batch(
+            &mut self.batch,
+            alive_words,
+            &self.pairs,
+            hop_limit,
+            &mut self.outcomes,
+        );
+        // Draw order, not retirement order: the tally's floating-point hop
+        // statistics must fold exactly as the per-route path folds them.
+        for &outcome in &self.outcomes {
+            tally.record(outcome);
+        }
     }
 }
 
@@ -373,6 +464,10 @@ mod tests {
         // kernel() deliberately left at the default None.
     }
 
+    /// The kernel arm now routes every shard through the lockstep batch, so
+    /// this is the engine-level batched-vs-scalar equality contract: same
+    /// pairs, same RNG streams, bit-identical tallies (including the
+    /// order-sensitive floating-point hop statistics).
     #[test]
     fn kernel_path_tallies_identically_to_the_scalar_path() {
         let mut rng = ChaCha8Rng::seed_from_u64(31);

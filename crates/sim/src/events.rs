@@ -12,6 +12,14 @@
 //! re-lowered, exactly the incremental repair proven equivalent to a full
 //! rebuild by the `incremental_equivalence` property suite in `dht-overlay`.
 //!
+//! In frozen mode the failure pattern only moves on churn events, so the
+//! Poisson lookups that arrive between two consecutive events all observe
+//! the same aliveness words. The engine exploits this: lookups are drawn at
+//! event time (the RNG streams are untouched) but queued, and each queue is
+//! drained through the routing kernel's lockstep [`RouteBatch`] pass right
+//! before the next liveness mutation — identical outcomes, recorded in draw
+//! order, in one cache-friendly sweep per inter-event gap.
+//!
 //! # Determinism
 //!
 //! The engine is sharded by **replica** in the same mold as
@@ -26,7 +34,9 @@
 use crate::config::SimError;
 use crate::rng::{splitmix64, SeedSequence};
 use dht_mathkit::RunningStats;
-use dht_overlay::{default_route_hop_limit, GeometryStrategy, LiveOverlay, Overlay, RouteOutcome};
+use dht_overlay::{
+    default_route_hop_limit, GeometryStrategy, LiveOverlay, Overlay, RouteBatch, RouteOutcome,
+};
 use rand::Rng;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -526,6 +536,70 @@ enum Event {
     Lookup,
 }
 
+/// Scratch state for the frozen-mode batched lookup drain.
+///
+/// In frozen mode the aliveness words only move on churn events, so every
+/// lookup drawn between two consecutive `Depart`/`Arrive` events observes
+/// the same failure pattern. Instead of routing each one as it arrives, the
+/// replica queues the drawn pair values here — the RNG draws still happen at
+/// event time, so the traffic stream is untouched — and routes the whole
+/// drain through one lockstep [`RouteBatch`] pass right before the next
+/// liveness mutation. Outcomes are recorded in draw order, keeping the
+/// folded hop statistics bit-identical to the per-lookup scalar path.
+struct LookupDrain {
+    batch: RouteBatch,
+    pending: Vec<(u64, u64)>,
+    measured: Vec<bool>,
+    outcomes: Vec<RouteOutcome>,
+}
+
+impl LookupDrain {
+    fn new() -> Self {
+        LookupDrain {
+            batch: RouteBatch::default(),
+            pending: Vec::new(),
+            measured: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Queues one lookup drawn at event time; `measured` records whether
+    /// the warmup window gates its tally contribution.
+    fn push(&mut self, source: u64, target: u64, measured: bool) {
+        self.pending.push((source, target));
+        self.measured.push(measured);
+    }
+
+    /// Routes every queued lookup against the overlay's *current* aliveness
+    /// words — callers flush before any liveness mutation, so the words are
+    /// exactly those each lookup observed at draw time — and records the
+    /// measured outcomes in draw order.
+    fn flush<S: GeometryStrategy + Clone>(
+        &mut self,
+        overlay: &LiveOverlay<S>,
+        hop_limit: u32,
+        tally: &mut LiveChurnTally,
+    ) {
+        if self.pending.is_empty() {
+            return;
+        }
+        overlay.routing_kernel().route_batch(
+            &mut self.batch,
+            overlay.rank_alive_words(),
+            &self.pending,
+            hop_limit,
+            &mut self.outcomes,
+        );
+        for (index, &outcome) in self.outcomes.iter().enumerate() {
+            if self.measured[index] {
+                tally.record(outcome);
+            }
+        }
+        self.pending.clear();
+        self.measured.clear();
+    }
+}
+
 /// The live-churn simulation engine: runs the configured number of
 /// replicas, each an independent discrete-event simulation over its own
 /// overlay instance, and merges the tallies in replica order.
@@ -663,6 +737,11 @@ impl LiveChurnExperiment {
             replicas: 1,
             ..LiveChurnTally::default()
         };
+        // Frozen mode accumulates lookups here and drains them in batch
+        // whenever the failure pattern is about to change; repair mode
+        // routes immediately (the tables themselves move per event) and the
+        // drain stays empty, making the flushes below no-ops.
+        let mut drain = LookupDrain::new();
         let mut clock = 0.0_f64;
         while let Some((time, event)) = queue.pop() {
             if time > config.duration {
@@ -679,6 +758,7 @@ impl LiveChurnExperiment {
             tally.events += 1;
             match event {
                 Event::Depart(rank) => {
+                    drain.flush(&overlay, hop_limit, &mut tally);
                     let node = overlay.population().node_at(rank);
                     if config.repair {
                         overlay.leave(node);
@@ -690,6 +770,7 @@ impl LiveChurnExperiment {
                     queue.push(clock + downtime, Event::Arrive(rank));
                 }
                 Event::Arrive(rank) => {
+                    drain.flush(&overlay, hop_limit, &mut tally);
                     let node = overlay.population().node_at(rank);
                     if config.repair {
                         overlay.join(node);
@@ -728,18 +809,25 @@ impl LiveChurnExperiment {
                             break candidate;
                         }
                     };
-                    let outcome = overlay.routing_kernel().route_ranked(
-                        overlay.rank_alive_words(),
-                        source.value(),
-                        target.value(),
-                        hop_limit,
-                    );
-                    if measured {
-                        tally.record(outcome);
+                    if config.repair {
+                        let outcome = overlay.routing_kernel().route_ranked(
+                            overlay.rank_alive_words(),
+                            source.value(),
+                            target.value(),
+                            hop_limit,
+                        );
+                        if measured {
+                            tally.record(outcome);
+                        }
+                    } else {
+                        drain.push(source.value(), target.value(), measured);
                     }
                 }
             }
         }
+        // Lookups drawn after the last churn event (or past the horizon
+        // cut-off) still route against the final failure pattern.
+        drain.flush(&overlay, hop_limit, &mut tally);
         // The tail of the window after the last processed event.
         let lo = clock.max(config.warmup);
         if config.duration > lo {
@@ -887,6 +975,58 @@ mod tests {
         );
         assert!(tally.repairs > 0, "repairs must actually happen");
         assert!(tally.joins > 0 && tally.leaves > tally.joins.saturating_sub(2));
+    }
+
+    /// The expectations here were captured from the per-lookup scalar
+    /// implementation immediately before the batched drain landed: frozen
+    /// mode must stay bit-identical — counters, hop-stat bit patterns and
+    /// the folded state digest — under the lockstep rewrite.
+    #[test]
+    fn frozen_drains_match_the_scalar_reference_goldens() {
+        struct Golden {
+            seed: u64,
+            attempted: u64,
+            delivered: u64,
+            dropped: u64,
+            digest: u64,
+            mean_bits: u64,
+            variance_bits: u64,
+        }
+        let goldens = [
+            Golden {
+                seed: 9,
+                attempted: 1346,
+                delivered: 1302,
+                dropped: 44,
+                digest: 0xa979_4047_3b58_fc8a,
+                mean_bits: 0x400e_917f_cdaa_45fe,
+                variance_bits: 0x4003_0ed7_8738_1337,
+            },
+            Golden {
+                seed: 23,
+                attempted: 1296,
+                delivered: 1258,
+                dropped: 38,
+                digest: 0x158b_e6a1_aa33_cddb,
+                mean_bits: 0x400f_3e45_306e_b3e3,
+                variance_bits: 0x4002_e9ca_4454_9cbb,
+            },
+        ];
+        for golden in goldens {
+            let config = base_config().with_replicas(2).with_seed(golden.seed);
+            let tally = LiveChurnExperiment::new(config).run(ring_builder(7));
+            assert_eq!(tally.attempted, golden.attempted);
+            assert_eq!(tally.delivered, golden.delivered);
+            assert_eq!(tally.dropped, golden.dropped);
+            assert_eq!(tally.hop_limited, 0);
+            assert_eq!(tally.skipped, 0);
+            assert_eq!(tally.state_digest, golden.digest);
+            assert_eq!(tally.hop_stats.mean().to_bits(), golden.mean_bits);
+            assert_eq!(
+                tally.hop_stats.sample_variance().to_bits(),
+                golden.variance_bits
+            );
+        }
     }
 
     #[test]

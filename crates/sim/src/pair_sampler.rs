@@ -134,11 +134,34 @@ impl<'mask> PairSampler<'mask> {
         )
     }
 
+    /// Draws `count` ordered pairs of raw identifier values into `out`
+    /// (cleared first) — exactly `count` repetitions of
+    /// [`PairSampler::sample_values`], consuming the identical RNG stream in
+    /// the identical order.
+    ///
+    /// This is the batched-routing refill path: the trial engine fills one
+    /// shard's pair buffer in a single call and hands the slice to
+    /// [`RoutingKernel::route_batch`](dht_overlay::RoutingKernel::route_batch),
+    /// keeping the routing frontier full without perturbing a single draw —
+    /// per-shard draw order is what makes the committed measured values
+    /// bit-identical across scalar, per-route-kernel and batched engines.
+    pub fn sample_values_into<R: Rng + ?Sized>(
+        &self,
+        count: u64,
+        rng: &mut R,
+        out: &mut Vec<(u64, u64)>,
+    ) {
+        out.clear();
+        out.reserve(usize::try_from(count).expect("pair batches fit usize"));
+        for _ in 0..count {
+            out.push(self.sample_values(rng));
+        }
+    }
+
     /// Draws `count` ordered pairs.
     ///
-    /// Batch drivers should prefer streaming [`PairSampler::sample`] calls
-    /// (the trial engine never materialises a pair vector); this helper
-    /// remains for examples and tests.
+    /// Batch drivers should prefer [`PairSampler::sample_values_into`] over a
+    /// reused buffer; this helper remains for examples and tests.
     pub fn sample_many<R: Rng + ?Sized>(&self, count: u64, rng: &mut R) -> Vec<(NodeId, NodeId)> {
         (0..count).map(|_| self.sample(rng)).collect()
     }
@@ -242,6 +265,27 @@ mod tests {
             assert_eq!(target.value(), target_value);
         }
         // Both consumed the identical amount of randomness.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn sample_values_into_is_the_same_stream_as_repeated_draws() {
+        // The batched refill is a buffering change, not a new stream: it must
+        // make exactly the draws that `count` repeated `sample_values` calls
+        // make, in the same order.
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mask = FailureMask::sample(space(10), 0.3, &mut rng);
+        let sampler = PairSampler::new(&mask).unwrap();
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        let streamed: Vec<(u64, u64)> = (0..257).map(|_| sampler.sample_values(&mut a)).collect();
+        let mut batched = vec![(0u64, 0u64); 3]; // stale contents must be cleared
+        sampler.sample_values_into(257, &mut b, &mut batched);
+        assert_eq!(streamed, batched);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "same randomness consumed");
+        // A zero-count refill clears the buffer and draws nothing.
+        sampler.sample_values_into(0, &mut b, &mut batched);
+        assert!(batched.is_empty());
         assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 

@@ -65,8 +65,8 @@ pub mod prelude {
     pub use dht_id::{KeySpace, NodeId, Population};
     pub use dht_overlay::{
         route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, GeometryOverlay,
-        KademliaOverlay, LiveOverlay, Overlay, PlaxtonOverlay, RouteOutcome, RoutingArena,
-        RoutingKernel, SymphonyOverlay,
+        KademliaOverlay, LiveOverlay, Overlay, PlaxtonOverlay, RouteBatch, RouteOutcome,
+        RoutingArena, RoutingKernel, SymphonyOverlay, DEFAULT_BATCH_WIDTH,
     };
     pub use dht_percolation::{connected_components, percolation_threshold, reachable_component};
     pub use dht_rcm_core::prelude::*;
