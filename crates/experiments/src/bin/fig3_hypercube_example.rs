@@ -1,33 +1,10 @@
-//! Regenerates the worked hypercube example of Fig. 1–3 (experiment E1).
+//! The worked 8-node hypercube example of Fig. 1-3.
 //!
-//! Usage: `cargo run -p dht-experiments --bin fig3_hypercube_example [q]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::fig3;
-use dht_experiments::output::{default_output_dir, write_json};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let q: f64 = std::env::args()
-        .nth(1)
-        .map(|arg| arg.parse())
-        .transpose()?
-        .unwrap_or(0.3);
-    let result = fig3::run(q, 200_000, 2006)?;
-    println!("Fig. 3 worked example (d = 3 hypercube, q = {q})");
-    println!(
-        "{:>4} {:>6} {:>22} {:>12}",
-        "h", "n(h)", "Pr(S_h -> S_h+1)", "p(h,q)"
-    );
-    for row in &result.rows {
-        println!(
-            "{:>4} {:>6} {:>22.6} {:>12.6}",
-            row.hops, row.nodes_at_distance, row.transition_success, row.cumulative_success
-        );
-    }
-    println!(
-        "\nanalytical p(3, q) = {:.6}   simulated = {:.6}   ({} trials)",
-        result.analytical_p3, result.simulated_p3, result.trials
-    );
-    let path = write_json(&result, &default_output_dir(), "fig3_hypercube_example")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::Fig3)
 }

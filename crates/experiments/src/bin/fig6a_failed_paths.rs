@@ -1,25 +1,10 @@
-//! Regenerates Fig. 6(a): failed paths vs failure probability at N = 2^16 for
-//! the tree, hypercube and XOR geometries — analysis and simulation.
+//! Fig. 6(a): tree/hypercube/XOR failed paths, analysis vs simulation.
 //!
-//! Usage: `cargo run --release -p dht-experiments --bin fig6a_failed_paths [--smoke]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::fig6::{fig6a, Fig6Config};
-use dht_experiments::output::{default_output_dir, render_records_table, write_records_csv};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke {
-        Fig6Config::smoke()
-    } else {
-        Fig6Config::paper_scale()
-    };
-    let records = fig6a(&config)?;
-    println!(
-        "Fig. 6(a): percent of failed paths, N = 2^{} (simulation at 2^{})",
-        config.analytical_bits, config.simulation_bits
-    );
-    print!("{}", render_records_table(&records));
-    let path = write_records_csv(&records, &default_output_dir(), "fig6a_failed_paths")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::Fig6a)
 }

@@ -1,25 +1,10 @@
-//! Regenerates Fig. 6(b): failed paths vs failure probability for ring
-//! (Chord) routing — the analytical upper bound and the simulation.
+//! Fig. 6(b): ring (Chord) failed paths, analysis vs simulation.
 //!
-//! Usage: `cargo run --release -p dht-experiments --bin fig6b_ring [--smoke]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::fig6::{fig6b, Fig6Config};
-use dht_experiments::output::{default_output_dir, render_records_table, write_records_csv};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke {
-        Fig6Config::smoke()
-    } else {
-        Fig6Config::paper_scale()
-    };
-    let records = fig6b(&config)?;
-    println!(
-        "Fig. 6(b): percent of failed paths for ring routing, N = 2^{}",
-        config.analytical_bits
-    );
-    print!("{}", render_records_table(&records));
-    let path = write_records_csv(&records, &default_output_dir(), "fig6b_ring")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::Fig6b)
 }

@@ -1,25 +1,10 @@
-//! Regenerates Fig. 7(a): failed paths vs failure probability at N = 2^100
-//! for all five geometries (analytical).
+//! Fig. 7(a): asymptotic failed paths for all five geometries.
 //!
-//! Usage: `cargo run -p dht-experiments --bin fig7a_asymptotic [--smoke]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::fig7::{fig7a, Fig7Config};
-use dht_experiments::output::{default_output_dir, render_records_table, write_records_csv};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke {
-        Fig7Config::smoke()
-    } else {
-        Fig7Config::paper_scale()
-    };
-    let records = fig7a(&config)?;
-    println!(
-        "Fig. 7(a): percent of failed paths in the asymptotic limit (N = 2^{})",
-        config.asymptotic_bits
-    );
-    print!("{}", render_records_table(&records));
-    let path = write_records_csv(&records, &default_output_dir(), "fig7a_asymptotic")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::Fig7a)
 }

@@ -1,31 +1,10 @@
-//! Regenerates Fig. 7(b): routability vs system size at q = 0.1 for all five
-//! geometries (analytical).
+//! Fig. 7(b): routability vs system size at fixed q.
 //!
-//! Usage: `cargo run -p dht-experiments --bin fig7b_routability_vs_n [--smoke]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::fig7::{fig7b, Fig7Config};
-use dht_experiments::output::{default_output_dir, write_json};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke {
-        Fig7Config::smoke()
-    } else {
-        Fig7Config::paper_scale()
-    };
-    let points = fig7b(&config)?;
-    println!(
-        "Fig. 7(b): routability (%) vs system size at q = {}",
-        config.fixed_failure_probability
-    );
-    println!("{:<10} {:>6} {:>14}", "geometry", "bits", "routability %");
-    for point in &points {
-        println!(
-            "{:<10} {:>6} {:>14.4}",
-            point.geometry, point.bits, point.routability_percent
-        );
-    }
-    let path = write_json(&points, &default_output_dir(), "fig7b_routability_vs_n")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::Fig7b)
 }

@@ -1,26 +1,10 @@
-//! Live churn: continuous-time node sessions with Poisson lookup traffic,
-//! frozen-table vs incrementally repaired overlays, validated against the
-//! chain-predicted static routability at the stationary offline fraction.
+//! Continuous-time churn with frozen vs repaired overlays.
 //!
-//! Usage: `cargo run --release -p dht-experiments --bin live_churn [--smoke]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::live_churn::{render_live_churn_table, run_grid, LiveChurnGridConfig};
-use dht_experiments::output::{default_output_dir, write_json};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let grid = if smoke {
-        LiveChurnGridConfig::smoke()
-    } else {
-        LiveChurnGridConfig::paper_scale()
-    };
-    let points = run_grid(&grid)?;
-    println!(
-        "Live churn: N = 2^{}, downtime E[D] = {}, horizon {} (warmup {}), {} replicas",
-        grid.bits, grid.mean_downtime, grid.duration, grid.warmup, grid.replicas
-    );
-    print!("{}", render_live_churn_table(&points));
-    let path = write_json(&points, &default_output_dir(), "live_churn")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::LiveChurn)
 }

@@ -1,29 +1,10 @@
-//! Validates every closed-form Q(m) against its routing Markov chain
-//! (experiments E2/E8, Fig. 4, 5, 8).
+//! Closed forms vs the routing Markov chains of Fig. 4, 5, 8.
 //!
-//! Usage: `cargo run -p dht-experiments --bin markov_validation`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::markov_validation;
-use dht_experiments::output::{default_output_dir, write_json};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rows = markov_validation::run(16, &[0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9])?;
-    println!("Closed-form p(h,q) vs Markov-chain absorption probability");
-    println!(
-        "{:<10} {:>6} {:>8} {:>14} {:>14}",
-        "geometry", "max h", "points", "max |err|", "mean |err|"
-    );
-    for row in &rows {
-        println!(
-            "{:<10} {:>6} {:>8} {:>14.3e} {:>14.3e}",
-            row.geometry,
-            row.max_distance,
-            row.points,
-            row.max_absolute_error,
-            row.mean_absolute_error
-        );
-    }
-    let path = write_json(&rows, &default_output_dir(), "markov_validation")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::MarkovValidation)
 }

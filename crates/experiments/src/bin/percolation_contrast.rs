@@ -1,31 +1,10 @@
-//! Contrasts connected components with reachable components (experiment E9,
-//! the §1 observation that connectivity does not imply routability).
+//! The Section 1 connected-vs-reachable component contrast.
 //!
-//! Usage: `cargo run --release -p dht-experiments --bin percolation_contrast [bits] [q]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::output::{default_output_dir, write_json};
-use dht_experiments::percolation_contrast;
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let bits: u32 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(12);
-    let q: f64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0.3);
-    let rows = percolation_contrast::run(bits, q, 32, 2006)?;
-    println!("Connected vs reachable components at N = 2^{bits}, q = {q}");
-    println!(
-        "{:<10} {:>14} {:>14} {:>8}",
-        "geometry", "connected frac", "reachable frac", "gap"
-    );
-    for row in &rows {
-        println!(
-            "{:<10} {:>14.4} {:>14.4} {:>8.4}",
-            row.geometry,
-            row.mean_connected_fraction,
-            row.mean_reachable_fraction,
-            row.gap()
-        );
-    }
-    let path = write_json(&rows, &default_output_dir(), "percolation_contrast")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::PercolationContrast)
 }

@@ -1,35 +1,10 @@
-//! Measures the tightness of the Chord lower bound (experiment E11,
-//! the Fig. 6(b) discussion).
+//! Tightness of the Chord lower bound (Fig. 6(b) discussion).
 //!
-//! Usage: `cargo run --release -p dht-experiments --bin ring_bound_gap [--smoke]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::fig6::Fig6Config;
-use dht_experiments::output::{default_output_dir, write_json};
-use dht_experiments::ring_bound_gap;
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke {
-        Fig6Config::smoke()
-    } else {
-        Fig6Config::paper_scale()
-    };
-    let points = ring_bound_gap::run(&config)?;
-    println!("Chord bound slack (analytical failed % minus simulated failed %)");
-    println!(
-        "{:>6} {:>14} {:>14} {:>10}",
-        "q", "analytical %", "simulated %", "slack"
-    );
-    for point in &points {
-        println!(
-            "{:>6.2} {:>14.2} {:>14.2} {:>10.2}",
-            point.failure_probability,
-            point.analytical_failed_percent,
-            point.simulated_failed_percent,
-            point.slack
-        );
-    }
-    let path = write_json(&points, &default_output_dir(), "ring_bound_gap")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::RingBoundGap)
 }

@@ -1,15 +1,10 @@
-//! Regenerates the §5 scalability classification table (experiment E7).
+//! The Section 5 scalability classification table.
 //!
-//! Usage: `cargo run -p dht-experiments --bin scalability_table`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::output::{default_output_dir, write_json};
-use dht_experiments::scalability_table;
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rows = scalability_table::run(&[0.05, 0.1, 0.3, 0.5])?;
-    println!("Scalability of DHT routing geometries under random failure (Section 5)");
-    print!("{}", scalability_table::render(&rows));
-    let path = write_json(&rows, &default_output_dir(), "scalability_table")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::ScalabilityTable)
 }

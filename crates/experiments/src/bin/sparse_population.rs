@@ -1,33 +1,10 @@
-//! Measures static resilience over a sparsely occupied identifier space —
-//! the ROADMAP's new scenario axis, beyond the paper's fully populated model.
+//! Static resilience over a sparsely occupied identifier space.
 //!
-//! The paper-scale run builds ring, XOR and hypercube overlays over `2^18`
-//! occupied identifiers in a `2^20` space (25% occupancy) and sweeps failure
-//! probabilities 0–50%.
-//!
-//! Usage: `cargo run --release -p dht-experiments --bin sparse_population [--smoke]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::output::{default_output_dir, write_json};
-use dht_experiments::sparse_population::{
-    render_sparse_table, sparse_population_resilience, SparsePopulationConfig,
-};
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let config = if smoke {
-        SparsePopulationConfig::smoke()
-    } else {
-        SparsePopulationConfig::paper_scale()
-    };
-    let records = sparse_population_resilience(&config)?;
-    println!(
-        "Sparse-population static resilience: 2^{} identifier space, {} occupied nodes ({:.0}% occupancy)",
-        config.bits,
-        config.occupied,
-        100.0 * config.occupied as f64 / (1u64 << config.bits) as f64,
-    );
-    print!("{}", render_sparse_table(&records));
-    let path = write_json(&records, &default_output_dir(), "sparse_population")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::SparsePopulation)
 }

@@ -1,44 +1,10 @@
-//! Sweeps Symphony's (k_n, k_s) parameters (experiment E10): how many
-//! connections buy a target routability at a given size.
+//! Symphony (k_n, k_s) routability ablation.
 //!
-//! Usage: `cargo run -p dht-experiments --bin symphony_ablation [q]`
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
 
-use dht_experiments::output::{default_output_dir, write_json};
-use dht_experiments::symphony_ablation;
+use dht_experiments::spec::{cli_main, Family};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let q: f64 = std::env::args()
-        .nth(1)
-        .map(|a| a.parse())
-        .transpose()?
-        .unwrap_or(0.2);
-    let cells = symphony_ablation::run(&[16, 20, 24], q, 8)?;
-    println!("Symphony routability (%) vs (k_n, k_s) at q = {q}");
-    for &bits in &[16u32, 20, 24] {
-        println!("\nN = 2^{bits}");
-        print!("{:>6}", "kn\\ks");
-        for ks in 1..=8u32 {
-            print!("{ks:>8}");
-        }
-        println!();
-        for kn in 1..=8u32 {
-            print!("{kn:>6}");
-            for ks in 1..=8u32 {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.bits == bits && c.near_neighbors == kn && c.shortcuts == ks);
-                match cell {
-                    Some(cell) => print!("{:>8.2}", cell.routability_percent),
-                    None => print!("{:>8}", "-"),
-                }
-            }
-            println!();
-        }
-        if let Some((kn, ks)) = symphony_ablation::minimum_configuration(&cells, bits, 95.0) {
-            println!("smallest configuration reaching 95%: k_n = {kn}, k_s = {ks}");
-        }
-    }
-    let path = write_json(&cells, &default_output_dir(), "symphony_ablation")?;
-    println!("wrote {}", path.display());
-    Ok(())
+    cli_main(Family::SymphonyAblation)
 }

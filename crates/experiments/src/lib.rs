@@ -23,6 +23,13 @@
 //! Every harness takes an explicit seed and sizes, so results are
 //! reproducible and the binaries can run a fast "smoke" configuration in CI
 //! and the full paper-scale configuration when regenerating EXPERIMENTS.md.
+//!
+//! The [`spec`] module is the declarative front door over all of the above:
+//! a serializable [`spec::ScenarioSpec`] describes any experiment (family,
+//! parameters, root seed, thread budget), [`spec::run_spec`] executes it into
+//! a schema-versioned [`spec::ScenarioReport`], and every binary in
+//! `src/bin/` is a one-line [`spec::cli_main`] call accepting `--spec <file>`
+//! uniformly. Reports hit disk through [`output::ReportWriter`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +45,11 @@ pub mod percolation_contrast;
 pub mod ring_bound_gap;
 pub mod scalability_table;
 pub mod sparse_population;
+pub mod spec;
 pub mod symphony_ablation;
 
-pub use output::{render_records_table, write_json, write_records_csv};
+pub use output::{default_output_dir, render_records_table, ReportMode, ReportWriter};
+pub use spec::{
+    run_spec, ExecutionSpec, ExperimentSpec, Family, ScenarioReport, ScenarioSpec, SpecError,
+    SpecOutcome, REPORT_SCHEMA, SPEC_SCHEMA,
+};

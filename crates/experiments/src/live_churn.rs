@@ -21,7 +21,7 @@
 
 use dht_id::{KeySpace, Population};
 use dht_markov::chains::{hypercube_chain, ring_chain, tree_chain, xor_chain};
-use dht_markov::ChainError;
+use dht_markov::{ChainError, ChainFamily};
 use dht_overlay::can::CanStrategy;
 use dht_overlay::chord::ChordStrategy;
 use dht_overlay::kademlia::KademliaStrategy;
@@ -144,13 +144,45 @@ pub fn chain_predicted_routability(
     bits: u32,
     q: f64,
 ) -> Result<Option<f64>, ChainError> {
-    type ChainSuccess = fn(u32, f64) -> Result<dht_markov::chains::RoutingChain, ChainError>;
-    let (model, chain): (dht_rcm_core::Geometry, ChainSuccess) = match geometry {
-        "ring" => (dht_rcm_core::Geometry::ring(), ring_chain),
-        "xor" => (dht_rcm_core::Geometry::xor(), xor_chain),
-        "tree" => (dht_rcm_core::Geometry::tree(), tree_chain),
-        "hypercube" => (dht_rcm_core::Geometry::hypercube(), hypercube_chain),
-        _ => return Ok(None),
+    chain_predicted_routability_with(geometry, bits, q, |family, h, hop_q| {
+        let chain = match family {
+            ChainFamily::Ring => ring_chain(h, hop_q)?,
+            ChainFamily::Xor => xor_chain(h, hop_q)?,
+            ChainFamily::Tree => tree_chain(h, hop_q)?,
+            ChainFamily::Hypercube => hypercube_chain(h, hop_q)?,
+        };
+        chain.success_probability()
+    })
+}
+
+/// [`chain_predicted_routability`] with the per-hop chain solve supplied by
+/// the caller — the hook the report server uses to route solves through a
+/// shared [`dht_markov::ChainCache`] instead of rebuilding chains per query.
+///
+/// `solve(family, h, q)` must return the chain success probability for `h`
+/// hops at failure probability `q`; it is called once per hop distance of
+/// the geometry.
+///
+/// # Errors
+///
+/// Propagates any [`ChainError`] returned by `solve`.
+pub fn chain_predicted_routability_with<F>(
+    geometry: &str,
+    bits: u32,
+    q: f64,
+    mut solve: F,
+) -> Result<Option<f64>, ChainError>
+where
+    F: FnMut(ChainFamily, u32, f64) -> Result<f64, ChainError>,
+{
+    let Some(family) = ChainFamily::from_geometry_name(geometry) else {
+        return Ok(None);
+    };
+    let model = match family {
+        ChainFamily::Ring => dht_rcm_core::Geometry::ring(),
+        ChainFamily::Xor => dht_rcm_core::Geometry::xor(),
+        ChainFamily::Tree => dht_rcm_core::Geometry::tree(),
+        ChainFamily::Hypercube => dht_rcm_core::Geometry::hypercube(),
     };
     let survivors = (1.0 - q) * (1u64 << bits) as f64;
     if survivors <= 1.0 {
@@ -162,7 +194,7 @@ pub fn chain_predicted_routability(
         if ln_count == f64::NEG_INFINITY {
             continue;
         }
-        expected_reachable += ln_count.exp() * chain(h, q)?.success_probability()?;
+        expected_reachable += ln_count.exp() * solve(family, h, q)?;
     }
     Ok(Some((expected_reachable / (survivors - 1.0)).min(1.0)))
 }
@@ -258,17 +290,24 @@ pub const GEOMETRIES: [&str; 5] = ["ring", "xor", "tree", "hypercube", "symphony
 /// time × lookup rate × geometry, one frozen point (with its chain
 /// prediction) and one repaired point.
 ///
+/// Grid point `k` (in sweep order) is seeded with child `k` of a
+/// [`dht_sim::SeedSequence`] rooted at `grid.seed` — the repository-wide
+/// convention shared with [`dht_sim::sweep_failure_grid`], so per-point
+/// streams are well-mixed and never correlate across adjacent points or
+/// nearby root seeds.
+///
 /// # Errors
 ///
 /// Returns [`SimError`] as in [`run_point`].
 pub fn run_grid(grid: &LiveChurnGridConfig) -> Result<Vec<LiveChurnPoint>, SimError> {
+    let seeds = dht_sim::SeedSequence::new(grid.seed);
     let mut points = Vec::new();
     let mut point_index = 0u64;
     for &session_time in &grid.session_times {
         for &lookup_rate in &grid.lookup_rates {
             for geometry in GEOMETRIES {
                 for repair in [false, true] {
-                    let seed = grid.seed.wrapping_add(point_index);
+                    let seed = seeds.child(point_index);
                     points.push(run_point(
                         grid,
                         geometry,

@@ -1,5 +1,11 @@
 //! Result rendering and persistence shared by the experiment binaries.
+//!
+//! All report emission goes through one [`ReportWriter`]: every binary and
+//! the batch runner write [`ScenarioReport`] envelopes (and, for the Fig. 6/7
+//! record families, companion CSV) to a consistent `results/` layout, in
+//! pretty or compact JSON.
 
+use crate::spec::ScenarioReport;
 use dht_sim::{write_csv, SimError, SimulationRecord};
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -35,41 +41,111 @@ fn format_option(value: Option<f64>) -> String {
     value.map_or_else(|| "-".to_owned(), |v| format!("{v:.2}"))
 }
 
-/// Writes records to `<dir>/<name>.csv`, creating the directory if needed.
-///
-/// Returns the path written.
-///
-/// # Errors
-///
-/// Returns [`SimError::Io`] on filesystem errors.
-pub fn write_records_csv(
-    records: &[SimulationRecord],
-    dir: &Path,
-    name: &str,
-) -> Result<PathBuf, SimError> {
-    fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{name}.csv"));
-    let mut buffer = Vec::new();
-    write_csv(records, &mut buffer)?;
-    fs::write(&path, buffer)?;
-    Ok(path)
+/// How a [`ReportWriter`] serializes JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// Human-oriented, indented JSON (the binaries' default).
+    #[default]
+    Pretty,
+    /// Single-line JSON (the batch runner and server cache format).
+    Compact,
 }
 
-/// Writes any serialisable result to `<dir>/<name>.json` (pretty-printed).
-///
-/// Returns the path written.
-///
-/// # Errors
-///
-/// Returns [`SimError::Io`] on filesystem or serialisation errors.
-pub fn write_json<T: Serialize>(value: &T, dir: &Path, name: &str) -> Result<PathBuf, SimError> {
-    fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).map_err(|err| SimError::Io {
-        message: err.to_string(),
-    })?;
-    fs::write(&path, json)?;
-    Ok(path)
+/// The one place experiment results hit disk: writes report envelopes and
+/// companion CSV under an output directory, creating it on demand.
+#[derive(Debug, Clone)]
+pub struct ReportWriter {
+    dir: PathBuf,
+    mode: ReportMode,
+}
+
+impl ReportWriter {
+    /// A pretty-printing writer rooted at `dir`.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ReportWriter {
+            dir: dir.into(),
+            mode: ReportMode::Pretty,
+        }
+    }
+
+    /// Replaces the serialization mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReportMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The directory reports land in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `report` to `<dir>/<sanitized name>.json` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] on filesystem errors.
+    pub fn write_report(&self, report: &ScenarioReport) -> Result<PathBuf, SimError> {
+        self.write_json(report, &sanitize_stem(&report.name))
+    }
+
+    /// Writes any serializable value to `<dir>/<name>.json` in this writer's
+    /// mode and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] on filesystem or serialization errors.
+    pub fn write_json<T: Serialize>(&self, value: &T, name: &str) -> Result<PathBuf, SimError> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.dir.join(format!("{name}.json"));
+        let json = match self.mode {
+            ReportMode::Pretty => serde_json::to_string_pretty(value),
+            ReportMode::Compact => serde_json::to_string(value),
+        }
+        .map_err(|err| SimError::Io {
+            message: err.to_string(),
+        })?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Writes records to `<dir>/<name>.csv` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] on filesystem errors.
+    pub fn write_csv(&self, records: &[SimulationRecord], name: &str) -> Result<PathBuf, SimError> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.dir.join(format!("{}.csv", sanitize_stem(name)));
+        let mut buffer = Vec::new();
+        write_csv(records, &mut buffer)?;
+        fs::write(&path, buffer)?;
+        Ok(path)
+    }
+}
+
+/// Maps a spec name to a safe file stem: alphanumerics, `-`, `_` and `.`
+/// pass through, everything else becomes `_` (so names can never escape the
+/// output directory).
+#[must_use]
+pub fn sanitize_stem(name: &str) -> String {
+    let stem: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if stem.trim_matches('.').is_empty() {
+        "report".to_owned()
+    } else {
+        stem
+    }
 }
 
 /// The default output directory used by the experiment binaries
@@ -83,6 +159,7 @@ pub fn default_output_dir() -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{run_spec, Family};
 
     fn sample_records() -> Vec<SimulationRecord> {
         vec![
@@ -101,18 +178,38 @@ mod tests {
     }
 
     #[test]
-    fn csv_and_json_round_trip_to_disk() {
+    fn writer_round_trips_reports_and_csv_to_disk() {
         let dir = std::env::temp_dir().join(format!("dht-rcm-test-{}", std::process::id()));
+        let outcome = run_spec(&Family::ScalabilityTable.default_spec(true), None).unwrap();
+        let writer = ReportWriter::new(&dir);
+        let report_path = writer.write_report(&outcome.report).unwrap();
+        assert!(report_path.ends_with("scalability_table.json"));
+        let text = fs::read_to_string(&report_path).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, outcome.report);
+
+        let compact = writer.with_mode(ReportMode::Compact);
+        let compact_path = compact.write_json(&outcome.report, "compacted").unwrap();
+        let compact_text = fs::read_to_string(&compact_path).unwrap();
+        assert_eq!(compact_text.lines().count(), 1, "compact mode is one line");
+        assert!(text.lines().count() > 1, "pretty mode is indented");
+
         let records = sample_records();
-        let csv_path = write_records_csv(&records, &dir, "fig6a_test").unwrap();
-        let json_path = write_json(&records, &dir, "fig6a_test").unwrap();
+        let csv_path = ReportWriter::new(&dir)
+            .write_csv(&records, "fig6a_test")
+            .unwrap();
         let csv = fs::read_to_string(&csv_path).unwrap();
         assert!(csv.starts_with("experiment,"));
         assert_eq!(csv.trim().lines().count(), 3);
-        let json = fs::read_to_string(&json_path).unwrap();
-        let back: Vec<SimulationRecord> = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, records);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stems_are_sanitized() {
+        assert_eq!(sanitize_stem("fig6a_failed_paths"), "fig6a_failed_paths");
+        assert_eq!(sanitize_stem("../evil name"), ".._evil_name");
+        assert_eq!(sanitize_stem(""), "report");
+        assert_eq!(sanitize_stem(".."), "report");
     }
 
     #[test]

@@ -1,0 +1,1888 @@
+//! The declarative scenario front door: [`ScenarioSpec`].
+//!
+//! Every experiment of this crate used to be reachable only through its own
+//! binary with its own argument conventions. A `ScenarioSpec` replaces that
+//! with one fully-serializable description — experiment family and
+//! parameters, root seed, thread budget — that can live in a JSON file,
+//! travel over a socket, and be hashed into a stable content key:
+//!
+//! * [`ScenarioSpec::from_json`] / [`ScenarioSpec::to_json_pretty`] move
+//!   specs in and out of files (schema-versioned: [`SPEC_SCHEMA`]).
+//! * [`ScenarioSpec::content_hash_hex`] is a canonical content hash —
+//!   key-order independent, and blind to the `name` label and the
+//!   `execution` block (thread budgets do not change results; every
+//!   measurement engine in this workspace is thread-count invariant).
+//! * [`run_spec`] executes any spec and returns a schema-versioned
+//!   [`ScenarioReport`] plus the human-readable table the old binaries
+//!   printed.
+//! * [`cli_main`] is the shared binary front end: every experiment binary
+//!   is now `cli_main(Family::X)` and accepts `--spec <file>`, `--smoke`,
+//!   `--out <dir>`, `--compact` and `--threads <n>` uniformly (plus each
+//!   binary's old positional arguments as a deprecated fallback).
+//!
+//! ## Seed derivation convention
+//!
+//! A spec carries one root seed. Workloads that need several independent
+//! streams split it with [`dht_sim::SeedSequence`] children — grid sweeps
+//! seed point `k` with child `k` ([`dht_sim::sweep_failure_grid`],
+//! [`crate::live_churn::run_grid`]), and the static-resilience family uses
+//! child 0 for overlay construction and child 1 as the measurement root.
+
+use crate::fig3;
+use crate::fig6::{fig6a, fig6b, Fig6Config, Fig6Error};
+use crate::fig7::{fig7a, fig7b, Fig7Config, Fig7bPoint};
+use crate::live_churn::{
+    chain_predicted_routability_with, render_live_churn_table, LiveChurnGridConfig,
+};
+use crate::markov_validation::{self, ValidationError, ValidationRow};
+use crate::output::{default_output_dir, render_records_table, ReportMode, ReportWriter};
+use crate::percolation_contrast::{self, ContrastRow};
+use crate::ring_bound_gap::{self, BoundGapPoint};
+use crate::scalability_table;
+use crate::sparse_population::{
+    render_sparse_table, sparse_population_resilience, SparsePopulationConfig,
+    SparsePopulationError,
+};
+use crate::symphony_ablation::{self, AblationCell};
+use dht_markov::{ChainError, ChainFamily};
+use dht_overlay::{
+    CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay, Overlay, OverlayError, PlaxtonOverlay,
+    SymphonyOverlay,
+};
+use dht_rcm_core::{classify, routability, Geometry, RcmError, ScalabilityReport, SystemSize};
+use dht_sim::{
+    sweep_failure_grid, SeedSequence, SimError, SimulationRecord, StaticResilienceConfig,
+    StaticResilienceResult,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Schema identifier written into (and required from) every spec file.
+pub const SPEC_SCHEMA: &str = "dht-scenario/v1";
+
+/// Schema identifier written into every report envelope.
+pub const REPORT_SCHEMA: &str = "dht-scenario-report/v1";
+
+/// How a spec is executed: knobs that change resource usage but — by the
+/// thread-invariance guarantee of every engine in this workspace — never
+/// change results. Excluded from the content hash for exactly that reason.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionSpec {
+    /// Worker-thread budget for the measurement engines.
+    pub threads: usize,
+}
+
+/// A fully-serializable description of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Schema version tag; must equal [`SPEC_SCHEMA`].
+    pub schema: String,
+    /// Human-readable label; also the output file stem. Not hashed.
+    pub name: String,
+    /// Root seed; all randomness derives from it (see the module docs for
+    /// the [`SeedSequence`] child convention).
+    pub seed: u64,
+    /// The experiment family and its parameters.
+    pub experiment: ExperimentSpec,
+    /// Optional execution knobs (thread budget). Not hashed.
+    pub execution: Option<ExecutionSpec>,
+}
+
+/// The experiment families a spec can describe, with their parameters.
+///
+/// Serialized externally tagged: `{"Fig6a": { ... }}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentSpec {
+    /// The worked 8-node hypercube example of Fig. 1–3.
+    Fig3 {
+        /// Node failure probability `q`.
+        failure_probability: f64,
+        /// Monte-Carlo trials for the simulated `p(3, q)`.
+        trials: u64,
+    },
+    /// Fig. 6(a): tree/hypercube/XOR failed paths, analysis + simulation.
+    Fig6a {
+        /// Identifier length for the analytical curves.
+        analytical_bits: u32,
+        /// Identifier length for the simulated overlays.
+        simulation_bits: u32,
+        /// Source/destination pairs per grid point.
+        pairs: u64,
+        /// Failure-probability grid.
+        grid: Vec<f64>,
+    },
+    /// Fig. 6(b): ring (Chord) failed paths, analysis + simulation.
+    Fig6b {
+        /// Identifier length for the analytical curves.
+        analytical_bits: u32,
+        /// Identifier length for the simulated overlay.
+        simulation_bits: u32,
+        /// Source/destination pairs per grid point.
+        pairs: u64,
+        /// Failure-probability grid.
+        grid: Vec<f64>,
+    },
+    /// Fig. 7(a): asymptotic failed paths for all five geometries.
+    Fig7a {
+        /// Identifier length of the asymptotic panel.
+        asymptotic_bits: u32,
+        /// Failure-probability grid.
+        grid: Vec<f64>,
+        /// Failure probability of the size sweep (unused by this panel but
+        /// part of the shared Fig. 7 configuration).
+        fixed_failure_probability: f64,
+        /// Identifier lengths of the size sweep (unused by this panel).
+        size_bits: Vec<u32>,
+        /// Symphony near neighbours `k_n`.
+        symphony_near_neighbors: u32,
+        /// Symphony shortcuts `k_s`.
+        symphony_shortcuts: u32,
+    },
+    /// Fig. 7(b): routability vs system size at fixed `q`.
+    Fig7b {
+        /// Identifier length of the asymptotic panel (unused by this panel).
+        asymptotic_bits: u32,
+        /// Failure-probability grid (unused by this panel).
+        grid: Vec<f64>,
+        /// Failure probability of the size sweep.
+        fixed_failure_probability: f64,
+        /// Identifier lengths of the size sweep.
+        size_bits: Vec<u32>,
+        /// Symphony near neighbours `k_n`.
+        symphony_near_neighbors: u32,
+        /// Symphony shortcuts `k_s`.
+        symphony_shortcuts: u32,
+    },
+    /// The §5 scalability classification table.
+    ScalabilityTable {
+        /// Failure probabilities to probe numerically.
+        failure_probabilities: Vec<f64>,
+    },
+    /// Closed forms vs the routing Markov chains of Fig. 4, 5, 8.
+    MarkovValidation {
+        /// Largest hop/phase distance checked.
+        max_distance: u32,
+        /// Failure-probability grid.
+        grid: Vec<f64>,
+    },
+    /// The §1 connected-vs-reachable component contrast.
+    PercolationContrast {
+        /// Identifier length.
+        bits: u32,
+        /// Failure probability applied.
+        failure_probability: f64,
+        /// Surviving roots examined per geometry.
+        roots: u32,
+    },
+    /// Symphony `(k_n, k_s)` routability ablation.
+    SymphonyAblation {
+        /// Identifier lengths to sweep.
+        bits_list: Vec<u32>,
+        /// Failure probability.
+        failure_probability: f64,
+        /// Largest `k_n` and `k_s` swept (grid is `1..=max` squared).
+        max_connections: u32,
+    },
+    /// Tightness of the Chord lower bound (Fig. 6(b) discussion).
+    RingBoundGap {
+        /// Identifier length for the analytical curves.
+        analytical_bits: u32,
+        /// Identifier length for the simulated overlay.
+        simulation_bits: u32,
+        /// Source/destination pairs per grid point.
+        pairs: u64,
+        /// Failure-probability grid.
+        grid: Vec<f64>,
+    },
+    /// Static resilience over a sparsely occupied identifier space.
+    SparsePopulation {
+        /// Identifier length `d` of the space.
+        bits: u32,
+        /// Occupied identifiers (`n <= 2^d`).
+        occupied: u64,
+        /// Also measure the fully populated baseline.
+        include_full_baseline: bool,
+        /// Source/destination pairs per grid point.
+        pairs: u64,
+        /// Failure-probability grid.
+        grid: Vec<f64>,
+    },
+    /// Continuous-time churn with frozen vs repaired overlays.
+    LiveChurn {
+        /// Identifier length (full population).
+        bits: u32,
+        /// Mean session times `E[L]` to sweep.
+        session_times: Vec<f64>,
+        /// Poisson lookup rates to sweep.
+        lookup_rates: Vec<f64>,
+        /// Mean offline time `E[D]`.
+        mean_downtime: f64,
+        /// Simulated horizon per replica.
+        duration: f64,
+        /// Measurement-window start.
+        warmup: f64,
+        /// Independent replicas per point.
+        replicas: u32,
+    },
+    /// One geometry's static resilience + scalability report — the report
+    /// server's query family ("N, geometry, q → resilience report").
+    StaticResilience {
+        /// Geometry name (`ring`, `xor`, `tree`, `hypercube`, `symphony`).
+        geometry: String,
+        /// Identifier length (full population, `N = 2^bits`).
+        bits: u32,
+        /// Failure-probability grid.
+        grid: Vec<f64>,
+        /// Source/destination pairs per grid point.
+        pairs: u64,
+        /// Independent failure patterns averaged per grid point.
+        trials: u32,
+    },
+}
+
+/// The experiment families, used to key binaries and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Family {
+    Fig3,
+    Fig6a,
+    Fig6b,
+    Fig7a,
+    Fig7b,
+    ScalabilityTable,
+    MarkovValidation,
+    PercolationContrast,
+    SymphonyAblation,
+    RingBoundGap,
+    SparsePopulation,
+    LiveChurn,
+    StaticResilience,
+}
+
+/// All families, in the order the docs list them.
+pub const FAMILIES: [Family; 13] = [
+    Family::Fig3,
+    Family::Fig6a,
+    Family::Fig6b,
+    Family::Fig7a,
+    Family::Fig7b,
+    Family::ScalabilityTable,
+    Family::MarkovValidation,
+    Family::PercolationContrast,
+    Family::SymphonyAblation,
+    Family::RingBoundGap,
+    Family::SparsePopulation,
+    Family::LiveChurn,
+    Family::StaticResilience,
+];
+
+impl Family {
+    /// Stable snake_case name (used in report envelopes and file stems).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Fig3 => "fig3",
+            Family::Fig6a => "fig6a",
+            Family::Fig6b => "fig6b",
+            Family::Fig7a => "fig7a",
+            Family::Fig7b => "fig7b",
+            Family::ScalabilityTable => "scalability_table",
+            Family::MarkovValidation => "markov_validation",
+            Family::PercolationContrast => "percolation_contrast",
+            Family::SymphonyAblation => "symphony_ablation",
+            Family::RingBoundGap => "ring_bound_gap",
+            Family::SparsePopulation => "sparse_population",
+            Family::LiveChurn => "live_churn",
+            Family::StaticResilience => "static_resilience",
+        }
+    }
+
+    /// Parses a family from its [`Family::name`] string.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        FAMILIES.into_iter().find(|family| family.name() == name)
+    }
+
+    /// The output file stem the family's binary historically used.
+    #[must_use]
+    pub fn output_stem(self) -> &'static str {
+        match self {
+            Family::Fig3 => "fig3_hypercube_example",
+            Family::Fig6a => "fig6a_failed_paths",
+            Family::Fig6b => "fig6b_ring",
+            Family::Fig7a => "fig7a_asymptotic",
+            Family::Fig7b => "fig7b_routability_vs_n",
+            other => other.name(),
+        }
+    }
+
+    /// The canonical spec of this family: the paper-scale configuration, or
+    /// the reduced smoke configuration the binaries run with `--smoke`.
+    #[must_use]
+    pub fn default_spec(self, smoke: bool) -> ScenarioSpec {
+        let experiment = match self {
+            Family::Fig3 => ExperimentSpec::Fig3 {
+                failure_probability: 0.3,
+                trials: if smoke { 20_000 } else { 200_000 },
+            },
+            Family::Fig6a | Family::Fig6b | Family::RingBoundGap => {
+                let config = if smoke {
+                    Fig6Config::smoke()
+                } else {
+                    Fig6Config::paper_scale()
+                };
+                let fields = |config: Fig6Config| {
+                    (
+                        config.analytical_bits,
+                        config.simulation_bits,
+                        config.pairs,
+                        config.grid,
+                    )
+                };
+                let (analytical_bits, simulation_bits, pairs, grid) = fields(config.clone());
+                let seeded = ScenarioSpec {
+                    schema: SPEC_SCHEMA.to_owned(),
+                    name: self.output_stem().to_owned(),
+                    seed: config.seed,
+                    experiment: match self {
+                        Family::Fig6a => ExperimentSpec::Fig6a {
+                            analytical_bits,
+                            simulation_bits,
+                            pairs,
+                            grid,
+                        },
+                        Family::Fig6b => ExperimentSpec::Fig6b {
+                            analytical_bits,
+                            simulation_bits,
+                            pairs,
+                            grid,
+                        },
+                        _ => ExperimentSpec::RingBoundGap {
+                            analytical_bits,
+                            simulation_bits,
+                            pairs,
+                            grid,
+                        },
+                    },
+                    execution: Some(ExecutionSpec {
+                        threads: config.threads,
+                    }),
+                };
+                return seeded;
+            }
+            Family::Fig7a | Family::Fig7b => {
+                let config = if smoke {
+                    Fig7Config::smoke()
+                } else {
+                    Fig7Config::paper_scale()
+                };
+                let mut spec: ScenarioSpec = config.into();
+                if self == Family::Fig7b {
+                    if let ExperimentSpec::Fig7a {
+                        asymptotic_bits,
+                        grid,
+                        fixed_failure_probability,
+                        size_bits,
+                        symphony_near_neighbors,
+                        symphony_shortcuts,
+                    } = spec.experiment
+                    {
+                        spec.experiment = ExperimentSpec::Fig7b {
+                            asymptotic_bits,
+                            grid,
+                            fixed_failure_probability,
+                            size_bits,
+                            symphony_near_neighbors,
+                            symphony_shortcuts,
+                        };
+                    }
+                }
+                spec.name = self.output_stem().to_owned();
+                return spec;
+            }
+            Family::ScalabilityTable => ExperimentSpec::ScalabilityTable {
+                failure_probabilities: vec![0.05, 0.1, 0.3, 0.5],
+            },
+            Family::MarkovValidation => ExperimentSpec::MarkovValidation {
+                max_distance: if smoke { 8 } else { 16 },
+                grid: vec![0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9],
+            },
+            Family::PercolationContrast => ExperimentSpec::PercolationContrast {
+                bits: if smoke { 9 } else { 12 },
+                failure_probability: 0.3,
+                roots: if smoke { 10 } else { 32 },
+            },
+            Family::SymphonyAblation => ExperimentSpec::SymphonyAblation {
+                bits_list: if smoke {
+                    vec![12, 16]
+                } else {
+                    vec![16, 20, 24]
+                },
+                failure_probability: 0.2,
+                max_connections: if smoke { 4 } else { 8 },
+            },
+            Family::SparsePopulation => {
+                let config = if smoke {
+                    SparsePopulationConfig::smoke()
+                } else {
+                    SparsePopulationConfig::paper_scale()
+                };
+                let mut spec: ScenarioSpec = config.into();
+                spec.name = self.output_stem().to_owned();
+                return spec;
+            }
+            Family::LiveChurn => {
+                let config = if smoke {
+                    LiveChurnGridConfig::smoke()
+                } else {
+                    LiveChurnGridConfig::paper_scale()
+                };
+                let mut spec: ScenarioSpec = config.into();
+                spec.name = self.output_stem().to_owned();
+                return spec;
+            }
+            Family::StaticResilience => ExperimentSpec::StaticResilience {
+                geometry: "ring".to_owned(),
+                bits: if smoke { 10 } else { 16 },
+                grid: dht_mathkit::percent_grid(
+                    if smoke { 80 } else { 90 },
+                    if smoke { 20 } else { 5 },
+                ),
+                pairs: if smoke { 2_000 } else { 20_000 },
+                trials: 1,
+            },
+        };
+        ScenarioSpec::new(self.output_stem(), 2006, experiment)
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl ExperimentSpec {
+    /// The family this experiment belongs to.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        match self {
+            ExperimentSpec::Fig3 { .. } => Family::Fig3,
+            ExperimentSpec::Fig6a { .. } => Family::Fig6a,
+            ExperimentSpec::Fig6b { .. } => Family::Fig6b,
+            ExperimentSpec::Fig7a { .. } => Family::Fig7a,
+            ExperimentSpec::Fig7b { .. } => Family::Fig7b,
+            ExperimentSpec::ScalabilityTable { .. } => Family::ScalabilityTable,
+            ExperimentSpec::MarkovValidation { .. } => Family::MarkovValidation,
+            ExperimentSpec::PercolationContrast { .. } => Family::PercolationContrast,
+            ExperimentSpec::SymphonyAblation { .. } => Family::SymphonyAblation,
+            ExperimentSpec::RingBoundGap { .. } => Family::RingBoundGap,
+            ExperimentSpec::SparsePopulation { .. } => Family::SparsePopulation,
+            ExperimentSpec::LiveChurn { .. } => Family::LiveChurn,
+            ExperimentSpec::StaticResilience { .. } => Family::StaticResilience,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Creates a spec with the current schema tag and no execution block.
+    #[must_use]
+    pub fn new(name: impl Into<String>, seed: u64, experiment: ExperimentSpec) -> Self {
+        ScenarioSpec {
+            schema: SPEC_SCHEMA.to_owned(),
+            name: name.into(),
+            seed,
+            experiment,
+            execution: None,
+        }
+    }
+
+    /// The canonical static-resilience query spec the report server answers:
+    /// geometry, size and failure probability, with explicit measurement
+    /// budget. Identical queries produce identical specs — and therefore
+    /// identical content hashes — which is what makes them cacheable.
+    #[must_use]
+    pub fn static_resilience(
+        geometry: &str,
+        bits: u32,
+        failure_probability: f64,
+        pairs: u64,
+        trials: u32,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec::new(
+            format!("{geometry}_2e{bits}_q{failure_probability}"),
+            seed,
+            ExperimentSpec::StaticResilience {
+                geometry: geometry.to_owned(),
+                bits,
+                grid: vec![failure_probability],
+                pairs,
+                trials,
+            },
+        )
+    }
+
+    /// The spec's experiment family.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        self.experiment.family()
+    }
+
+    /// The effective thread budget: the execution block's, or 1.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.execution
+            .as_ref()
+            .map_or(1, |execution| execution.threads.max(1))
+    }
+
+    /// Checks the schema tag and basic well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] on an unknown schema tag or an empty
+    /// name.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.schema != SPEC_SCHEMA {
+            return Err(SpecError::Invalid(format!(
+                "unsupported spec schema {:?} (this build reads {SPEC_SCHEMA:?})",
+                self.schema
+            )));
+        }
+        if self.name.is_empty() {
+            return Err(SpecError::Invalid("spec name must not be empty".to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Parses and validates a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on malformed JSON and
+    /// [`SpecError::Invalid`] on schema mismatches.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: ScenarioSpec =
+            serde_json::from_str(text).map_err(|err| SpecError::Parse(err.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Pretty-printed JSON form (the spec-file format).
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization is infallible")
+    }
+
+    /// Compact JSON form (the wire format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serialization is infallible")
+    }
+
+    /// Stable 64-bit content hash (FNV-1a over canonical JSON).
+    ///
+    /// Canonicalization sorts object keys recursively, so field order never
+    /// matters, and drops the top-level `name` and `execution` entries: the
+    /// label is presentation, and thread budgets cannot change results
+    /// (every engine is thread-count invariant), so neither may change the
+    /// cache key. The `schema` tag *is* hashed — a schema bump invalidates
+    /// every cache.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut value = self.to_value();
+        if let Value::Object(entries) = &mut value {
+            entries.retain(|(key, _)| key != "name" && key != "execution");
+        }
+        let canonical = canonicalize(&value);
+        let json =
+            serde_json::to_string(&canonical).expect("canonical JSON serialization is infallible");
+        fnv1a64(json.as_bytes())
+    }
+
+    /// [`ScenarioSpec::content_hash`] as a fixed-width hex string.
+    #[must_use]
+    pub fn content_hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+}
+
+/// Recursively sorts object keys so structurally equal values serialize to
+/// byte-equal JSON.
+fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        Value::Object(entries) => {
+            let mut entries: Vec<(String, Value)> = entries
+                .iter()
+                .map(|(key, item)| (key.clone(), canonicalize(item)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(entries)
+        }
+        other => other.clone(),
+    }
+}
+
+/// FNV-1a, 64-bit.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Conversions between the legacy per-experiment configs and ScenarioSpec.
+// ---------------------------------------------------------------------------
+
+impl From<Fig6Config> for ScenarioSpec {
+    /// Lossless: seed and threads move to the spec's root fields. The
+    /// canonical family for a bare `Fig6Config` is Fig. 6(a).
+    fn from(config: Fig6Config) -> Self {
+        ScenarioSpec {
+            schema: SPEC_SCHEMA.to_owned(),
+            name: Family::Fig6a.output_stem().to_owned(),
+            seed: config.seed,
+            experiment: ExperimentSpec::Fig6a {
+                analytical_bits: config.analytical_bits,
+                simulation_bits: config.simulation_bits,
+                pairs: config.pairs,
+                grid: config.grid,
+            },
+            execution: Some(ExecutionSpec {
+                threads: config.threads,
+            }),
+        }
+    }
+}
+
+impl TryFrom<&ScenarioSpec> for Fig6Config {
+    type Error = SpecError;
+
+    /// Accepts any Fig. 6-shaped family (Fig6a, Fig6b, RingBoundGap).
+    fn try_from(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        match &spec.experiment {
+            ExperimentSpec::Fig6a {
+                analytical_bits,
+                simulation_bits,
+                pairs,
+                grid,
+            }
+            | ExperimentSpec::Fig6b {
+                analytical_bits,
+                simulation_bits,
+                pairs,
+                grid,
+            }
+            | ExperimentSpec::RingBoundGap {
+                analytical_bits,
+                simulation_bits,
+                pairs,
+                grid,
+            } => Ok(Fig6Config {
+                analytical_bits: *analytical_bits,
+                simulation_bits: *simulation_bits,
+                pairs: *pairs,
+                seed: spec.seed,
+                grid: grid.clone(),
+                threads: spec.threads(),
+            }),
+            other => Err(SpecError::Invalid(format!(
+                "expected a fig6-family spec, found {}",
+                other.family()
+            ))),
+        }
+    }
+}
+
+impl From<Fig7Config> for ScenarioSpec {
+    /// Lossless: `Fig7Config` carries no seed or thread budget, so the spec
+    /// gets seed 0 and no execution block. The canonical family is Fig. 7(a).
+    fn from(config: Fig7Config) -> Self {
+        ScenarioSpec {
+            schema: SPEC_SCHEMA.to_owned(),
+            name: Family::Fig7a.output_stem().to_owned(),
+            seed: 0,
+            experiment: ExperimentSpec::Fig7a {
+                asymptotic_bits: config.asymptotic_bits,
+                grid: config.grid,
+                fixed_failure_probability: config.fixed_failure_probability,
+                size_bits: config.size_bits,
+                symphony_near_neighbors: config.symphony_near_neighbors,
+                symphony_shortcuts: config.symphony_shortcuts,
+            },
+            execution: None,
+        }
+    }
+}
+
+impl TryFrom<&ScenarioSpec> for Fig7Config {
+    type Error = SpecError;
+
+    /// Accepts either Fig. 7 panel (both carry the full configuration).
+    fn try_from(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        match &spec.experiment {
+            ExperimentSpec::Fig7a {
+                asymptotic_bits,
+                grid,
+                fixed_failure_probability,
+                size_bits,
+                symphony_near_neighbors,
+                symphony_shortcuts,
+            }
+            | ExperimentSpec::Fig7b {
+                asymptotic_bits,
+                grid,
+                fixed_failure_probability,
+                size_bits,
+                symphony_near_neighbors,
+                symphony_shortcuts,
+            } => Ok(Fig7Config {
+                asymptotic_bits: *asymptotic_bits,
+                grid: grid.clone(),
+                fixed_failure_probability: *fixed_failure_probability,
+                size_bits: size_bits.clone(),
+                symphony_near_neighbors: *symphony_near_neighbors,
+                symphony_shortcuts: *symphony_shortcuts,
+            }),
+            other => Err(SpecError::Invalid(format!(
+                "expected a fig7-family spec, found {}",
+                other.family()
+            ))),
+        }
+    }
+}
+
+impl From<SparsePopulationConfig> for ScenarioSpec {
+    /// Lossless: seed and threads move to the spec's root fields.
+    fn from(config: SparsePopulationConfig) -> Self {
+        ScenarioSpec {
+            schema: SPEC_SCHEMA.to_owned(),
+            name: Family::SparsePopulation.output_stem().to_owned(),
+            seed: config.seed,
+            experiment: ExperimentSpec::SparsePopulation {
+                bits: config.bits,
+                occupied: config.occupied,
+                include_full_baseline: config.include_full_baseline,
+                pairs: config.pairs,
+                grid: config.grid,
+            },
+            execution: Some(ExecutionSpec {
+                threads: config.threads,
+            }),
+        }
+    }
+}
+
+impl TryFrom<&ScenarioSpec> for SparsePopulationConfig {
+    type Error = SpecError;
+
+    fn try_from(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        match &spec.experiment {
+            ExperimentSpec::SparsePopulation {
+                bits,
+                occupied,
+                include_full_baseline,
+                pairs,
+                grid,
+            } => Ok(SparsePopulationConfig {
+                bits: *bits,
+                occupied: *occupied,
+                include_full_baseline: *include_full_baseline,
+                pairs: *pairs,
+                seed: spec.seed,
+                grid: grid.clone(),
+                threads: spec.threads(),
+            }),
+            other => Err(SpecError::Invalid(format!(
+                "expected a sparse_population spec, found {}",
+                other.family()
+            ))),
+        }
+    }
+}
+
+impl From<LiveChurnGridConfig> for ScenarioSpec {
+    /// Lossless: seed and threads move to the spec's root fields.
+    fn from(config: LiveChurnGridConfig) -> Self {
+        ScenarioSpec {
+            schema: SPEC_SCHEMA.to_owned(),
+            name: Family::LiveChurn.output_stem().to_owned(),
+            seed: config.seed,
+            experiment: ExperimentSpec::LiveChurn {
+                bits: config.bits,
+                session_times: config.session_times,
+                lookup_rates: config.lookup_rates,
+                mean_downtime: config.mean_downtime,
+                duration: config.duration,
+                warmup: config.warmup,
+                replicas: config.replicas,
+            },
+            execution: Some(ExecutionSpec {
+                threads: config.threads,
+            }),
+        }
+    }
+}
+
+impl TryFrom<&ScenarioSpec> for LiveChurnGridConfig {
+    type Error = SpecError;
+
+    fn try_from(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        match &spec.experiment {
+            ExperimentSpec::LiveChurn {
+                bits,
+                session_times,
+                lookup_rates,
+                mean_downtime,
+                duration,
+                warmup,
+                replicas,
+            } => Ok(LiveChurnGridConfig {
+                bits: *bits,
+                session_times: session_times.clone(),
+                lookup_rates: lookup_rates.clone(),
+                mean_downtime: *mean_downtime,
+                duration: *duration,
+                warmup: *warmup,
+                replicas: *replicas,
+                threads: spec.threads(),
+                seed: spec.seed,
+            }),
+            other => Err(SpecError::Invalid(format!(
+                "expected a live_churn spec, found {}",
+                other.family()
+            ))),
+        }
+    }
+}
+
+impl TryFrom<&ScenarioSpec> for StaticResilienceConfig {
+    type Error = SpecError;
+
+    /// The sweep *base* configuration of a static-resilience spec: `q = 0`
+    /// (the grid is swept separately), with the measurement-root seed
+    /// (`SeedSequence` child 1 of the spec seed — child 0 seeds overlay
+    /// construction, matching [`run_spec`]).
+    fn try_from(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        match &spec.experiment {
+            ExperimentSpec::StaticResilience { pairs, trials, .. } => {
+                Ok(StaticResilienceConfig::new(0.0)?
+                    .with_pairs(*pairs)
+                    .with_trials(*trials)
+                    .with_seed(SeedSequence::new(spec.seed).child(1))
+                    .with_threads(spec.threads()))
+            }
+            other => Err(SpecError::Invalid(format!(
+                "expected a static_resilience spec, found {}",
+                other.family()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors from parsing, validating or running a spec.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The JSON text could not be parsed into a spec.
+    Parse(String),
+    /// The spec is well-formed JSON but semantically invalid.
+    Invalid(String),
+    /// Filesystem I/O failed.
+    Io(String),
+    /// Analytical evaluation failed.
+    Rcm(RcmError),
+    /// Overlay construction failed.
+    Overlay(OverlayError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// A Markov chain could not be built or solved.
+    Chain(ChainError),
+    /// The Fig. 6 harness failed.
+    Fig6(Fig6Error),
+    /// The sparse-population harness failed.
+    Sparse(SparsePopulationError),
+    /// The Markov-validation harness failed.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(message) => write!(f, "spec parse failed: {message}"),
+            SpecError::Invalid(message) => write!(f, "invalid spec: {message}"),
+            SpecError::Io(message) => write!(f, "spec I/O failed: {message}"),
+            SpecError::Rcm(err) => write!(f, "analytical evaluation failed: {err}"),
+            SpecError::Overlay(err) => write!(f, "overlay construction failed: {err}"),
+            SpecError::Sim(err) => write!(f, "simulation failed: {err}"),
+            SpecError::Chain(err) => write!(f, "chain evaluation failed: {err}"),
+            SpecError::Fig6(err) => write!(f, "{err}"),
+            SpecError::Sparse(err) => write!(f, "{err}"),
+            SpecError::Validation(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<RcmError> for SpecError {
+    fn from(err: RcmError) -> Self {
+        SpecError::Rcm(err)
+    }
+}
+impl From<OverlayError> for SpecError {
+    fn from(err: OverlayError) -> Self {
+        SpecError::Overlay(err)
+    }
+}
+impl From<SimError> for SpecError {
+    fn from(err: SimError) -> Self {
+        SpecError::Sim(err)
+    }
+}
+impl From<ChainError> for SpecError {
+    fn from(err: ChainError) -> Self {
+        SpecError::Chain(err)
+    }
+}
+impl From<Fig6Error> for SpecError {
+    fn from(err: Fig6Error) -> Self {
+        SpecError::Fig6(err)
+    }
+}
+impl From<SparsePopulationError> for SpecError {
+    fn from(err: SparsePopulationError) -> Self {
+        SpecError::Sparse(err)
+    }
+}
+impl From<ValidationError> for SpecError {
+    fn from(err: ValidationError) -> Self {
+        SpecError::Validation(err)
+    }
+}
+impl From<std::io::Error> for SpecError {
+    fn from(err: std::io::Error) -> Self {
+        SpecError::Io(err.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports and execution
+// ---------------------------------------------------------------------------
+
+/// The schema-versioned envelope every spec run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Report schema tag ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// The spec's name label.
+    pub name: String,
+    /// The spec's family name.
+    pub family: String,
+    /// The spec's canonical content hash (hex) — the cache key.
+    pub spec_hash: String,
+    /// The spec's root seed.
+    pub seed: u64,
+    /// The family-specific result payload.
+    pub payload: Value,
+}
+
+/// Everything one spec run yields: the report envelope plus the
+/// presentation the binaries print.
+#[derive(Debug, Clone)]
+pub struct SpecOutcome {
+    /// The serializable report.
+    pub report: ScenarioReport,
+    /// One-line summary (what the binaries print first).
+    pub headline: String,
+    /// Fixed-width result table.
+    pub table: String,
+    /// Records for families whose binaries also emit CSV.
+    pub csv_records: Option<Vec<SimulationRecord>>,
+}
+
+/// Executes a spec. `threads_override` (the `--threads` flag or a server's
+/// budget) takes precedence over the spec's execution block; results are
+/// identical either way — thread budgets only change wall-clock time.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the spec is invalid or any harness fails.
+pub fn run_spec(
+    spec: &ScenarioSpec,
+    threads_override: Option<usize>,
+) -> Result<SpecOutcome, SpecError> {
+    spec.validate()?;
+    let threads = threads_override.unwrap_or_else(|| spec.threads()).max(1);
+    let family = spec.family();
+    let (payload, headline, table, csv_records) = match &spec.experiment {
+        ExperimentSpec::Fig3 {
+            failure_probability,
+            trials,
+        } => {
+            let result = fig3::run(*failure_probability, *trials, spec.seed)?;
+            let headline =
+                format!("Fig. 3 worked example (d = 3 hypercube, q = {failure_probability})");
+            let table = render_fig3_table(&result);
+            (result.to_value(), headline, table, None)
+        }
+        ExperimentSpec::Fig6a { .. } => {
+            let config = Fig6Config::try_from(spec)?.with_threads_override(threads);
+            let records = fig6a(&config)?;
+            let headline = format!(
+                "Fig. 6(a): percent of failed paths, N = 2^{} (simulation at 2^{})",
+                config.analytical_bits, config.simulation_bits
+            );
+            let table = render_records_table(&records);
+            (records.to_value(), headline, table, Some(records))
+        }
+        ExperimentSpec::Fig6b { .. } => {
+            let config = Fig6Config::try_from(spec)?.with_threads_override(threads);
+            let records = fig6b(&config)?;
+            let headline = format!(
+                "Fig. 6(b): percent of failed paths for ring routing, N = 2^{}",
+                config.analytical_bits
+            );
+            let table = render_records_table(&records);
+            (records.to_value(), headline, table, Some(records))
+        }
+        ExperimentSpec::Fig7a { .. } => {
+            let config = Fig7Config::try_from(spec)?;
+            let records = fig7a(&config)?;
+            let headline = format!(
+                "Fig. 7(a): percent of failed paths in the asymptotic limit (N = 2^{})",
+                config.asymptotic_bits
+            );
+            let table = render_records_table(&records);
+            (records.to_value(), headline, table, Some(records))
+        }
+        ExperimentSpec::Fig7b { .. } => {
+            let config = Fig7Config::try_from(spec)?;
+            let points = fig7b(&config)?;
+            let headline = format!(
+                "Fig. 7(b): routability (%) vs system size at q = {}",
+                config.fixed_failure_probability
+            );
+            let table = render_fig7b_table(&points);
+            (points.to_value(), headline, table, None)
+        }
+        ExperimentSpec::ScalabilityTable {
+            failure_probabilities,
+        } => {
+            let rows = scalability_table::run(failure_probabilities)?;
+            let headline =
+                "Scalability of DHT routing geometries under random failure (Section 5)".to_owned();
+            let table = scalability_table::render(&rows);
+            (rows.to_value(), headline, table, None)
+        }
+        ExperimentSpec::MarkovValidation { max_distance, grid } => {
+            let rows = markov_validation::run(*max_distance, grid)?;
+            let headline = "Closed-form p(h,q) vs Markov-chain absorption probability".to_owned();
+            let table = render_validation_table(&rows);
+            (rows.to_value(), headline, table, None)
+        }
+        ExperimentSpec::PercolationContrast {
+            bits,
+            failure_probability,
+            roots,
+        } => {
+            let rows = percolation_contrast::run(*bits, *failure_probability, *roots, spec.seed)?;
+            let headline = format!(
+                "Connected vs reachable components at N = 2^{bits}, q = {failure_probability}"
+            );
+            let table = render_contrast_table(&rows);
+            (rows.to_value(), headline, table, None)
+        }
+        ExperimentSpec::SymphonyAblation {
+            bits_list,
+            failure_probability,
+            max_connections,
+        } => {
+            let cells = symphony_ablation::run(bits_list, *failure_probability, *max_connections)?;
+            let headline =
+                format!("Symphony routability (%) vs (k_n, k_s) at q = {failure_probability}");
+            let table = render_ablation_table(&cells, bits_list, *max_connections);
+            (cells.to_value(), headline, table, None)
+        }
+        ExperimentSpec::RingBoundGap { .. } => {
+            let config = Fig6Config::try_from(spec)?.with_threads_override(threads);
+            let points = ring_bound_gap::run(&config)?;
+            let headline =
+                "Chord bound slack (analytical failed % minus simulated failed %)".to_owned();
+            let table = render_bound_gap_table(&points);
+            (points.to_value(), headline, table, None)
+        }
+        ExperimentSpec::SparsePopulation { .. } => {
+            let mut config = SparsePopulationConfig::try_from(spec)?;
+            config.threads = threads;
+            let records = sparse_population_resilience(&config)?;
+            let headline = format!(
+                "Sparse-population static resilience: 2^{} identifier space, {} occupied nodes ({:.0}% occupancy)",
+                config.bits,
+                config.occupied,
+                100.0 * config.occupied as f64 / (1u64 << config.bits) as f64,
+            );
+            let table = render_sparse_table(&records);
+            (records.to_value(), headline, table, None)
+        }
+        ExperimentSpec::LiveChurn { .. } => {
+            let mut grid = LiveChurnGridConfig::try_from(spec)?;
+            grid.threads = threads;
+            let points = crate::live_churn::run_grid(&grid)?;
+            let headline = format!(
+                "Live churn: N = 2^{}, downtime E[D] = {}, horizon {} (warmup {}), {} replicas",
+                grid.bits, grid.mean_downtime, grid.duration, grid.warmup, grid.replicas
+            );
+            let table = render_live_churn_table(&points);
+            (points.to_value(), headline, table, None)
+        }
+        ExperimentSpec::StaticResilience {
+            geometry,
+            bits,
+            grid,
+            pairs,
+            trials,
+        } => {
+            let overlay = build_full_overlay(geometry, *bits, spec.seed)?;
+            let report = static_resilience_report_with(
+                geometry,
+                *bits,
+                grid,
+                *pairs,
+                *trials,
+                spec.seed,
+                threads,
+                overlay.as_ref(),
+                direct_chain_solve,
+            )?;
+            let headline = format!("Static resilience + scalability: {geometry} at N = 2^{bits}");
+            let table = render_resilience_table(&report);
+            (report.to_value(), headline, table, None)
+        }
+    };
+    Ok(SpecOutcome {
+        report: ScenarioReport {
+            schema: REPORT_SCHEMA.to_owned(),
+            name: spec.name.clone(),
+            family: family.name().to_owned(),
+            spec_hash: spec.content_hash_hex(),
+            seed: spec.seed,
+            payload,
+        },
+        headline,
+        table,
+        csv_records,
+    })
+}
+
+impl Fig6Config {
+    /// Replaces the thread budget (spec execution override).
+    #[must_use]
+    fn with_threads_override(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The static-resilience report family (the server's query shape)
+// ---------------------------------------------------------------------------
+
+/// One grid point of a [`StaticResilienceReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePoint {
+    /// Failure probability of this point.
+    pub failure_probability: f64,
+    /// Closed-form routability (`None` if the system degenerates there).
+    pub analytical_routability: Option<f64>,
+    /// Closed-form failed-path percentage.
+    pub analytical_failed_percent: Option<f64>,
+    /// Markov-chain-predicted routability (`None` for symphony).
+    pub chain_predicted_routability: Option<f64>,
+    /// The measured result on the executable overlay.
+    pub simulated: StaticResilienceResult,
+}
+
+/// The "N, geometry, q → resilience + scalability" report the server
+/// materializes per query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticResilienceReport {
+    /// Geometry name.
+    pub geometry: String,
+    /// Identifier length (`N = 2^bits`).
+    pub bits: u32,
+    /// One point per grid failure probability.
+    pub points: Vec<ResiliencePoint>,
+    /// The §5 scalability classification at the first positive grid `q`
+    /// (or `q = 0.1` when the grid has none).
+    pub scalability: ScalabilityReport,
+}
+
+/// Builds the fully populated overlay for a geometry name. Construction
+/// randomness comes from `SeedSequence` child 0 of `seed` (child 1 is the
+/// measurement root — see the module docs). Symphony uses the paper's basic
+/// `(k_n, k_s) = (1, 1)` parameters.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] for unknown geometry names and
+/// [`SpecError::Overlay`] if construction fails.
+pub fn build_full_overlay(
+    geometry: &str,
+    bits: u32,
+    seed: u64,
+) -> Result<Box<dyn Overlay>, SpecError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(SeedSequence::new(seed).child(0));
+    Ok(match geometry {
+        "ring" => Box::new(ChordOverlay::build(bits, ChordVariant::Deterministic)?),
+        "xor" => Box::new(KademliaOverlay::build(bits, &mut rng)?),
+        "tree" => Box::new(PlaxtonOverlay::build(bits, &mut rng)?),
+        "hypercube" => Box::new(CanOverlay::build(bits)?),
+        "symphony" => Box::new(SymphonyOverlay::build(bits, 1, 1, &mut rng)?),
+        other => {
+            return Err(SpecError::Invalid(format!(
+                "unknown geometry {other:?} (expected ring, xor, tree, hypercube or symphony)"
+            )))
+        }
+    })
+}
+
+/// The analytical geometry model matching an overlay geometry name
+/// (symphony at the paper's `(1, 1)`).
+fn analytic_geometry(name: &str) -> Result<Geometry, SpecError> {
+    Ok(match name {
+        "ring" => Geometry::ring(),
+        "xor" => Geometry::xor(),
+        "tree" => Geometry::tree(),
+        "hypercube" => Geometry::hypercube(),
+        "symphony" => Geometry::symphony(1, 1)?,
+        other => return Err(SpecError::Invalid(format!("unknown geometry {other:?}"))),
+    })
+}
+
+/// The direct (uncached) chain solve [`run_spec`] uses; the report server
+/// substitutes a [`dht_markov::ChainCache`]-backed closure instead.
+pub fn direct_chain_solve(family: ChainFamily, h: u32, q: f64) -> Result<f64, ChainError> {
+    let mut cacheless = dht_markov::ChainCache::new();
+    cacheless.success_probability(family, h, q)
+}
+
+/// Materializes a [`StaticResilienceReport`]: closed forms, chain
+/// predictions (through `solve`, so callers can inject a cache) and
+/// measured resilience on `overlay` across the failure grid.
+///
+/// The overlay must match `geometry`/`bits`; callers that cache overlays
+/// (the report server) pass the cached instance, everyone else builds one
+/// with [`build_full_overlay`].
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if any analytical, chain or simulation component
+/// fails.
+#[allow(clippy::too_many_arguments)]
+pub fn static_resilience_report_with<F>(
+    geometry: &str,
+    bits: u32,
+    grid: &[f64],
+    pairs: u64,
+    trials: u32,
+    seed: u64,
+    threads: usize,
+    overlay: &dyn Overlay,
+    mut solve: F,
+) -> Result<StaticResilienceReport, SpecError>
+where
+    F: FnMut(ChainFamily, u32, f64) -> Result<f64, ChainError>,
+{
+    let model = analytic_geometry(geometry)?;
+    let base = StaticResilienceConfig::new(0.0)?
+        .with_pairs(pairs)
+        .with_trials(trials)
+        .with_seed(SeedSequence::new(seed).child(1))
+        .with_threads(threads);
+    let swept = sweep_failure_grid(overlay, &base, grid)?;
+    let size = SystemSize::power_of_two(bits)?;
+    let mut points = Vec::with_capacity(swept.len());
+    for point in swept {
+        let q = point.failure_probability;
+        let analytical = match routability(&model, size, q) {
+            Ok(report) => Some((report.routability, report.failed_path_percent)),
+            Err(RcmError::DegenerateSystem { .. }) => None,
+            Err(other) => return Err(other.into()),
+        };
+        let chain_predicted = chain_predicted_routability_with(geometry, bits, q, &mut solve)
+            .map_err(SpecError::Chain)?;
+        points.push(ResiliencePoint {
+            failure_probability: q,
+            analytical_routability: analytical.map(|(routable, _)| routable),
+            analytical_failed_percent: analytical.map(|(_, failed)| failed),
+            chain_predicted_routability: chain_predicted,
+            simulated: point.result,
+        });
+    }
+    let probe_q = grid.iter().copied().find(|&q| q > 0.0).unwrap_or(0.1);
+    let scalability = classify(&model, probe_q)?;
+    Ok(StaticResilienceReport {
+        geometry: geometry.to_owned(),
+        bits,
+        points,
+        scalability,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Table renderers (moved out of the per-family binaries)
+// ---------------------------------------------------------------------------
+
+fn render_fig3_table(result: &fig3::Fig3Result) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>22} {:>12}",
+        "h", "n(h)", "Pr(S_h -> S_h+1)", "p(h,q)"
+    );
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>22.6} {:>12.6}",
+            row.hops, row.nodes_at_distance, row.transition_success, row.cumulative_success
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nanalytical p(3, q) = {:.6}   simulated = {:.6}   ({} trials)",
+        result.analytical_p3, result.simulated_p3, result.trials
+    );
+    out
+}
+
+fn render_fig7b_table(points: &[Fig7bPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>14}",
+        "geometry", "bits", "routability %"
+    );
+    for point in points {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>14.4}",
+            point.geometry, point.bits, point.routability_percent
+        );
+    }
+    out
+}
+
+fn render_validation_table(rows: &[ValidationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>8} {:>14} {:>14}",
+        "geometry", "max h", "points", "max |err|", "mean |err|"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>8} {:>14.3e} {:>14.3e}",
+            row.geometry,
+            row.max_distance,
+            row.points,
+            row.max_absolute_error,
+            row.mean_absolute_error
+        );
+    }
+    out
+}
+
+fn render_contrast_table(rows: &[ContrastRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>8}",
+        "geometry", "connected frac", "reachable frac", "gap"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.4} {:>14.4} {:>8.4}",
+            row.geometry,
+            row.mean_connected_fraction,
+            row.mean_reachable_fraction,
+            row.gap()
+        );
+    }
+    out
+}
+
+fn render_bound_gap_table(points: &[BoundGapPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>14} {:>14} {:>10}",
+        "q", "analytical %", "simulated %", "slack"
+    );
+    for point in points {
+        let _ = writeln!(
+            out,
+            "{:>6.2} {:>14.2} {:>14.2} {:>10.2}",
+            point.failure_probability,
+            point.analytical_failed_percent,
+            point.simulated_failed_percent,
+            point.slack
+        );
+    }
+    out
+}
+
+fn render_ablation_table(
+    cells: &[AblationCell],
+    bits_list: &[u32],
+    max_connections: u32,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for &bits in bits_list {
+        let _ = writeln!(out, "\nN = 2^{bits}");
+        let _ = write!(out, "{:>6}", "kn\\ks");
+        for ks in 1..=max_connections {
+            let _ = write!(out, "{ks:>8}");
+        }
+        let _ = writeln!(out);
+        for kn in 1..=max_connections {
+            let _ = write!(out, "{kn:>6}");
+            for ks in 1..=max_connections {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.bits == bits && c.near_neighbors == kn && c.shortcuts == ks);
+                match cell {
+                    Some(cell) => {
+                        let _ = write!(out, "{:>8.2}", cell.routability_percent);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>8}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        if let Some((kn, ks)) = symphony_ablation::minimum_configuration(cells, bits, 95.0) {
+            let _ = writeln!(
+                out,
+                "smallest configuration reaching 95%: k_n = {kn}, k_s = {ks}"
+            );
+        }
+    }
+    out
+}
+
+fn render_resilience_table(report: &StaticResilienceReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "q", "analytic %", "chain %", "simulated %", "mean hops"
+    );
+    let percent =
+        |value: Option<f64>| value.map_or_else(|| "-".to_owned(), |v| format!("{:.2}", 100.0 * v));
+    for point in &report.points {
+        let _ = writeln!(
+            out,
+            "{:>6.2} {:>12} {:>12} {:>12.2} {:>10.2}",
+            point.failure_probability,
+            percent(point.analytical_routability),
+            percent(point.chain_predicted_routability),
+            100.0 * point.simulated.routability,
+            point.simulated.mean_hops,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "scalability: analytic {} / numeric {:?} (lim p = {:.4})",
+        report.scalability.analytic,
+        report.scalability.numeric,
+        report.scalability.limiting_success_probability
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The shared binary front end
+// ---------------------------------------------------------------------------
+
+/// Runs one experiment binary: parses the uniform CLI, executes the spec
+/// and writes the report. Every `src/bin/` target is a one-line call here.
+///
+/// # Errors
+///
+/// Returns any parse, I/O or harness error (binaries bubble it to `main`).
+pub fn cli_main(family: Family) -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(family, &args)
+}
+
+/// [`cli_main`] with explicit arguments (testable).
+///
+/// # Errors
+///
+/// See [`cli_main`].
+pub fn run_cli(family: Family, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut compact = false;
+    let mut threads: Option<usize> = None;
+    let mut positionals: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--spec" => {
+                spec_path = Some(PathBuf::from(
+                    iter.next().ok_or("--spec needs a file path")?,
+                ));
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(iter.next().ok_or("--out needs a directory")?));
+            }
+            "--threads" => {
+                threads = Some(iter.next().ok_or("--threads needs a count")?.parse()?);
+            }
+            "--smoke" => smoke = true,
+            "--compact" => compact = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: {} [--spec FILE] [--smoke] [--out DIR] [--compact] [--threads N]",
+                    family.name()
+                );
+                return Ok(());
+            }
+            other => positionals.push(other.to_owned()),
+        }
+    }
+
+    let mut spec = if let Some(path) = &spec_path {
+        let text = std::fs::read_to_string(path)?;
+        let spec = ScenarioSpec::from_json(&text)?;
+        if spec.family() != family {
+            return Err(format!(
+                "spec {} is a {} scenario, but this binary runs {}",
+                path.display(),
+                spec.family(),
+                family
+            )
+            .into());
+        }
+        spec
+    } else {
+        family.default_spec(smoke)
+    };
+
+    if !positionals.is_empty() {
+        eprintln!(
+            "warning: positional arguments are deprecated and will be removed; \
+             pass --spec <file> instead (see the README's spec schema reference)"
+        );
+        apply_legacy_positionals(&mut spec, family, &positionals)?;
+    }
+
+    let outcome = run_spec(&spec, threads)?;
+    println!("{}", outcome.headline);
+    print!("{}", outcome.table);
+
+    let writer =
+        ReportWriter::new(out_dir.unwrap_or_else(default_output_dir)).with_mode(if compact {
+            ReportMode::Compact
+        } else {
+            ReportMode::Pretty
+        });
+    let path = writer.write_report(&outcome.report)?;
+    println!("wrote {}", path.display());
+    if let Some(records) = &outcome.csv_records {
+        let csv_path = writer.write_csv(records, &outcome.report.name)?;
+        println!("wrote {}", csv_path.display());
+    }
+    Ok(())
+}
+
+/// Maps each binary's historical positional arguments onto the spec.
+fn apply_legacy_positionals(
+    spec: &mut ScenarioSpec,
+    family: Family,
+    positionals: &[String],
+) -> Result<(), Box<dyn std::error::Error>> {
+    match (family, &mut spec.experiment) {
+        (
+            Family::Fig3,
+            ExperimentSpec::Fig3 {
+                failure_probability,
+                ..
+            },
+        ) => {
+            if let Some(q) = positionals.first() {
+                *failure_probability = q.parse()?;
+            }
+        }
+        (
+            Family::PercolationContrast,
+            ExperimentSpec::PercolationContrast {
+                bits,
+                failure_probability,
+                ..
+            },
+        ) => {
+            if let Some(value) = positionals.first() {
+                *bits = value.parse()?;
+            }
+            if let Some(value) = positionals.get(1) {
+                *failure_probability = value.parse()?;
+            }
+        }
+        (
+            Family::SymphonyAblation,
+            ExperimentSpec::SymphonyAblation {
+                failure_probability,
+                ..
+            },
+        ) => {
+            if let Some(q) = positionals.first() {
+                *failure_probability = q.parse()?;
+            }
+        }
+        _ => {
+            return Err(format!(
+                "the {family} binary takes no positional arguments; use --spec <file>"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_has_a_valid_default_spec_with_matching_family() {
+        for family in FAMILIES {
+            for smoke in [false, true] {
+                let spec = family.default_spec(smoke);
+                spec.validate().unwrap();
+                assert_eq!(spec.family(), family, "{family}");
+                assert_eq!(Family::from_name(family.name()), Some(family));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for family in FAMILIES {
+            let spec = family.default_spec(true);
+            let json = spec.to_json_pretty();
+            let back = ScenarioSpec::from_json(&json).unwrap();
+            assert_eq!(back, spec, "{family}");
+        }
+    }
+
+    #[test]
+    fn hash_ignores_name_and_execution_but_not_parameters() {
+        let spec = Family::Fig6a.default_spec(true);
+        let mut renamed = spec.clone();
+        renamed.name = "anything-else".to_owned();
+        renamed.execution = Some(ExecutionSpec { threads: 64 });
+        assert_eq!(spec.content_hash(), renamed.content_hash());
+
+        let mut reseeded = spec.clone();
+        reseeded.seed += 1;
+        assert_ne!(spec.content_hash(), reseeded.content_hash());
+
+        let mut regridded = spec.clone();
+        if let ExperimentSpec::Fig6a { grid, .. } = &mut regridded.experiment {
+            grid.push(0.85);
+        }
+        assert_ne!(spec.content_hash(), regridded.content_hash());
+        assert_eq!(spec.content_hash_hex().len(), 16);
+    }
+
+    #[test]
+    fn hash_is_stable_across_json_field_reordering() {
+        let spec = Family::Fig3.default_spec(true);
+        // Same spec, fields permuted by hand (and an execution block added).
+        let reordered = format!(
+            r#"{{
+              "execution": {{"threads": 8}},
+              "experiment": {{"Fig3": {{"trials": {trials}, "failure_probability": {q}}}}},
+              "seed": {seed},
+              "name": "renamed",
+              "schema": "{schema}"
+            }}"#,
+            trials = 20_000,
+            q = 0.3,
+            seed = spec.seed,
+            schema = SPEC_SCHEMA,
+        );
+        let parsed = ScenarioSpec::from_json(&reordered).unwrap();
+        assert_eq!(parsed.content_hash(), spec.content_hash());
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let mut spec = Family::Fig3.default_spec(true);
+        spec.schema = "dht-scenario/v0".to_owned();
+        assert!(matches!(
+            ScenarioSpec::from_json(&spec.to_json()),
+            Err(SpecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn fig6_config_round_trips_losslessly() {
+        for config in [Fig6Config::smoke(), Fig6Config::paper_scale()] {
+            let spec: ScenarioSpec = config.clone().into();
+            let back = Fig6Config::try_from(&spec).unwrap();
+            assert_eq!(back, config);
+        }
+        // Fig6b/RingBoundGap specs convert to the same config shape.
+        let spec = Family::RingBoundGap.default_spec(true);
+        assert_eq!(Fig6Config::try_from(&spec).unwrap(), Fig6Config::smoke());
+    }
+
+    #[test]
+    fn fig7_config_round_trips_losslessly() {
+        for config in [Fig7Config::smoke(), Fig7Config::paper_scale()] {
+            let spec: ScenarioSpec = config.clone().into();
+            assert_eq!(Fig7Config::try_from(&spec).unwrap(), config);
+        }
+        let spec = Family::Fig7b.default_spec(true);
+        assert_eq!(Fig7Config::try_from(&spec).unwrap(), Fig7Config::smoke());
+    }
+
+    #[test]
+    fn sparse_and_live_churn_configs_round_trip_losslessly() {
+        for config in [
+            SparsePopulationConfig::smoke(),
+            SparsePopulationConfig::paper_scale(),
+        ] {
+            let spec: ScenarioSpec = config.clone().into();
+            assert_eq!(SparsePopulationConfig::try_from(&spec).unwrap(), config);
+        }
+        for config in [
+            LiveChurnGridConfig::smoke(),
+            LiveChurnGridConfig::paper_scale(),
+        ] {
+            let spec: ScenarioSpec = config.clone().into();
+            assert_eq!(LiveChurnGridConfig::try_from(&spec).unwrap(), config);
+        }
+    }
+
+    #[test]
+    fn mismatched_conversions_are_rejected() {
+        let spec = Family::Fig3.default_spec(true);
+        assert!(Fig6Config::try_from(&spec).is_err());
+        assert!(Fig7Config::try_from(&spec).is_err());
+        assert!(SparsePopulationConfig::try_from(&spec).is_err());
+        assert!(LiveChurnGridConfig::try_from(&spec).is_err());
+        assert!(StaticResilienceConfig::try_from(&spec).is_err());
+    }
+
+    #[test]
+    fn static_resilience_base_config_uses_the_measurement_child_seed() {
+        let spec = ScenarioSpec::static_resilience("ring", 8, 0.2, 500, 1, 77);
+        let base = StaticResilienceConfig::try_from(&spec).unwrap();
+        assert_eq!(base.seed(), SeedSequence::new(77).child(1));
+        assert_eq!(base.pairs(), 500);
+        assert_eq!(base.failure_probability(), 0.0);
+    }
+
+    #[test]
+    fn run_spec_scalability_table_produces_a_report_envelope() {
+        let spec = Family::ScalabilityTable.default_spec(true);
+        let outcome = run_spec(&spec, None).unwrap();
+        assert_eq!(outcome.report.schema, REPORT_SCHEMA);
+        assert_eq!(outcome.report.family, "scalability_table");
+        assert_eq!(outcome.report.spec_hash, spec.content_hash_hex());
+        assert!(outcome.table.contains("ring"));
+        assert!(outcome.csv_records.is_none());
+        assert!(matches!(outcome.report.payload, Value::Array(_)));
+    }
+
+    #[test]
+    fn run_spec_fig3_matches_the_direct_harness() {
+        let spec = ScenarioSpec::new(
+            "fig3-test",
+            5,
+            ExperimentSpec::Fig3 {
+                failure_probability: 0.2,
+                trials: 2_000,
+            },
+        );
+        let outcome = run_spec(&spec, None).unwrap();
+        let direct = fig3::run(0.2, 2_000, 5).unwrap();
+        assert_eq!(outcome.report.payload, direct.to_value());
+    }
+
+    #[test]
+    fn run_spec_static_resilience_reports_all_three_views() {
+        let spec = ScenarioSpec::static_resilience("ring", 8, 0.3, 800, 1, 11);
+        let outcome = run_spec(&spec, None).unwrap();
+        let report: StaticResilienceReport =
+            Deserialize::from_value(&outcome.report.payload).unwrap();
+        assert_eq!(report.points.len(), 1);
+        let point = &report.points[0];
+        assert!(point.analytical_routability.is_some());
+        assert!(point.chain_predicted_routability.is_some());
+        assert!(point.simulated.routability > 0.3);
+        assert_eq!(report.scalability.geometry, "ring");
+    }
+
+    #[test]
+    fn run_spec_is_thread_count_invariant() {
+        let spec = ScenarioSpec::static_resilience("xor", 8, 0.2, 600, 1, 3);
+        let one = run_spec(&spec, Some(1)).unwrap();
+        let four = run_spec(&spec, Some(4)).unwrap();
+        assert_eq!(one.report, four.report);
+        let json_one = serde_json::to_string(&one.report).unwrap();
+        let json_four = serde_json::to_string(&four.report).unwrap();
+        assert_eq!(json_one, json_four, "reports must be byte-identical");
+    }
+
+    #[test]
+    fn build_full_overlay_covers_all_five_geometries() {
+        for geometry in ["ring", "xor", "tree", "hypercube", "symphony"] {
+            let overlay = build_full_overlay(geometry, 6, 1).unwrap();
+            assert_eq!(overlay.geometry_name(), geometry);
+        }
+        assert!(build_full_overlay("moebius", 6, 1).is_err());
+    }
+
+    #[test]
+    fn legacy_positionals_apply_only_to_their_families() {
+        let mut spec = Family::Fig3.default_spec(true);
+        apply_legacy_positionals(&mut spec, Family::Fig3, &["0.45".to_owned()]).unwrap();
+        assert!(matches!(
+            spec.experiment,
+            ExperimentSpec::Fig3 {
+                failure_probability,
+                ..
+            } if (failure_probability - 0.45).abs() < 1e-12
+        ));
+        let mut fig6 = Family::Fig6a.default_spec(true);
+        assert!(apply_legacy_positionals(&mut fig6, Family::Fig6a, &["1".to_owned()]).is_err());
+    }
+}

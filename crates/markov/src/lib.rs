@@ -30,10 +30,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod chain;
 pub mod chains;
 pub mod solver;
 
+pub use cache::{ChainCache, ChainCacheEntry, ChainFamily};
 pub use chain::{ChainBuilder, ChainError, MarkovChain, StateId};
 pub use chains::{
     hypercube_chain, ring_chain, symphony_chain, tree_chain, xor_chain, RoutingChain,

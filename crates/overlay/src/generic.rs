@@ -242,6 +242,16 @@ impl<S: GeometryStrategy> GeometryOverlay<S> {
                 .get_or_init(|| RoutingKernel::compile(rule, &self.population, &self.arena)),
         )
     }
+
+    /// Whether the lazy kernel has already been compiled for this overlay.
+    ///
+    /// Purely observational (never triggers compilation) — the serving
+    /// layer's caches use it to assert that reusing an overlay across
+    /// queries did not recompile the plan.
+    #[must_use]
+    pub fn kernel_compiled(&self) -> bool {
+        self.kernel.get().is_some()
+    }
 }
 
 impl<S: GeometryStrategy> Overlay for GeometryOverlay<S> {

@@ -1,0 +1,122 @@
+//! The scenario front door: batch-run a directory of spec files, serve
+//! reports over stdin or TCP, or hash specs without running them.
+//!
+//! ```text
+//! scenario run <spec-dir> [--out DIR] [--threads N] [--pretty]
+//! scenario serve [--tcp ADDR] [--threads N]
+//! scenario hash <spec-file>...
+//! scenario init <dir> [--paper]
+//! ```
+
+use dht_experiments::output::ReportMode;
+use dht_experiments::spec::{ScenarioSpec, FAMILIES};
+use dht_scenario::{run_directory, BatchOptions, ReportServer};
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("hash") => hash(&args[1..]),
+        Some("init") => init(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: scenario run <spec-dir> [--out DIR] [--threads N] [--pretty]\n\
+                 \u{20}      scenario serve [--tcp ADDR] [--threads N]\n\
+                 \u{20}      scenario hash <spec-file>...\n\
+                 \u{20}      scenario init <dir> [--paper]"
+            );
+            Err("missing or unknown subcommand".into())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec_dir: Option<PathBuf> = None;
+    let mut options = BatchOptions::new("results/scenarios");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                options.output_dir = PathBuf::from(iter.next().ok_or("--out needs a directory")?);
+            }
+            "--threads" => {
+                options.threads = Some(iter.next().ok_or("--threads needs a count")?.parse()?);
+            }
+            "--pretty" => options.mode = ReportMode::Pretty,
+            other => spec_dir = Some(PathBuf::from(other)),
+        }
+    }
+    let spec_dir = spec_dir.ok_or("scenario run needs a spec directory")?;
+    let manifest = run_directory(&spec_dir, &options)?;
+    for entry in &manifest {
+        println!(
+            "{:<28} {:<22} {}  -> {}",
+            entry.file, entry.family, entry.spec_hash, entry.report
+        );
+    }
+    println!(
+        "ran {} spec(s) from {} into {}",
+        manifest.len(),
+        spec_dir.display(),
+        options.output_dir.display()
+    );
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut tcp: Option<String> = None;
+    let mut threads = 1;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tcp" => tcp = Some(iter.next().ok_or("--tcp needs an address")?.clone()),
+            "--threads" => threads = iter.next().ok_or("--threads needs a count")?.parse()?,
+            other => return Err(format!("unknown serve argument {other:?}").into()),
+        }
+    }
+    let mut server = ReportServer::new(threads);
+    match tcp {
+        Some(addr) => server.serve_tcp(&addr)?,
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server.serve(BufReader::new(stdin.lock()), stdout.lock())?;
+        }
+    }
+    Ok(())
+}
+
+fn init(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut dir: Option<PathBuf> = None;
+    let mut paper = false;
+    for arg in args {
+        match arg.as_str() {
+            "--paper" => paper = true,
+            other => dir = Some(PathBuf::from(other)),
+        }
+    }
+    let dir = dir.ok_or("scenario init needs a target directory")?;
+    std::fs::create_dir_all(&dir)?;
+    for family in FAMILIES {
+        let spec = family.default_spec(!paper);
+        let path = dir.join(format!("{}.json", spec.name));
+        std::fs::write(&path, spec.to_json_pretty())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn hash(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.is_empty() {
+        return Err("scenario hash needs at least one spec file".into());
+    }
+    for path in args {
+        let text = std::fs::read_to_string(path)?;
+        let spec = ScenarioSpec::from_json(&text)?;
+        println!("{}  {path}", spec.content_hash_hex());
+    }
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! The server's cross-query caches: built overlays (with their compiled
+//! routing kernels) and observable hit counters.
+
+use dht_experiments::spec::{build_full_overlay, SpecError};
+use dht_overlay::Overlay;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Caches fully built overlays keyed by `(geometry, bits, seed)` so the
+/// expensive parts of a static-resilience query — overlay construction and
+/// the lazy [`dht_overlay::RoutingKernel`] compile — happen once per
+/// distinct key, not once per query.
+///
+/// The kernel is forced at insert time (where available), so a cache hit
+/// hands back an overlay whose plan is already compiled: routing it never
+/// pays the lowering again, which [`ServerStats::kernel_compiles`] makes
+/// observable.
+#[derive(Default)]
+pub struct OverlayCache {
+    overlays: HashMap<(String, u32, u64), Arc<dyn Overlay>>,
+    builds: u64,
+    hits: u64,
+    kernel_compiles: u64,
+}
+
+impl OverlayCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        OverlayCache::default()
+    }
+
+    /// Returns the cached overlay for `(geometry, bits, seed)`, building
+    /// (and compiling the kernel of) a new one on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the geometry is unknown or construction
+    /// fails; failed builds are not cached.
+    pub fn get_or_build(
+        &mut self,
+        geometry: &str,
+        bits: u32,
+        seed: u64,
+    ) -> Result<Arc<dyn Overlay>, SpecError> {
+        let key = (geometry.to_owned(), bits, seed);
+        if let Some(overlay) = self.overlays.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(overlay));
+        }
+        let overlay: Arc<dyn Overlay> = Arc::from(build_full_overlay(geometry, bits, seed)?);
+        if overlay.kernel().is_some() {
+            self.kernel_compiles += 1;
+        }
+        self.builds += 1;
+        self.overlays.insert(key, Arc::clone(&overlay));
+        Ok(overlay)
+    }
+
+    /// Overlays built (cache misses).
+    #[must_use]
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Cache hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Routing kernels compiled (at most one per build).
+    #[must_use]
+    pub fn kernel_compiles(&self) -> u64 {
+        self.kernel_compiles
+    }
+
+    /// Number of distinct overlays held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.overlays.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.overlays.is_empty()
+    }
+}
+
+/// A snapshot of the server's work and cache counters, serialized verbatim
+/// as the `Stats` response. The memoization acceptance test reads these to
+/// prove a repeated query did no new work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests handled (including errors).
+    pub requests: u64,
+    /// Report requests answered verbatim from the memo table.
+    pub report_hits: u64,
+    /// Report requests that had to execute their spec.
+    pub report_misses: u64,
+    /// Specs actually executed (equals `report_misses` unless a run failed).
+    pub trial_runs: u64,
+    /// Overlays built by the overlay cache.
+    pub overlay_builds: u64,
+    /// Overlay-cache hits.
+    pub overlay_hits: u64,
+    /// Routing kernels compiled.
+    pub kernel_compiles: u64,
+    /// Markov chains actually solved by the chain cache.
+    pub chain_solves: u64,
+    /// Chain-cache hits.
+    pub chain_hits: u64,
+    /// Requests that produced an error response.
+    pub errors: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_keys_hit_without_rebuilding() {
+        let mut cache = OverlayCache::new();
+        let first = cache.get_or_build("ring", 6, 1).unwrap();
+        let second = cache.get_or_build("ring", 6, 1).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.kernel_compiles(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_overlays() {
+        let mut cache = OverlayCache::new();
+        cache.get_or_build("ring", 6, 1).unwrap();
+        cache.get_or_build("ring", 7, 1).unwrap();
+        cache.get_or_build("xor", 6, 1).unwrap();
+        cache.get_or_build("ring", 6, 2).unwrap();
+        assert_eq!(cache.builds(), 4);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn unknown_geometries_error_and_are_not_cached() {
+        let mut cache = OverlayCache::new();
+        assert!(cache.get_or_build("moebius", 6, 1).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.builds(), 0);
+    }
+
+    #[test]
+    fn cached_overlays_come_back_with_kernels_compiled() {
+        let mut cache = OverlayCache::new();
+        let overlay = cache.get_or_build("hypercube", 6, 1).unwrap();
+        assert!(overlay.kernel().is_some());
+        assert_eq!(cache.kernel_compiles(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The batch runner: execute a directory of spec files reproducibly.
+
+use dht_experiments::output::{ReportMode, ReportWriter};
+use dht_experiments::spec::{run_spec, ScenarioSpec, SpecError};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Options for [`run_directory`].
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Where reports (and the manifest) are written.
+    pub output_dir: PathBuf,
+    /// Thread-budget override applied to every spec (results are identical
+    /// for any value — the engines are thread-count invariant).
+    pub threads: Option<usize>,
+    /// Report serialization mode.
+    pub mode: ReportMode,
+}
+
+impl BatchOptions {
+    /// Compact-mode options writing to `output_dir`.
+    #[must_use]
+    pub fn new(output_dir: impl Into<PathBuf>) -> Self {
+        BatchOptions {
+            output_dir: output_dir.into(),
+            threads: None,
+            mode: ReportMode::Compact,
+        }
+    }
+}
+
+/// One row of the batch manifest: which spec file produced which report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchEntry {
+    /// Spec file name (relative to the spec directory).
+    pub file: String,
+    /// The spec's name label.
+    pub name: String,
+    /// The spec's family name.
+    pub family: String,
+    /// The spec's canonical content hash (hex).
+    pub spec_hash: String,
+    /// Report file name (relative to the output directory).
+    pub report: String,
+}
+
+/// Runs every `*.json` spec in `spec_dir` (sorted by file name, so the
+/// batch order — and therefore the manifest — is reproducible), writes one
+/// report per spec plus a `manifest.json`, and returns the manifest rows.
+///
+/// Every report is a pure function of its spec: no timestamps, no
+/// environment, and thread-count-invariant engines — so two runs of the
+/// same directory produce byte-identical output trees regardless of the
+/// thread budget.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] on I/O failures, unparsable spec files, or a
+/// failing run; the batch stops at the first error (reports already written
+/// remain on disk).
+pub fn run_directory(
+    spec_dir: &Path,
+    options: &BatchOptions,
+) -> Result<Vec<BatchEntry>, SpecError> {
+    let mut spec_files: Vec<PathBuf> = std::fs::read_dir(spec_dir)
+        .map_err(|err| SpecError::Io(format!("reading {}: {err}", spec_dir.display())))?
+        .filter_map(|entry| entry.ok().map(|entry| entry.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    spec_files.sort();
+
+    let writer = ReportWriter::new(&options.output_dir).with_mode(options.mode);
+    let mut manifest = Vec::with_capacity(spec_files.len());
+    for path in &spec_files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| SpecError::Io(format!("reading {}: {err}", path.display())))?;
+        let spec = ScenarioSpec::from_json(&text)
+            .map_err(|err| SpecError::Invalid(format!("{}: {err}", path.display())))?;
+        let outcome = run_spec(&spec, options.threads)?;
+        let report_path = writer.write_report(&outcome.report)?;
+        if let Some(records) = &outcome.csv_records {
+            writer.write_csv(records, &outcome.report.name)?;
+        }
+        manifest.push(BatchEntry {
+            file: path
+                .file_name()
+                .map(|name| name.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            name: outcome.report.name.clone(),
+            family: outcome.report.family.clone(),
+            spec_hash: outcome.report.spec_hash.clone(),
+            report: report_path
+                .file_name()
+                .map(|name| name.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+        });
+    }
+    writer.write_json(&manifest, "manifest")?;
+    Ok(manifest)
+}

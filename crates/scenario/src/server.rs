@@ -1,0 +1,344 @@
+//! The memoizing report server: a persistent line-delimited-JSON service
+//! answering spec queries from caches wherever possible.
+//!
+//! ## Wire protocol
+//!
+//! One JSON request envelope per line, one JSON response per line:
+//!
+//! ```text
+//! → {"id": 1, "request": {"Query": {"query": {"geometry": "ring", "bits": 10, "failure_probability": 0.3}}}}
+//! ← {"id": 1, "ok": {"schema": "dht-scenario-report/v1", ...}}
+//! → {"id": 2, "request": "Stats"}
+//! ← {"id": 2, "ok": {"requests": 1, "report_hits": 0, ...}}
+//! ```
+//!
+//! Errors come back as `{"id": N, "err": "message"}`. Responses to
+//! identical report requests are spliced from the memo table verbatim, so
+//! they are byte-identical — the cache key is the spec's canonical content
+//! hash, which ignores the `name` label and thread budget but nothing else.
+
+use crate::cache::{OverlayCache, ServerStats};
+use dht_experiments::spec::{
+    run_spec, static_resilience_report_with, ExperimentSpec, ScenarioReport, ScenarioSpec,
+    SpecError, REPORT_SCHEMA,
+};
+use dht_markov::ChainCache;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+/// The sugar form of the server's core question: "N (= 2^bits), geometry,
+/// q → resilience + scalability report". Desugars to a canonical
+/// [`ExperimentSpec::StaticResilience`] spec, so two clients asking the
+/// same question hit the same cache entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Geometry name (`ring`, `xor`, `tree`, `hypercube`, `symphony`).
+    pub geometry: String,
+    /// Identifier length (`N = 2^bits`).
+    pub bits: u32,
+    /// Node failure probability `q`.
+    pub failure_probability: f64,
+    /// Source/destination pairs (default 20 000, the paper's Fig. 6 budget).
+    pub pairs: Option<u64>,
+    /// Independent failure patterns averaged (default 1).
+    pub trials: Option<u32>,
+    /// Root seed (default 2006).
+    pub seed: Option<u64>,
+}
+
+impl Query {
+    /// The canonical spec this query desugars to.
+    #[must_use]
+    pub fn to_spec(&self) -> ScenarioSpec {
+        ScenarioSpec::static_resilience(
+            &self.geometry,
+            self.bits,
+            self.failure_probability,
+            self.pairs.unwrap_or(20_000),
+            self.trials.unwrap_or(1),
+            self.seed.unwrap_or(2006),
+        )
+    }
+}
+
+/// A request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Run (or recall) a full spec and return its report.
+    Report {
+        /// The spec to answer.
+        spec: ScenarioSpec,
+    },
+    /// The static-resilience sugar form (see [`Query`]).
+    Query {
+        /// The query to answer.
+        query: Query,
+    },
+    /// Return the canonical content hash of a spec without running it.
+    Hash {
+        /// The spec to hash.
+        spec: ScenarioSpec,
+    },
+    /// Return the server's work and cache counters.
+    Stats,
+}
+
+/// One request line: an id (echoed in the response) and a body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: u64,
+    /// The request body.
+    pub request: Request,
+}
+
+/// The memoizing report server.
+///
+/// Three cache layers, coarse to fine:
+///
+/// 1. **Reports** — finished compact-JSON reports keyed by spec content
+///    hash; a hit is answered without touching anything else.
+/// 2. **Overlays** — built overlays (kernel pre-compiled) keyed by
+///    `(geometry, bits, seed)`, shared across *different* static-resilience
+///    queries (same ring, different `q`).
+/// 3. **Chain solves** — Markov-chain success probabilities keyed by
+///    `(family, hops, q)`, shared across queries and grid points.
+pub struct ReportServer {
+    reports: HashMap<u64, String>,
+    overlays: OverlayCache,
+    chains: ChainCache,
+    stats: ServerStats,
+    threads: usize,
+}
+
+impl ReportServer {
+    /// A fresh server running specs with the given thread budget.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        ReportServer {
+            reports: HashMap::new(),
+            overlays: OverlayCache::new(),
+            chains: ChainCache::new(),
+            stats: ServerStats::default(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// A snapshot of the work counters, with the cache-layer counters
+    /// folded in.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            overlay_builds: self.overlays.builds(),
+            overlay_hits: self.overlays.hits(),
+            kernel_compiles: self.overlays.kernel_compiles(),
+            chain_solves: self.chains.solves(),
+            chain_hits: self.chains.hits(),
+            ..self.stats
+        }
+    }
+
+    /// Answers a spec with its compact report JSON, from cache when the
+    /// spec's content hash has been seen before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the spec is invalid or its run fails;
+    /// failures are not cached.
+    pub fn report_json(&mut self, spec: &ScenarioSpec) -> Result<String, SpecError> {
+        spec.validate()?;
+        let hash = spec.content_hash();
+        if let Some(cached) = self.reports.get(&hash) {
+            self.stats.report_hits += 1;
+            return Ok(cached.clone());
+        }
+        self.stats.report_misses += 1;
+        let report = self.execute(spec)?;
+        self.stats.trial_runs += 1;
+        let json = serde_json::to_string(&report).map_err(|err| SpecError::Io(err.to_string()))?;
+        self.reports.insert(hash, json.clone());
+        Ok(json)
+    }
+
+    /// Runs a spec for real, routing the static-resilience family through
+    /// the overlay and chain caches.
+    fn execute(&mut self, spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
+        if let ExperimentSpec::StaticResilience {
+            geometry,
+            bits,
+            grid,
+            pairs,
+            trials,
+        } = &spec.experiment
+        {
+            let overlay = self.overlays.get_or_build(geometry, *bits, spec.seed)?;
+            let chains = &mut self.chains;
+            let report = static_resilience_report_with(
+                geometry,
+                *bits,
+                grid,
+                *pairs,
+                *trials,
+                spec.seed,
+                self.threads,
+                overlay.as_ref(),
+                |family, h, q| chains.success_probability(family, h, q),
+            )?;
+            return Ok(ScenarioReport {
+                schema: REPORT_SCHEMA.to_owned(),
+                name: spec.name.clone(),
+                family: spec.family().name().to_owned(),
+                spec_hash: spec.content_hash_hex(),
+                seed: spec.seed,
+                payload: report.to_value(),
+            });
+        }
+        Ok(run_spec(spec, Some(self.threads))?.report)
+    }
+
+    /// Handles one request line and returns the response line (no trailing
+    /// newline). Malformed lines get an `id: 0` error response.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        self.stats.requests += 1;
+        let envelope: RequestEnvelope = match serde_json::from_str(line) {
+            Ok(envelope) => envelope,
+            Err(err) => {
+                self.stats.errors += 1;
+                return error_response(0, &format!("bad request: {err}"));
+            }
+        };
+        let id = envelope.id;
+        let body = match envelope.request {
+            Request::Report { spec } => self.report_json(&spec),
+            Request::Query { query } => self.report_json(&query.to_spec()),
+            Request::Hash { spec } => spec
+                .validate()
+                .map(|()| format!("{{\"spec_hash\":\"{}\"}}", spec.content_hash_hex())),
+            Request::Stats => {
+                serde_json::to_string(&self.stats()).map_err(|err| SpecError::Io(err.to_string()))
+            }
+        };
+        match body {
+            Ok(payload) => format!("{{\"id\":{id},\"ok\":{payload}}}"),
+            Err(err) => {
+                self.stats.errors += 1;
+                error_response(id, &err.to_string())
+            }
+        }
+    }
+
+    /// Serves line-delimited requests from `reader` to `writer` until EOF.
+    /// Empty lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error from either side.
+    pub fn serve<R: BufRead, W: Write>(&mut self, reader: R, mut writer: W) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Binds `addr` and serves connections sequentially, sharing the caches
+    /// across all of them. Runs until the process is killed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error; per-connection errors are logged to stderr
+    /// and the server keeps accepting.
+    pub fn serve_tcp(&mut self, addr: &str) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("scenario server listening on {}", listener.local_addr()?);
+        for stream in listener.incoming() {
+            match stream.and_then(|stream| {
+                let reader = BufReader::new(stream.try_clone()?);
+                self.serve(reader, stream)
+            }) {
+                Ok(()) => {}
+                Err(err) => eprintln!("connection error: {err}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn error_response(id: u64, message: &str) -> String {
+    let escaped =
+        serde_json::to_string(&message.to_owned()).unwrap_or_else(|_| "\"error\"".to_owned());
+    format!("{{\"id\":{id},\"err\":{escaped}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_line(id: u64, spec: &ScenarioSpec) -> String {
+        serde_json::to_string(&RequestEnvelope {
+            id,
+            request: Request::Report { spec: spec.clone() },
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn malformed_lines_get_an_error_envelope() {
+        let mut server = ReportServer::new(1);
+        let response = server.handle_line("not json");
+        assert!(response.starts_with("{\"id\":0,\"err\":"));
+        assert_eq!(server.stats().errors, 1);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_and_not_cached() {
+        let mut server = ReportServer::new(1);
+        let mut spec = ScenarioSpec::static_resilience("ring", 6, 0.2, 100, 1, 1);
+        spec.schema = "dht-scenario/v9".to_owned();
+        let response = server.handle_line(&report_line(1, &spec));
+        assert!(response.contains("\"err\""));
+        assert_eq!(server.stats().report_misses, 0);
+    }
+
+    #[test]
+    fn hash_requests_answer_without_running_anything() {
+        let mut server = ReportServer::new(1);
+        let spec = ScenarioSpec::static_resilience("ring", 12, 0.3, 1_000_000, 64, 1);
+        let line = serde_json::to_string(&RequestEnvelope {
+            id: 9,
+            request: Request::Hash { spec: spec.clone() },
+        })
+        .unwrap();
+        let response = server.handle_line(&line);
+        assert_eq!(
+            response,
+            format!(
+                "{{\"id\":9,\"ok\":{{\"spec_hash\":\"{}\"}}}}",
+                spec.content_hash_hex()
+            )
+        );
+        assert_eq!(server.stats().trial_runs, 0);
+    }
+
+    #[test]
+    fn serve_answers_over_buffered_io() {
+        let mut server = ReportServer::new(1);
+        let spec = ScenarioSpec::static_resilience("hypercube", 6, 0.1, 200, 1, 4);
+        let input = format!("{}\n\n{}\n", report_line(1, &spec), report_line(2, &spec));
+        let mut output = Vec::new();
+        server.serve(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "blank lines are skipped");
+        assert!(lines[0].starts_with("{\"id\":1,\"ok\":"));
+        assert!(lines[1].starts_with("{\"id\":2,\"ok\":"));
+        assert_eq!(lines[0][9..], lines[1][9..], "payloads are identical");
+    }
+}

@@ -1,0 +1,85 @@
+//! Acceptance: the batch runner's output over a spec directory is
+//! byte-identical across two runs and across thread counts.
+
+use dht_experiments::spec::{ExperimentSpec, Family, ScenarioSpec};
+use dht_scenario::{run_directory, BatchOptions};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+fn write_specs(dir: &Path) {
+    fs::create_dir_all(dir).unwrap();
+    let fig3 = ScenarioSpec::new(
+        "fig3_smoke",
+        2006,
+        ExperimentSpec::Fig3 {
+            failure_probability: 0.3,
+            trials: 2_000,
+        },
+    );
+    let table = Family::ScalabilityTable.default_spec(true);
+    let resilience = ScenarioSpec::static_resilience("ring", 8, 0.3, 500, 1, 7);
+    for spec in [&fig3, &table, &resilience] {
+        fs::write(
+            dir.join(format!("{}.json", spec.name)),
+            spec.to_json_pretty(),
+        )
+        .unwrap();
+    }
+}
+
+/// Every output file's bytes, keyed by file name.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| {
+            let path = entry.unwrap().path();
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                fs::read(&path).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn batch_output_is_byte_identical_across_runs_and_thread_counts() {
+    let base = std::env::temp_dir().join(format!("dht-scenario-batch-{}", std::process::id()));
+    let spec_dir = base.join("specs");
+    write_specs(&spec_dir);
+
+    let mut snapshots = Vec::new();
+    let mut manifests = Vec::new();
+    for (label, threads) in [("a", Some(1)), ("b", Some(1)), ("c", Some(4))] {
+        let out = base.join(label);
+        let options = BatchOptions {
+            output_dir: out.clone(),
+            threads,
+            ..BatchOptions::new(&out)
+        };
+        manifests.push(run_directory(&spec_dir, &options).unwrap());
+        snapshots.push(snapshot(&out));
+    }
+
+    assert_eq!(manifests[0], manifests[1], "manifest stable across runs");
+    assert_eq!(manifests[0], manifests[2], "manifest stable across threads");
+    assert_eq!(snapshots[0], snapshots[1], "bytes stable across runs");
+    assert_eq!(snapshots[0], snapshots[2], "bytes stable across threads");
+
+    // One report per spec plus the manifest itself.
+    assert_eq!(snapshots[0].len(), 4);
+    assert!(snapshots[0].contains_key("manifest.json"));
+    assert!(snapshots[0].contains_key("fig3_smoke.json"));
+
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn unparsable_spec_files_fail_the_batch_with_their_path() {
+    let base = std::env::temp_dir().join(format!("dht-scenario-bad-{}", std::process::id()));
+    fs::create_dir_all(&base).unwrap();
+    fs::write(base.join("broken.json"), "{not json").unwrap();
+    let err = run_directory(&base, &BatchOptions::new(base.join("out"))).unwrap_err();
+    assert!(err.to_string().contains("broken.json"), "{err}");
+    fs::remove_dir_all(&base).ok();
+}

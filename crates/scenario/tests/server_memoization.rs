@@ -1,0 +1,126 @@
+//! Acceptance: the server answers a repeated identical query from cache —
+//! the second response is bit-identical and does no new work (no trial run,
+//! no kernel compile, no chain solve), observable through [`ServerStats`].
+
+use dht_experiments::spec::{Family, ScenarioSpec};
+use dht_scenario::{Query, ReportServer, Request, RequestEnvelope};
+
+fn line(id: u64, request: Request) -> String {
+    serde_json::to_string(&RequestEnvelope { id, request }).unwrap()
+}
+
+#[test]
+fn repeated_identical_query_is_answered_from_cache() {
+    let mut server = ReportServer::new(2);
+    let query = Query {
+        geometry: "ring".to_owned(),
+        bits: 8,
+        failure_probability: 0.3,
+        pairs: Some(600),
+        trials: Some(1),
+        seed: Some(7),
+    };
+
+    let first = server.handle_line(&line(
+        1,
+        Request::Query {
+            query: query.clone(),
+        },
+    ));
+    assert!(first.starts_with("{\"id\":1,\"ok\":"), "{first}");
+    let after_first = server.stats();
+    assert_eq!(after_first.report_misses, 1);
+    assert_eq!(after_first.trial_runs, 1);
+    assert_eq!(after_first.overlay_builds, 1);
+    assert_eq!(after_first.kernel_compiles, 1);
+    assert!(after_first.chain_solves > 0, "ring chains were solved");
+
+    let second = server.handle_line(&line(1, Request::Query { query }));
+    assert_eq!(first, second, "second response is bit-identical");
+
+    let after_second = server.stats();
+    assert_eq!(after_second.report_hits, 1);
+    assert_eq!(
+        after_second.trial_runs, after_first.trial_runs,
+        "no new trial run"
+    );
+    assert_eq!(
+        after_second.kernel_compiles, after_first.kernel_compiles,
+        "no new kernel compile"
+    );
+    assert_eq!(
+        after_second.chain_solves, after_first.chain_solves,
+        "no new chain solve"
+    );
+    assert_eq!(
+        after_second.overlay_builds, after_first.overlay_builds,
+        "no new overlay build"
+    );
+}
+
+#[test]
+fn cache_key_ignores_name_and_threads_but_not_parameters() {
+    let mut server = ReportServer::new(1);
+    let spec = ScenarioSpec::static_resilience("hypercube", 7, 0.2, 400, 1, 3);
+
+    let first = server.handle_line(&line(1, Request::Report { spec: spec.clone() }));
+
+    // Same content, different label: still a cache hit.
+    let mut renamed = spec.clone();
+    renamed.name = "a-different-label".to_owned();
+    let renamed_response = server.handle_line(&line(2, Request::Report { spec: renamed }));
+    assert_eq!(server.stats().report_hits, 1);
+    assert_eq!(first[9..], renamed_response[9..], "same payload, new id");
+
+    // Different failure probability: a miss.
+    let changed = ScenarioSpec::static_resilience("hypercube", 7, 0.4, 400, 1, 3);
+    server.handle_line(&line(3, Request::Report { spec: changed }));
+    let stats = server.stats();
+    assert_eq!(stats.report_misses, 2);
+    assert_eq!(stats.overlay_builds, 1, "the overlay itself was reused");
+    assert_eq!(stats.overlay_hits, 1);
+    assert_eq!(
+        stats.kernel_compiles, 1,
+        "compiled plan reused across queries"
+    );
+}
+
+#[test]
+fn chain_cache_is_shared_across_different_queries() {
+    let mut server = ReportServer::new(1);
+    let at = |q: f64| ScenarioSpec::static_resilience("xor", 7, q, 300, 1, 5);
+    server.handle_line(&line(1, Request::Report { spec: at(0.2) }));
+    let solves_one_q = server.stats().chain_solves;
+    // Same q, different pairs budget: every chain solve is already cached.
+    let mut same_q = at(0.2);
+    if let dht_experiments::spec::ExperimentSpec::StaticResilience { pairs, .. } =
+        &mut same_q.experiment
+    {
+        *pairs = 500;
+    }
+    server.handle_line(&line(2, Request::Report { spec: same_q }));
+    let stats = server.stats();
+    assert_eq!(stats.report_misses, 2, "different budget, different report");
+    assert_eq!(stats.chain_solves, solves_one_q, "chain solves all hit");
+    assert!(stats.chain_hits > 0);
+}
+
+#[test]
+fn non_query_families_are_memoized_too() {
+    let mut server = ReportServer::new(1);
+    let spec = Family::ScalabilityTable.default_spec(true);
+    let first = server.handle_line(&line(4, Request::Report { spec: spec.clone() }));
+    let second = server.handle_line(&line(4, Request::Report { spec }));
+    assert_eq!(first, second);
+    let stats = server.stats();
+    assert_eq!(stats.report_misses, 1);
+    assert_eq!(stats.report_hits, 1);
+}
+
+#[test]
+fn stats_round_trip_over_the_wire() {
+    let mut server = ReportServer::new(1);
+    let response = server.handle_line(&line(5, Request::Stats));
+    assert!(response.starts_with("{\"id\":5,\"ok\":{"));
+    assert!(response.contains("\"requests\":1"));
+}

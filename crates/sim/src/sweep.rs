@@ -2,6 +2,7 @@
 //! Fig. 6).
 
 use crate::config::{SimError, StaticResilienceConfig};
+use crate::rng::SeedSequence;
 use crate::static_resilience::{StaticResilienceExperiment, StaticResilienceResult};
 use dht_overlay::Overlay;
 use serde::{Deserialize, Serialize};
@@ -18,8 +19,11 @@ pub struct FailureSweepPoint {
 /// Measures the overlay at every failure probability of `grid`, using
 /// `base_config` for the pair count, trial count, seed and threading.
 ///
-/// The seed of each grid point is derived from the base seed and the grid
-/// index, so the whole sweep is reproducible while points remain independent
+/// The seed of grid point `k` is child `k` of a [`SeedSequence`] rooted at
+/// the base seed — the repository-wide convention for deriving per-point
+/// seeds from one root (live-churn grids use the same rule), so grids that
+/// share a root seed never share or correlate per-point RNG streams. The
+/// whole sweep is reproducible while points remain independent
 /// — which is also what lets the points run concurrently: grid points are
 /// measured on scoped threads (the overlay is only read), batched so that
 /// concurrent points times the per-point [`crate::TrialEngine`] workers
@@ -56,6 +60,7 @@ pub fn sweep_failure_grid<O>(
 where
     O: Overlay + Sync + ?Sized,
 {
+    let seeds = SeedSequence::new(base_config.seed());
     let configs = grid
         .iter()
         .enumerate()
@@ -64,7 +69,7 @@ where
                 .with_pairs(base_config.pairs())
                 .with_trials(base_config.trials())
                 .with_threads(base_config.threads())
-                .with_seed(base_config.seed().wrapping_add(index as u64 * 7919)))
+                .with_seed(seeds.child(index as u64)))
         })
         .collect::<Result<Vec<_>, SimError>>()?;
     // Each point may itself spawn `threads()` routing workers, so budget the

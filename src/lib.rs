@@ -21,7 +21,10 @@
 //! * [`mathkit`] (`dht-mathkit`) and [`id`] (`dht-id`) — numerical and
 //!   identifier-space substrates.
 //! * [`experiments`] (`dht-experiments`) — the harnesses that regenerate
-//!   every figure and table of the paper.
+//!   every figure and table of the paper, behind the declarative
+//!   [`experiments::spec::ScenarioSpec`] front door.
+//! * [`scenario`] (`dht-scenario`) — the batch runner over directories of
+//!   spec files and the memoizing report server.
 //!
 //! # Quickstart
 //!
@@ -57,11 +60,15 @@ pub use dht_mathkit as mathkit;
 pub use dht_overlay as overlay;
 pub use dht_percolation as percolation;
 pub use dht_rcm_core as analysis;
+pub use dht_scenario as scenario;
 pub use dht_sim as sim;
 
 /// The most commonly used items across the workspace, re-exported for glob
 /// import in applications, examples and tests.
 pub mod prelude {
+    pub use dht_experiments::spec::{
+        run_spec, ExperimentSpec, Family, ScenarioReport, ScenarioSpec,
+    };
     pub use dht_id::{KeySpace, NodeId, Population};
     pub use dht_overlay::{
         route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, GeometryOverlay,
@@ -70,6 +77,7 @@ pub mod prelude {
     };
     pub use dht_percolation::{connected_components, percolation_threshold, reachable_component};
     pub use dht_rcm_core::prelude::*;
+    pub use dht_scenario::{run_directory, BatchOptions, ReportServer};
     pub use dht_sim::{
         sweep_failure_grid, ChurnConfig, ChurnExperiment, LifetimeDistribution, LiveChurnConfig,
         LiveChurnExperiment, LiveChurnTally, StaticResilienceConfig, StaticResilienceExperiment,

@@ -1,0 +1,90 @@
+//! Golden scenario specs: every file under `tests/specs/` must parse, run
+//! deterministically at smoke size, and memoize through the report server.
+
+use dht_rcm::prelude::*;
+use dht_rcm::scenario::{Request, RequestEnvelope};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_specs() -> Vec<(String, ScenarioSpec)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/specs");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/specs exists")
+        .filter_map(|entry| entry.ok().map(|entry| entry.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "golden spec directory must not be empty");
+    files
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path).unwrap();
+            let spec = ScenarioSpec::from_json(&text)
+                .unwrap_or_else(|err| panic!("{}: {err}", path.display()));
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                spec,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn golden_specs_parse_and_cover_distinct_families() {
+    let specs = golden_specs();
+    let mut families: Vec<&str> = specs.iter().map(|(_, spec)| spec.family().name()).collect();
+    families.sort_unstable();
+    families.dedup();
+    assert!(
+        families.len() >= 4,
+        "goldens should span several experiment families, got {families:?}"
+    );
+    for (file, spec) in &specs {
+        assert_eq!(spec.content_hash_hex().len(), 16, "{file}");
+    }
+}
+
+#[test]
+fn golden_specs_run_deterministically() {
+    for (file, spec) in golden_specs() {
+        let first = run_spec(&spec, None).unwrap_or_else(|err| panic!("{file}: {err}"));
+        let second = run_spec(&spec, Some(3)).unwrap();
+        assert_eq!(
+            first.report, second.report,
+            "{file}: reports must not depend on the thread budget"
+        );
+        assert_eq!(first.report.spec_hash, spec.content_hash_hex());
+        assert_eq!(first.report.family, spec.family().name());
+        assert!(!first.headline.is_empty());
+        assert!(!first.table.is_empty());
+    }
+}
+
+#[test]
+fn golden_specs_memoize_through_the_report_server() {
+    let mut server = ReportServer::new(2);
+    let mut lines = Vec::new();
+    for (index, (_, spec)) in golden_specs().into_iter().enumerate() {
+        let line = serde_json::to_string(&RequestEnvelope {
+            id: index as u64 + 1,
+            request: Request::Report { spec },
+        })
+        .unwrap();
+        lines.push(server.handle_line(&line));
+    }
+    let misses = server.stats().report_misses;
+    assert_eq!(misses as usize, lines.len());
+
+    // Replaying the whole batch answers every line from cache, verbatim.
+    for (index, (_, spec)) in golden_specs().into_iter().enumerate() {
+        let line = serde_json::to_string(&RequestEnvelope {
+            id: index as u64 + 1,
+            request: Request::Report { spec },
+        })
+        .unwrap();
+        assert_eq!(server.handle_line(&line), lines[index]);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.report_misses, misses, "no re-execution on replay");
+    assert_eq!(stats.report_hits as usize, lines.len());
+}

@@ -155,11 +155,15 @@ fn write_sequence<T, F>(
 
 fn write_f64(out: &mut String, x: f64) {
     if x.is_finite() {
-        // `{}` is Rust's shortest round-trip representation. Ensure the text
-        // still reads as a float-compatible JSON number (it may lack a dot,
-        // e.g. "1", which parses back as an integer — the vendored f64
-        // deserializer accepts integer values, so round-trips are exact).
+        // `{}` is Rust's shortest round-trip representation. Whole floats
+        // format without a dot (e.g. "1"), which would parse back as an
+        // integer `Value` — append `.0` so floats stay floats through a
+        // round-trip.
+        let start = out.len();
         let _ = write!(out, "{x}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
     } else if x.is_nan() {
         out.push_str("\"NaN\"");
     } else if x > 0.0 {
