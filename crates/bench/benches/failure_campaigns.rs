@@ -1,0 +1,125 @@
+//! Benchmarks of the fault-injection campaign pipeline: [`FailurePlan`]
+//! lowering per plan shape, and campaign-trial measurement throughput
+//! (routing plus stuck-depth tallying through
+//! `TrialEngine::run_campaign_trial`). The campaign-trial medians also feed
+//! the machine-readable `BENCH_routing.json` as `campaign_routing` entries;
+//! see [`dht_bench::perf`].
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dht_bench::perf;
+use dht_overlay::{ChordOverlay, ChordVariant, FailurePlan, KademliaOverlay, Overlay};
+use dht_sim::TrialEngine;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const BITS: u32 = 12;
+const FRACTION: f64 = 0.3;
+
+/// One plan of each shape at the bench's failed fraction.
+fn plan_catalogue() -> Vec<FailurePlan> {
+    vec![
+        FailurePlan::Uniform { fraction: FRACTION },
+        FailurePlan::SegmentCorrelated {
+            fraction: FRACTION,
+            segments: 16,
+        },
+        FailurePlan::PrefixSubtree {
+            fraction: FRACTION,
+            prefix_bits: 4,
+        },
+        FailurePlan::AdaptiveAdversary {
+            fraction: FRACTION,
+            rounds: 4,
+        },
+        FailurePlan::Cascade {
+            seed_fraction: FRACTION,
+            propagation: 0.3,
+        },
+    ]
+}
+
+fn build_overlays() -> Vec<(&'static str, Box<dyn Overlay>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    vec![
+        (
+            "ring",
+            Box::new(ChordOverlay::build(BITS, ChordVariant::Deterministic).unwrap())
+                as Box<dyn Overlay>,
+        ),
+        (
+            "xor",
+            Box::new(KademliaOverlay::build(BITS, &mut rng).unwrap()),
+        ),
+    ]
+}
+
+/// Plan lowering alone: the cost of turning a declarative plan into a
+/// frozen [`dht_overlay::FailureMask`] at `2^12` identifiers. The adaptive
+/// adversary dominates (it scores fingers per round); the rest are
+/// near-linear scans.
+fn bench_plan_lowering(c: &mut Criterion) {
+    let overlay = ChordOverlay::build(BITS, ChordVariant::Deterministic).unwrap();
+    let mut group = c.benchmark_group("campaign_plan_lowering_2_12");
+    group.sample_size(20);
+    for plan in plan_catalogue() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(plan.name()),
+            &plan,
+            |b, plan| b.iter(|| black_box(plan.lower(black_box(&overlay), 2006))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_lowering);
+
+/// Contributes campaign-trial throughput entries: ns per routed pair when
+/// the pairs flow through `run_campaign_trial` (pair sampling, batched
+/// routing and stuck-depth tallying included) under a correlated-segment
+/// mask, per simulated geometry.
+fn perf_trajectory() {
+    let smoke = perf::smoke_mode();
+    let pairs: u64 = if smoke { 5_000 } else { 50_000 };
+    let samples = if smoke { 3 } else { 5 };
+    let plan = FailurePlan::SegmentCorrelated {
+        fraction: FRACTION,
+        segments: 16,
+    };
+    let engine = TrialEngine::new(1);
+    let mut entries = Vec::new();
+    for (name, overlay) in &build_overlays() {
+        let mask = plan.lower(overlay.as_ref(), 2006);
+        let median_per_trial = perf::measure_median_ns(1, samples, || {
+            black_box(
+                engine
+                    .run_campaign_trial(black_box(overlay.as_ref()), &mask, pairs, 11)
+                    .expect("survivors remain at q = 0.3"),
+            );
+        });
+        let median = median_per_trial / pairs as f64;
+        let entry = perf::entry(
+            "campaign_routing",
+            name,
+            BITS,
+            FRACTION,
+            median,
+            pairs,
+            samples,
+        );
+        println!(
+            "{:<40} {:>12.1} ns/route {:>14.0} routes/sec",
+            entry.key(),
+            entry.median_ns_per_route,
+            entry.routes_per_sec
+        );
+        entries.push(entry);
+    }
+    perf::merge_into_output(entries.clone()).expect("BENCH_routing.json is writable");
+    perf::enforce_baseline(&entries);
+}
+
+fn main() {
+    benches();
+    perf_trajectory();
+}

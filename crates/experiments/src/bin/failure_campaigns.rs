@@ -1,0 +1,10 @@
+//! Structured fault-injection campaigns with graceful-degradation reporting.
+//!
+//! Uniform CLI: `--spec <file>` (a dht-scenario/v1 JSON spec), `--smoke`,
+//! `--out <dir>`, `--compact`, `--threads <n>`.
+
+use dht_experiments::spec::{cli_main, Family};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    cli_main(Family::FailureCampaign)
+}

@@ -15,6 +15,7 @@
 //! | [`scalability_table`] | §5 scalable/unscalable classification |
 //! | [`markov_validation`] | closed forms vs the Markov chains of Fig. 4, 5, 8 |
 //! | [`live_churn`] | beyond the paper: continuous-time churn with incremental repair |
+//! | [`failure_campaigns`] | beyond the paper: structured fault injection (correlated, adaptive, cascading) |
 //! | [`percolation_contrast`] | §1 reachable vs connected components |
 //! | [`symphony_ablation`] | §1/§3.5 remark: buying routability with more neighbours |
 //! | [`ring_bound_gap`] | §4.3.3 lower-bound tightness (Fig. 6b discussion) |
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod failure_campaigns;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;

@@ -28,6 +28,7 @@
 //! [`crate::live_churn::run_grid`]), and the static-resilience family uses
 //! child 0 for overlay construction and child 1 as the measurement root.
 
+use crate::failure_campaigns::{render_failure_campaign_table, FailureCampaignConfig};
 use crate::fig3;
 use crate::fig6::{fig6a, fig6b, Fig6Config, Fig6Error};
 use crate::fig7::{fig7a, fig7b, Fig7Config, Fig7bPoint};
@@ -46,8 +47,8 @@ use crate::sparse_population::{
 use crate::symphony_ablation::{self, AblationCell};
 use dht_markov::{ChainError, ChainFamily};
 use dht_overlay::{
-    CanOverlay, ChordOverlay, ChordVariant, KademliaOverlay, Overlay, OverlayError, PlaxtonOverlay,
-    SymphonyOverlay,
+    CanOverlay, ChordOverlay, ChordVariant, FailurePlan, KademliaOverlay, Overlay, OverlayError,
+    PlaxtonOverlay, SymphonyOverlay,
 };
 use dht_rcm_core::{classify, routability, Geometry, RcmError, ScalabilityReport, SystemSize};
 use dht_sim::{
@@ -227,6 +228,22 @@ pub enum ExperimentSpec {
         /// Independent replicas per point.
         replicas: u32,
     },
+    /// Structured fault-injection campaigns: geometry × plan ×
+    /// failed-fraction grid with graceful-degradation reporting.
+    FailureCampaign {
+        /// Identifier length (full population).
+        bits: u32,
+        /// Geometries to sweep.
+        geometries: Vec<String>,
+        /// Plan templates (fractions re-targeted by the grid).
+        plans: Vec<FailurePlan>,
+        /// Target failed fractions to sweep each plan across.
+        failed_fractions: Vec<f64>,
+        /// Source/destination pairs per failure pattern.
+        pairs: u64,
+        /// Independent failure patterns per grid point.
+        patterns: u32,
+    },
     /// One geometry's static resilience + scalability report — the report
     /// server's query family ("N, geometry, q → resilience report").
     StaticResilience {
@@ -259,11 +276,12 @@ pub enum Family {
     RingBoundGap,
     SparsePopulation,
     LiveChurn,
+    FailureCampaign,
     StaticResilience,
 }
 
 /// All families, in the order the docs list them.
-pub const FAMILIES: [Family; 13] = [
+pub const FAMILIES: [Family; 14] = [
     Family::Fig3,
     Family::Fig6a,
     Family::Fig6b,
@@ -276,6 +294,7 @@ pub const FAMILIES: [Family; 13] = [
     Family::RingBoundGap,
     Family::SparsePopulation,
     Family::LiveChurn,
+    Family::FailureCampaign,
     Family::StaticResilience,
 ];
 
@@ -296,6 +315,7 @@ impl Family {
             Family::RingBoundGap => "ring_bound_gap",
             Family::SparsePopulation => "sparse_population",
             Family::LiveChurn => "live_churn",
+            Family::FailureCampaign => "failure_campaigns",
             Family::StaticResilience => "static_resilience",
         }
     }
@@ -444,6 +464,16 @@ impl Family {
                 spec.name = self.output_stem().to_owned();
                 return spec;
             }
+            Family::FailureCampaign => {
+                let config = if smoke {
+                    FailureCampaignConfig::smoke()
+                } else {
+                    FailureCampaignConfig::paper_scale()
+                };
+                let mut spec: ScenarioSpec = config.into();
+                spec.name = self.output_stem().to_owned();
+                return spec;
+            }
             Family::StaticResilience => ExperimentSpec::StaticResilience {
                 geometry: "ring".to_owned(),
                 bits: if smoke { 10 } else { 16 },
@@ -482,6 +512,7 @@ impl ExperimentSpec {
             ExperimentSpec::RingBoundGap { .. } => Family::RingBoundGap,
             ExperimentSpec::SparsePopulation { .. } => Family::SparsePopulation,
             ExperimentSpec::LiveChurn { .. } => Family::LiveChurn,
+            ExperimentSpec::FailureCampaign { .. } => Family::FailureCampaign,
             ExperimentSpec::StaticResilience { .. } => Family::StaticResilience,
         }
     }
@@ -864,6 +895,58 @@ impl TryFrom<&ScenarioSpec> for LiveChurnGridConfig {
     }
 }
 
+impl From<FailureCampaignConfig> for ScenarioSpec {
+    /// Lossless: seed and threads move to the spec's root fields.
+    fn from(config: FailureCampaignConfig) -> Self {
+        ScenarioSpec {
+            schema: SPEC_SCHEMA.to_owned(),
+            name: Family::FailureCampaign.output_stem().to_owned(),
+            seed: config.seed,
+            experiment: ExperimentSpec::FailureCampaign {
+                bits: config.bits,
+                geometries: config.geometries,
+                plans: config.plans,
+                failed_fractions: config.failed_fractions,
+                pairs: config.pairs,
+                patterns: config.patterns,
+            },
+            execution: Some(ExecutionSpec {
+                threads: config.threads,
+            }),
+        }
+    }
+}
+
+impl TryFrom<&ScenarioSpec> for FailureCampaignConfig {
+    type Error = SpecError;
+
+    fn try_from(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        match &spec.experiment {
+            ExperimentSpec::FailureCampaign {
+                bits,
+                geometries,
+                plans,
+                failed_fractions,
+                pairs,
+                patterns,
+            } => Ok(FailureCampaignConfig {
+                bits: *bits,
+                geometries: geometries.clone(),
+                plans: plans.clone(),
+                failed_fractions: failed_fractions.clone(),
+                pairs: *pairs,
+                patterns: *patterns,
+                threads: spec.threads(),
+                seed: spec.seed,
+            }),
+            other => Err(SpecError::Invalid(format!(
+                "expected a failure_campaigns spec, found {}",
+                other.family()
+            ))),
+        }
+    }
+}
+
 impl TryFrom<&ScenarioSpec> for StaticResilienceConfig {
     type Error = SpecError;
 
@@ -1145,6 +1228,20 @@ pub fn run_spec(
                 grid.bits, grid.mean_downtime, grid.duration, grid.warmup, grid.replicas
             );
             let table = render_live_churn_table(&points);
+            (points.to_value(), headline, table, None)
+        }
+        ExperimentSpec::FailureCampaign { .. } => {
+            let mut config = FailureCampaignConfig::try_from(spec)?;
+            config.threads = threads;
+            let points = crate::failure_campaigns::run_grid(&config)?;
+            let headline = format!(
+                "Failure campaigns: N = 2^{}, {} geometries x {} plans x {} fractions",
+                config.bits,
+                config.geometries.len(),
+                config.plans.len(),
+                config.failed_fractions.len()
+            );
+            let table = render_failure_campaign_table(&points);
             (points.to_value(), headline, table, None)
         }
         ExperimentSpec::StaticResilience {
@@ -1789,6 +1886,13 @@ mod tests {
             let spec: ScenarioSpec = config.clone().into();
             assert_eq!(LiveChurnGridConfig::try_from(&spec).unwrap(), config);
         }
+        for config in [
+            FailureCampaignConfig::smoke(),
+            FailureCampaignConfig::paper_scale(),
+        ] {
+            let spec: ScenarioSpec = config.clone().into();
+            assert_eq!(FailureCampaignConfig::try_from(&spec).unwrap(), config);
+        }
     }
 
     #[test]
@@ -1798,6 +1902,7 @@ mod tests {
         assert!(Fig7Config::try_from(&spec).is_err());
         assert!(SparsePopulationConfig::try_from(&spec).is_err());
         assert!(LiveChurnGridConfig::try_from(&spec).is_err());
+        assert!(FailureCampaignConfig::try_from(&spec).is_err());
         assert!(StaticResilienceConfig::try_from(&spec).is_err());
     }
 

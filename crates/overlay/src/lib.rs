@@ -80,6 +80,7 @@ pub mod arena;
 pub mod can;
 pub mod chord;
 pub mod failure;
+pub mod faults;
 pub mod generic;
 pub mod kademlia;
 pub mod kernel;
@@ -93,6 +94,7 @@ pub use arena::RoutingArena;
 pub use can::CanOverlay;
 pub use chord::{ChordOverlay, ChordVariant};
 pub use failure::{select_in_word, FailureMask};
+pub use faults::{FailurePlan, MAX_SUBTREE_PREFIX_BITS};
 pub use generic::{GeometryOverlay, GeometryStrategy};
 pub use kademlia::KademliaOverlay;
 pub use kernel::{KernelMask, KernelRule, RouteBatch, RoutingKernel, DEFAULT_BATCH_WIDTH};

@@ -52,17 +52,27 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let spec_dir = spec_dir.ok_or("scenario run needs a spec directory")?;
     let manifest = run_directory(&spec_dir, &options)?;
     for entry in &manifest {
-        println!(
-            "{:<28} {:<22} {}  -> {}",
-            entry.file, entry.family, entry.spec_hash, entry.report
-        );
+        match &entry.error {
+            None => println!(
+                "{:<28} {:<22} {}  -> {}",
+                entry.file, entry.family, entry.spec_hash, entry.report
+            ),
+            Some(error) => println!("{:<28} FAILED: {error}", entry.file),
+        }
     }
+    let failed = manifest
+        .iter()
+        .filter(|entry| entry.error.is_some())
+        .count();
     println!(
         "ran {} spec(s) from {} into {}",
-        manifest.len(),
+        manifest.len() - failed,
         spec_dir.display(),
         options.output_dir.display()
     );
+    if failed > 0 {
+        return Err(format!("{failed} spec file(s) failed; see the manifest").into());
+    }
     Ok(())
 }
 

@@ -29,19 +29,41 @@ impl BatchOptions {
     }
 }
 
-/// One row of the batch manifest: which spec file produced which report.
+/// One row of the batch manifest: which spec file produced which report —
+/// or, for a spec that failed to parse, validate or run, what went wrong.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchEntry {
     /// Spec file name (relative to the spec directory).
     pub file: String,
-    /// The spec's name label.
+    /// The spec's name label (empty when the file never parsed).
     pub name: String,
-    /// The spec's family name.
+    /// The spec's family name (empty when the file never parsed).
     pub family: String,
-    /// The spec's canonical content hash (hex).
+    /// The spec's canonical content hash (hex; empty when the file never
+    /// parsed).
     pub spec_hash: String,
-    /// Report file name (relative to the output directory).
+    /// Report file name (relative to the output directory; empty for
+    /// failed entries).
     pub report: String,
+    /// `None` for a successful run; `Some(message)` when this spec file
+    /// failed — the rest of the batch still ran.
+    pub error: Option<String>,
+}
+
+impl BatchEntry {
+    /// A failure row: best-effort identification plus the error message.
+    fn failed(file: String, spec: Option<&ScenarioSpec>, error: &SpecError) -> Self {
+        BatchEntry {
+            file,
+            name: spec.map(|spec| spec.name.clone()).unwrap_or_default(),
+            family: spec
+                .map(|spec| spec.family().name().to_owned())
+                .unwrap_or_default(),
+            spec_hash: spec.map(ScenarioSpec::content_hash_hex).unwrap_or_default(),
+            report: String::new(),
+            error: Some(error.to_string()),
+        }
+    }
 }
 
 /// Runs every `*.json` spec in `spec_dir` (sorted by file name, so the
@@ -53,11 +75,16 @@ pub struct BatchEntry {
 /// same directory produce byte-identical output trees regardless of the
 /// thread budget.
 ///
+/// A spec file that fails to parse, validate or run does **not** abort the
+/// batch: its manifest row carries the error message (and no report), and
+/// every other spec still runs. Callers decide whether a partly-failed
+/// batch is fatal by scanning [`BatchEntry::error`].
+///
 /// # Errors
 ///
-/// Returns [`SpecError`] on I/O failures, unparsable spec files, or a
-/// failing run; the batch stops at the first error (reports already written
-/// remain on disk).
+/// Returns [`SpecError`] only on batch-level I/O failures (listing the spec
+/// directory, writing reports or the manifest); per-file failures are
+/// collected, not returned.
 pub fn run_directory(
     spec_dir: &Path,
     options: &BatchOptions,
@@ -72,20 +99,33 @@ pub fn run_directory(
     let writer = ReportWriter::new(&options.output_dir).with_mode(options.mode);
     let mut manifest = Vec::with_capacity(spec_files.len());
     for path in &spec_files {
+        let file = path
+            .file_name()
+            .map(|name| name.to_string_lossy().into_owned())
+            .unwrap_or_default();
         let text = std::fs::read_to_string(path)
             .map_err(|err| SpecError::Io(format!("reading {}: {err}", path.display())))?;
-        let spec = ScenarioSpec::from_json(&text)
-            .map_err(|err| SpecError::Invalid(format!("{}: {err}", path.display())))?;
-        let outcome = run_spec(&spec, options.threads)?;
+        let spec = match ScenarioSpec::from_json(&text) {
+            Ok(spec) => spec,
+            Err(err) => {
+                let err = SpecError::Invalid(format!("{}: {err}", path.display()));
+                manifest.push(BatchEntry::failed(file, None, &err));
+                continue;
+            }
+        };
+        let outcome = match run_spec(&spec, options.threads) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                manifest.push(BatchEntry::failed(file, Some(&spec), &err));
+                continue;
+            }
+        };
         let report_path = writer.write_report(&outcome.report)?;
         if let Some(records) = &outcome.csv_records {
             writer.write_csv(records, &outcome.report.name)?;
         }
         manifest.push(BatchEntry {
-            file: path
-                .file_name()
-                .map(|name| name.to_string_lossy().into_owned())
-                .unwrap_or_default(),
+            file,
             name: outcome.report.name.clone(),
             family: outcome.report.family.clone(),
             spec_hash: outcome.report.spec_hash.clone(),
@@ -93,6 +133,7 @@ pub fn run_directory(
                 .file_name()
                 .map(|name| name.to_string_lossy().into_owned())
                 .unwrap_or_default(),
+            error: None,
         });
     }
     writer.write_json(&manifest, "manifest")?;

@@ -23,7 +23,7 @@ use dht_experiments::spec::{
     SpecError, REPORT_SCHEMA,
 };
 use dht_markov::ChainCache;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -83,6 +83,10 @@ pub enum Request {
     },
     /// Return the server's work and cache counters.
     Stats,
+    /// Acknowledge and stop serving: [`ReportServer::serve`] returns after
+    /// answering this request, and [`ReportServer::serve_tcp`] stops
+    /// accepting connections — a clean alternative to killing the process.
+    Shutdown,
 }
 
 /// One request line: an id (echoed in the response) and a body.
@@ -111,6 +115,7 @@ pub struct ReportServer {
     chains: ChainCache,
     stats: ServerStats,
     threads: usize,
+    shutdown: bool,
 }
 
 impl ReportServer {
@@ -123,7 +128,16 @@ impl ReportServer {
             chains: ChainCache::new(),
             stats: ServerStats::default(),
             threads: threads.max(1),
+            shutdown: false,
         }
+    }
+
+    /// Whether a [`Request::Shutdown`] has been acknowledged. The serve
+    /// loops consult this after every response; between loops it stays
+    /// set, so a shut-down server does not resume serving.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
     }
 
     /// A snapshot of the work counters, with the cache-layer counters
@@ -199,14 +213,21 @@ impl ReportServer {
     }
 
     /// Handles one request line and returns the response line (no trailing
-    /// newline). Malformed lines get an `id: 0` error response.
+    /// newline).
+    ///
+    /// Malformed and unknown requests get a structured error envelope: the
+    /// client's `id` is echoed whenever the line is valid JSON carrying a
+    /// non-negative integer `id` field — even if the request body itself is
+    /// unparsable — so pipelined clients can correlate the failure. Only
+    /// lines that are not JSON at all (or carry no usable id) fall back to
+    /// `id: 0`.
     pub fn handle_line(&mut self, line: &str) -> String {
         self.stats.requests += 1;
         let envelope: RequestEnvelope = match serde_json::from_str(line) {
             Ok(envelope) => envelope,
             Err(err) => {
                 self.stats.errors += 1;
-                return error_response(0, &format!("bad request: {err}"));
+                return error_response(salvage_request_id(line), &format!("bad request: {err}"));
             }
         };
         let id = envelope.id;
@@ -219,6 +240,10 @@ impl ReportServer {
             Request::Stats => {
                 serde_json::to_string(&self.stats()).map_err(|err| SpecError::Io(err.to_string()))
             }
+            Request::Shutdown => {
+                self.shutdown = true;
+                Ok("{\"shutdown\":true}".to_owned())
+            }
         };
         match body {
             Ok(payload) => format!("{{\"id\":{id},\"ok\":{payload}}}"),
@@ -229,13 +254,16 @@ impl ReportServer {
         }
     }
 
-    /// Serves line-delimited requests from `reader` to `writer` until EOF.
-    /// Empty lines are ignored.
+    /// Serves line-delimited requests from `reader` to `writer` until EOF
+    /// or an acknowledged [`Request::Shutdown`]. Empty lines are ignored.
     ///
     /// # Errors
     ///
     /// Returns the first I/O error from either side.
     pub fn serve<R: BufRead, W: Write>(&mut self, reader: R, mut writer: W) -> io::Result<()> {
+        if self.shutdown {
+            return Ok(());
+        }
         for line in reader.lines() {
             let line = line?;
             if line.trim().is_empty() {
@@ -244,12 +272,17 @@ impl ReportServer {
             let response = self.handle_line(&line);
             writeln!(writer, "{response}")?;
             writer.flush()?;
+            if self.shutdown {
+                break;
+            }
         }
         Ok(())
     }
 
     /// Binds `addr` and serves connections sequentially, sharing the caches
-    /// across all of them. Runs until the process is killed.
+    /// across all of them. Accepts until a connection sends
+    /// [`Request::Shutdown`] (the acknowledgement is written back first),
+    /// then returns cleanly.
     ///
     /// # Errors
     ///
@@ -258,6 +291,18 @@ impl ReportServer {
     pub fn serve_tcp(&mut self, addr: &str) -> io::Result<()> {
         let listener = TcpListener::bind(addr)?;
         eprintln!("scenario server listening on {}", listener.local_addr()?);
+        self.serve_listener(&listener)
+    }
+
+    /// [`ReportServer::serve_tcp`] over an already-bound listener — the
+    /// testable seam: callers that bind port 0 themselves know the actual
+    /// address, which `serve_tcp` only reports on stderr.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first accept error; per-connection errors are logged to
+    /// stderr and the server keeps accepting.
+    pub fn serve_listener(&mut self, listener: &TcpListener) -> io::Result<()> {
         for stream in listener.incoming() {
             match stream.and_then(|stream| {
                 let reader = BufReader::new(stream.try_clone()?);
@@ -266,9 +311,26 @@ impl ReportServer {
                 Ok(()) => {}
                 Err(err) => eprintln!("connection error: {err}"),
             }
+            if self.shutdown {
+                eprintln!("scenario server shutting down on request");
+                break;
+            }
         }
         Ok(())
     }
+}
+
+/// Pulls a non-negative integer `id` out of an otherwise unparsable request
+/// line, so the error envelope still correlates. `0` when the line is not a
+/// JSON object or carries no usable id.
+fn salvage_request_id(line: &str) -> u64 {
+    serde_json::from_str::<Value>(line)
+        .ok()
+        .and_then(|value| match value.get("id") {
+            Some(Value::U64(id)) => Some(*id),
+            _ => None,
+        })
+        .unwrap_or(0)
 }
 
 fn error_response(id: u64, message: &str) -> String {
@@ -295,6 +357,53 @@ mod tests {
         let response = server.handle_line("not json");
         assert!(response.starts_with("{\"id\":0,\"err\":"));
         assert_eq!(server.stats().errors, 1);
+    }
+
+    #[test]
+    fn malformed_bodies_still_echo_the_request_id() {
+        let mut server = ReportServer::new(1);
+        let response = server.handle_line("{\"id\":41,\"request\":{\"NoSuchThing\":{}}}");
+        assert!(
+            response.starts_with("{\"id\":41,\"err\":"),
+            "unknown request kinds keep their id: {response}"
+        );
+        let response = server.handle_line("{\"id\":42}");
+        assert!(
+            response.starts_with("{\"id\":42,\"err\":"),
+            "missing bodies keep their id: {response}"
+        );
+        let response = server.handle_line("{\"id\":-7,\"request\":\"Stats\"}");
+        assert!(
+            response.starts_with("{\"id\":0,\"err\":"),
+            "unusable ids fall back to 0: {response}"
+        );
+        assert_eq!(server.stats().errors, 3);
+    }
+
+    #[test]
+    fn shutdown_is_acknowledged_and_ends_the_serve_loop() {
+        let mut server = ReportServer::new(1);
+        let shutdown = serde_json::to_string(&RequestEnvelope {
+            id: 5,
+            request: Request::Shutdown,
+        })
+        .unwrap();
+        let stats = serde_json::to_string(&RequestEnvelope {
+            id: 6,
+            request: Request::Stats,
+        })
+        .unwrap();
+        // The stats line after the shutdown must never be answered.
+        let input = format!("{shutdown}\n{stats}\n");
+        let mut output = Vec::new();
+        server.serve(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(text, "{\"id\":5,\"ok\":{\"shutdown\":true}}\n");
+        assert!(server.shutdown_requested());
+        // A shut-down server stays shut down.
+        let mut output = Vec::new();
+        server.serve(stats.as_bytes(), &mut output).unwrap();
+        assert!(output.is_empty());
     }
 
     #[test]

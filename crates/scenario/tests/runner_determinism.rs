@@ -75,11 +75,53 @@ fn batch_output_is_byte_identical_across_runs_and_thread_counts() {
 }
 
 #[test]
-fn unparsable_spec_files_fail_the_batch_with_their_path() {
+fn failing_spec_files_are_collected_without_aborting_the_batch() {
     let base = std::env::temp_dir().join(format!("dht-scenario-bad-{}", std::process::id()));
     fs::create_dir_all(&base).unwrap();
-    fs::write(base.join("broken.json"), "{not json").unwrap();
-    let err = run_directory(&base, &BatchOptions::new(base.join("out"))).unwrap_err();
-    assert!(err.to_string().contains("broken.json"), "{err}");
+    // Sorted batch order: the broken file comes first, a spec that parses
+    // but cannot run comes second, and a good spec comes last.
+    fs::write(base.join("a_broken.json"), "{not json").unwrap();
+    let unrunnable = ScenarioSpec::new(
+        "bad_geometry",
+        7,
+        ExperimentSpec::StaticResilience {
+            geometry: "torus".to_owned(),
+            bits: 6,
+            grid: vec![0.1],
+            pairs: 50,
+            trials: 1,
+        },
+    );
+    fs::write(base.join("b_unrunnable.json"), unrunnable.to_json_pretty()).unwrap();
+    let good = ScenarioSpec::static_resilience("ring", 6, 0.2, 100, 1, 3);
+    fs::write(base.join("c_good.json"), good.to_json_pretty()).unwrap();
+
+    let out = base.join("out");
+    let manifest = run_directory(&base, &BatchOptions::new(&out)).unwrap();
+    assert_eq!(manifest.len(), 3, "every file gets a manifest row");
+
+    let broken = &manifest[0];
+    assert_eq!(broken.file, "a_broken.json");
+    let error = broken.error.as_deref().unwrap();
+    assert!(error.contains("a_broken.json"), "{error}");
+    assert!(broken.report.is_empty() && broken.spec_hash.is_empty());
+
+    let bad_run = &manifest[1];
+    assert_eq!(bad_run.file, "b_unrunnable.json");
+    assert!(bad_run.error.is_some());
+    assert_eq!(bad_run.name, "bad_geometry", "parsed identity is kept");
+    assert_eq!(bad_run.spec_hash, unrunnable.content_hash_hex());
+    assert!(bad_run.report.is_empty());
+
+    let ok = &manifest[2];
+    assert_eq!(ok.file, "c_good.json");
+    assert_eq!(ok.error, None);
+    assert!(out.join(&ok.report).is_file(), "good report was written");
+
+    // The manifest on disk records the failures too.
+    let written = fs::read_to_string(out.join("manifest.json")).unwrap();
+    let rows: Vec<dht_scenario::BatchEntry> = serde_json::from_str(&written).unwrap();
+    assert_eq!(rows, manifest);
+
     fs::remove_dir_all(&base).ok();
 }

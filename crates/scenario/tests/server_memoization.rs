@@ -118,6 +118,38 @@ fn non_query_families_are_memoized_too() {
 }
 
 #[test]
+fn tcp_server_shuts_down_cleanly_on_request() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let mut server = ReportServer::new(1);
+        server.serve_listener(&listener).unwrap();
+        server.shutdown_requested()
+    });
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    writeln!(stream, "{}", line(1, Request::Stats)).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.starts_with("{\"id\":1,\"ok\":"), "{response}");
+
+    writeln!(stream, "{}", line(2, Request::Shutdown)).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert_eq!(response.trim_end(), "{\"id\":2,\"ok\":{\"shutdown\":true}}");
+
+    // No kill required: the accept loop ends on its own.
+    assert!(
+        handle.join().unwrap(),
+        "server exited with shutdown flagged"
+    );
+}
+
+#[test]
 fn stats_round_trip_over_the_wire() {
     let mut server = ReportServer::new(1);
     let response = server.handle_line(&line(5, Request::Stats));

@@ -115,6 +115,22 @@ impl TrialTally {
     }
 }
 
+/// A per-shard result the engine can fold in shard order — the seam that
+/// lets [`TrialEngine::run_shards`] drive richer tallies (the campaign
+/// engine's stuck-depth histograms) through the identical sharding scheme,
+/// preserving the thread-count-invariance contract for every tally type.
+pub(crate) trait ShardTally: Default + Clone + Send {
+    /// Folds `other` into `self`; the engine always calls this in shard
+    /// order.
+    fn fold(&mut self, other: &Self);
+}
+
+impl ShardTally for TrialTally {
+    fn fold(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
 /// Routes a trial's pair budget across scoped worker threads, bit-identically
 /// for any thread count.
 ///
@@ -233,8 +249,14 @@ impl TrialEngine {
                     pairs,
                     pair_seed,
                     BatchScratch::new,
-                    |budget, rng, tally, scratch| {
-                        scratch.route_shard(kernel, words, &sampler, budget, hop_limit, rng, tally);
+                    |budget, rng, tally: &mut TrialTally, scratch: &mut BatchScratch| {
+                        scratch.route_shard(kernel, words, &sampler, budget, hop_limit, rng);
+                        // Draw order, not retirement order: the tally's
+                        // floating-point hop statistics must fold exactly as
+                        // the per-route path folds them.
+                        for &outcome in &scratch.outcomes {
+                            tally.record(outcome);
+                        }
                     },
                 )
             }
@@ -242,7 +264,7 @@ impl TrialEngine {
                 pairs,
                 pair_seed,
                 || (),
-                |budget, rng, tally, ()| {
+                |budget, rng, tally: &mut TrialTally, ()| {
                     for _ in 0..budget {
                         let (source, target) = sampler.sample_values(rng);
                         tally.record(route_prevalidated(
@@ -268,43 +290,48 @@ impl TrialEngine {
     /// its routing reuses one frontier and pair buffer across every shard the
     /// worker executes. Scratch must not carry results between shards; the
     /// tally is the only output channel.
-    fn run_shards<S, M, F>(
+    ///
+    /// Generic over the tally type so sibling engines (the campaign runner in
+    /// [`crate::campaign`]) inherit the exact sharding scheme — same shard
+    /// grid, same per-shard streams, same shard-order fold.
+    pub(crate) fn run_shards<T, S, M, F>(
         &self,
         pairs: u64,
         pair_seed: u64,
         make_scratch: M,
         run_shard_body: F,
-    ) -> TrialTally
+    ) -> T
     where
+        T: ShardTally,
         M: Fn() -> S + Sync,
-        F: Fn(u64, &mut ChaCha8Rng, &mut TrialTally, &mut S) + Sync,
+        F: Fn(u64, &mut ChaCha8Rng, &mut T, &mut S) + Sync,
     {
         let pairs = pairs.max(1);
         let shard_count = usize::try_from(pairs.div_ceil(self.pairs_per_shard))
             .expect("shard count fits in usize");
         let shard_seeds = SeedSequence::new(pair_seed);
 
-        let run_shard = |shard: usize, scratch: &mut S| -> TrialTally {
+        let run_shard = |shard: usize, scratch: &mut S| -> T {
             let mut rng = shard_seeds.child_rng(shard as u64);
             let budget = if shard + 1 == shard_count {
                 pairs - self.pairs_per_shard * (shard_count as u64 - 1)
             } else {
                 self.pairs_per_shard
             };
-            let mut tally = TrialTally::default();
+            let mut tally = T::default();
             run_shard_body(budget, &mut rng, &mut tally, scratch);
             tally
         };
 
         let threads = self.threads.min(shard_count);
-        let mut merged = TrialTally::default();
+        let mut merged = T::default();
         if threads <= 1 {
             let mut scratch = make_scratch();
             for shard in 0..shard_count {
-                merged.merge(&run_shard(shard, &mut scratch));
+                merged.fold(&run_shard(shard, &mut scratch));
             }
         } else {
-            let mut tallies: Vec<TrialTally> = vec![TrialTally::default(); shard_count];
+            let mut tallies: Vec<T> = vec![T::default(); shard_count];
             let chunk = shard_count.div_ceil(threads);
             std::thread::scope(|scope| {
                 for (worker, slots) in tallies.chunks_mut(chunk).enumerate() {
@@ -322,7 +349,7 @@ impl TrialEngine {
             // Shard order, not completion order: keeps the floating-point
             // hop statistics identical for every thread count.
             for tally in &tallies {
-                merged.merge(tally);
+                merged.fold(tally);
             }
         }
         merged
@@ -332,14 +359,17 @@ impl TrialEngine {
 /// Per-worker scratch of the batched kernel path: one routing frontier, one
 /// pair buffer and one outcome buffer, reused across every shard the worker
 /// executes — the engine's only allocations after the first shard.
-struct BatchScratch {
+pub(crate) struct BatchScratch {
     batch: RouteBatch,
     pairs: Vec<(u64, u64)>,
-    outcomes: Vec<RouteOutcome>,
+    /// The shard's outcomes in draw order after a
+    /// [`BatchScratch::route_shard`] call; callers fold these into their
+    /// tally of choice.
+    pub(crate) outcomes: Vec<RouteOutcome>,
 }
 
 impl BatchScratch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         BatchScratch {
             batch: RouteBatch::default(),
             pairs: Vec::new(),
@@ -349,9 +379,9 @@ impl BatchScratch {
 
     /// Routes one shard through the batched lockstep path: draw the whole
     /// budget (the identical RNG stream as per-pair draws), route it with a
-    /// full frontier, record outcomes in draw order.
-    #[allow(clippy::too_many_arguments)]
-    fn route_shard(
+    /// full frontier, and leave the outcomes in `self.outcomes` in draw
+    /// order for the caller to record.
+    pub(crate) fn route_shard(
         &mut self,
         kernel: &RoutingKernel,
         alive_words: &[u64],
@@ -359,7 +389,6 @@ impl BatchScratch {
         budget: u64,
         hop_limit: u32,
         rng: &mut ChaCha8Rng,
-        tally: &mut TrialTally,
     ) {
         sampler.sample_values_into(budget, rng, &mut self.pairs);
         kernel.route_batch(
@@ -369,11 +398,6 @@ impl BatchScratch {
             hop_limit,
             &mut self.outcomes,
         );
-        // Draw order, not retirement order: the tally's floating-point hop
-        // statistics must fold exactly as the per-route path folds them.
-        for &outcome in &self.outcomes {
-            tally.record(outcome);
-        }
     }
 }
 

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod churn;
 pub mod config;
 pub mod engine;
@@ -50,6 +51,7 @@ pub mod static_resilience;
 pub mod sweep;
 pub mod targeted;
 
+pub use campaign::{CampaignTally, StuckDepthHistogram};
 pub use churn::{ChurnConfig, ChurnExperiment, ChurnRound};
 pub use config::{SimError, StaticResilienceConfig};
 pub use engine::{TrialEngine, TrialTally, DEFAULT_PAIRS_PER_SHARD};

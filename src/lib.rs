@@ -10,7 +10,8 @@
 //!   the closed forms for the tree (Plaxton), hypercube (CAN), XOR
 //!   (Kademlia), ring (Chord) and small-world (Symphony) geometries.
 //! * [`overlay`] (`dht-overlay`) — executable overlays of the same five
-//!   geometries with static-resilience routing.
+//!   geometries with static-resilience routing and structured failure
+//!   plans (correlated, adaptive, cascading).
 //! * [`sim`] (`dht-sim`) — the measurement harness (failure patterns, pair
 //!   sampling, sweeps, snapshot churn, and the live-churn discrete-event
 //!   simulator).
@@ -71,7 +72,7 @@ pub mod prelude {
     };
     pub use dht_id::{KeySpace, NodeId, Population};
     pub use dht_overlay::{
-        route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, GeometryOverlay,
+        route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, FailurePlan, GeometryOverlay,
         KademliaOverlay, LiveOverlay, Overlay, PlaxtonOverlay, RouteBatch, RouteOutcome,
         RoutingArena, RoutingKernel, SymphonyOverlay, DEFAULT_BATCH_WIDTH,
     };
@@ -79,9 +80,9 @@ pub mod prelude {
     pub use dht_rcm_core::prelude::*;
     pub use dht_scenario::{run_directory, BatchOptions, ReportServer};
     pub use dht_sim::{
-        sweep_failure_grid, ChurnConfig, ChurnExperiment, LifetimeDistribution, LiveChurnConfig,
-        LiveChurnExperiment, LiveChurnTally, StaticResilienceConfig, StaticResilienceExperiment,
-        TrialEngine, TrialTally,
+        sweep_failure_grid, CampaignTally, ChurnConfig, ChurnExperiment, LifetimeDistribution,
+        LiveChurnConfig, LiveChurnExperiment, LiveChurnTally, StaticResilienceConfig,
+        StaticResilienceExperiment, TrialEngine, TrialTally,
     };
 }
 
