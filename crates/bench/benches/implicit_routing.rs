@@ -1,0 +1,216 @@
+//! The implicit-backend perf trajectory: median ns/route and routes/sec for
+//! generative routing tables, written into `BENCH_routing.json` next to the
+//! materialized trajectories.
+//!
+//! At `2^20` the bench measures **both backends over bit-identical tables**
+//! (the materialized build and the implicit replay of the same construction
+//! stream), so `implicit_routing` vs `materialized_routing` entries isolate
+//! the cost of regenerating rows on demand. At `2^26` and `2^28` — beyond
+//! the materialized ceiling — only the implicit backend runs; those entries
+//! are the headline numbers the scale work moves.
+//!
+//! Environment: `BENCH_SMOKE=1` shrinks the measurement budget,
+//! `BENCH_OUTPUT`/`BENCH_BASELINE`/`BENCH_TOLERANCE` control the report —
+//! see [`dht_bench::perf`].
+
+use dht_bench::perf;
+use dht_experiments::implicit_scale::build_implicit_overlay;
+use dht_experiments::spec::build_full_overlay;
+use dht_id::KeySpace;
+use dht_overlay::{default_route_hop_limit, FailureMask, Overlay, RouteOutcome};
+use dht_sim::{PairSampler, SeedSequence};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Construction seed shared by both backends: `build_full_overlay` feeds its
+/// shared stream from `child(0)` of this seed, and the implicit twin replays
+/// exactly that stream, so every measured table is bit-identical.
+const SEED: u64 = 2006;
+
+/// The two geometries the scale experiments headline.
+const GEOMETRIES: [&str; 2] = ["ring", "xor"];
+
+/// The frozen mask and alive pair set for one `(bits, q)` point — the same
+/// seed convention as `overlay_routing`, so entries are comparable across
+/// bench targets. Geometry-independent: callers build it once per point and
+/// share it across geometries and backends.
+fn workload_at(bits: u32, q: f64) -> (FailureMask, Vec<(u64, u64)>) {
+    let space = KeySpace::new(bits).unwrap();
+    let mask = FailureMask::sample(
+        space,
+        q,
+        &mut ChaCha8Rng::seed_from_u64(0x6D61_736B ^ u64::from(bits)),
+    );
+    let sampler = PairSampler::new(&mask).expect("enough survivors at these sizes");
+    let mut pair_rng = ChaCha8Rng::seed_from_u64(0x7061_6972 ^ u64::from(bits));
+    let pairs: Vec<(u64, u64)> = (0..4096)
+        .map(|_| sampler.sample_values(&mut pair_rng))
+        .collect();
+    (mask, pairs)
+}
+
+/// Calibrates routes-per-sample to the mode's wall-clock target and returns
+/// `(median_ns_per_route, routes_per_sample, samples)`.
+fn calibrated_median<F: FnMut()>(smoke: bool, mut route_one: F) -> (f64, u64, u64) {
+    let calibration_ns = perf::measure_median_ns(64, 1, &mut route_one).max(1.0);
+    let (target_sample_ns, samples) = if smoke { (25e6, 5) } else { (100e6, 7) };
+    let routes_per_sample = ((target_sample_ns / calibration_ns) as u64).clamp(64, 500_000);
+    let median = perf::measure_median_ns(routes_per_sample, samples, &mut route_one);
+    (median, routes_per_sample, samples)
+}
+
+fn print_entry(entry: &perf::RoutingBenchEntry) {
+    println!(
+        "{:<44} {:>12.1} ns/route {:>10.1} ns/hop {:>14.0} routes/sec",
+        entry.key(),
+        entry.median_ns_per_route,
+        entry.median_ns_per_hop.unwrap_or(0.0),
+        entry.routes_per_sec
+    );
+}
+
+/// Measures the implicit kernel over the shared workload: per-route median
+/// through `route_ranked` with a warm per-thread row cache, exactly how the
+/// trial engine drives the backend per shard.
+fn measure_implicit_point(
+    name: &str,
+    overlay: &dyn Overlay,
+    mask: &FailureMask,
+    pairs: &[(u64, u64)],
+    q: f64,
+    smoke: bool,
+) -> perf::RoutingBenchEntry {
+    let kernel = overlay
+        .implicit_kernel()
+        .expect("the implicit backend exports its kernel");
+    let lowered = kernel.compile_mask(mask);
+    let words = lowered.words();
+    let hop_limit = default_route_hop_limit(overlay);
+    let mut cache = kernel.row_cache();
+
+    let mean_hops = {
+        let total: u64 = pairs
+            .iter()
+            .map(|&(source, target)| {
+                match kernel.route_ranked(&mut cache, words, source, target, hop_limit) {
+                    RouteOutcome::Delivered { hops } | RouteOutcome::Dropped { hops, .. } => {
+                        u64::from(hops)
+                    }
+                    RouteOutcome::HopLimitExceeded { limit } => u64::from(limit),
+                    RouteOutcome::SourceFailed | RouteOutcome::TargetFailed => 0,
+                }
+            })
+            .sum();
+        (total as f64 / pairs.len().max(1) as f64).max(1e-9)
+    };
+
+    let mut cursor = 0usize;
+    let route_one = || {
+        let (source, target) = pairs[cursor];
+        cursor = (cursor + 1) % pairs.len();
+        black_box(kernel.route_ranked(&mut cache, words, source, target, hop_limit));
+    };
+    let (median, routes_per_sample, samples) = calibrated_median(smoke, route_one);
+    let entry = perf::entry(
+        "implicit_routing",
+        name,
+        overlay.key_space().bits(),
+        q,
+        median,
+        routes_per_sample,
+        samples,
+    )
+    .with_ns_per_hop(median / mean_hops);
+    print_entry(&entry);
+    entry
+}
+
+/// Measures the materialized kernel over the same workload — the twin entry
+/// that turns each `2^20` implicit number into a backend comparison.
+fn measure_materialized_point(
+    name: &str,
+    overlay: &dyn Overlay,
+    mask: &FailureMask,
+    pairs: &[(u64, u64)],
+    q: f64,
+    smoke: bool,
+) -> perf::RoutingBenchEntry {
+    let kernel = overlay.kernel().expect("materialized builds compile");
+    let lowered = kernel.compile_mask(mask);
+    let words = lowered.words();
+    let hop_limit = default_route_hop_limit(overlay);
+
+    let mut cursor = 0usize;
+    let route_one = || {
+        let (source, target) = pairs[cursor];
+        cursor = (cursor + 1) % pairs.len();
+        black_box(kernel.route_ranked(words, source, target, hop_limit));
+    };
+    let (median, routes_per_sample, samples) = calibrated_median(smoke, route_one);
+    let entry = perf::entry(
+        "materialized_routing",
+        name,
+        overlay.key_space().bits(),
+        q,
+        median,
+        routes_per_sample,
+        samples,
+    );
+    print_entry(&entry);
+    entry
+}
+
+fn main() {
+    let smoke = perf::smoke_mode();
+    let mut entries = Vec::new();
+
+    // Both backends at 2^20, bit-identical tables, shared workload.
+    for q in [0.0, 0.3] {
+        let (mask, pairs) = workload_at(20, q);
+        for name in GEOMETRIES {
+            let materialized = build_full_overlay(name, 20, SEED).unwrap();
+            entries.push(measure_materialized_point(
+                name,
+                materialized.as_ref(),
+                &mask,
+                &pairs,
+                q,
+                smoke,
+            ));
+            drop(materialized);
+            let implicit =
+                build_implicit_overlay(name, 20, SeedSequence::new(SEED).child(0)).unwrap();
+            entries.push(measure_implicit_point(
+                name,
+                implicit.as_ref(),
+                &mask,
+                &pairs,
+                q,
+                smoke,
+            ));
+        }
+    }
+
+    // Beyond the materialized ceiling: implicit only.
+    for bits in [26u32, 28] {
+        for q in [0.0, 0.3] {
+            let (mask, pairs) = workload_at(bits, q);
+            for name in GEOMETRIES {
+                let implicit =
+                    build_implicit_overlay(name, bits, SeedSequence::new(SEED).child(0)).unwrap();
+                entries.push(measure_implicit_point(
+                    name,
+                    implicit.as_ref(),
+                    &mask,
+                    &pairs,
+                    q,
+                    smoke,
+                ));
+            }
+        }
+    }
+
+    perf::merge_into_output(entries.clone()).expect("BENCH_routing.json is writable");
+    perf::enforce_baseline(&entries);
+}

@@ -1,0 +1,8 @@
+//! Static resilience beyond the materialized ceiling (implicit backend,
+//! `2^26`–`2^30`): see [`dht_experiments::implicit_scale`].
+
+use dht_experiments::spec::{cli_main, Family};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    cli_main(Family::ImplicitScale)
+}

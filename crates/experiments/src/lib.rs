@@ -20,6 +20,7 @@
 //! | [`symphony_ablation`] | §1/§3.5 remark: buying routability with more neighbours |
 //! | [`ring_bound_gap`] | §4.3.3 lower-bound tightness (Fig. 6b discussion) |
 //! | [`sparse_population`] | beyond the paper: resilience at `n < 2^d` occupancy |
+//! | [`implicit_scale`] | beyond the paper: static resilience at `2^26`–`2^30` via implicit tables |
 //!
 //! Every harness takes an explicit seed and sizes, so results are
 //! reproducible and the binaries can run a fast "smoke" configuration in CI
@@ -40,6 +41,7 @@ pub mod failure_campaigns;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
+pub mod implicit_scale;
 pub mod live_churn;
 pub mod markov_validation;
 pub mod output;
@@ -52,6 +54,6 @@ pub mod symphony_ablation;
 
 pub use output::{default_output_dir, render_records_table, ReportMode, ReportWriter};
 pub use spec::{
-    run_spec, ExecutionSpec, ExperimentSpec, Family, ScenarioReport, ScenarioSpec, SpecError,
-    SpecOutcome, REPORT_SCHEMA, SPEC_SCHEMA,
+    run_spec, Backend, ExecutionSpec, ExperimentSpec, Family, ScenarioReport, ScenarioSpec,
+    SpecError, SpecOutcome, REPORT_SCHEMA, SPEC_SCHEMA,
 };

@@ -32,6 +32,7 @@ use crate::failure_campaigns::{render_failure_campaign_table, FailureCampaignCon
 use crate::fig3;
 use crate::fig6::{fig6a, fig6b, Fig6Config, Fig6Error};
 use crate::fig7::{fig7a, fig7b, Fig7Config, Fig7bPoint};
+use crate::implicit_scale::{render_implicit_scale_table, ImplicitScaleConfig};
 use crate::live_churn::{
     chain_predicted_routability_with, render_live_churn_table, LiveChurnGridConfig,
 };
@@ -74,6 +75,68 @@ pub const REPORT_SCHEMA: &str = "dht-scenario-report/v1";
 pub struct ExecutionSpec {
     /// Worker-thread budget for the measurement engines.
     pub threads: usize,
+    /// Which routing-table backend materializes the overlay.
+    pub backend: Backend,
+}
+
+/// Which routing-table backend a spec runs against.
+///
+/// Both backends produce bit-identical results wherever both can run (the
+/// implicit backend replays the materialized construction's RNG stream), so
+/// — like [`ExecutionSpec::threads`] — the choice is excluded from the
+/// content hash: it changes the resource profile, never the report.
+///
+/// [`Backend::Materialized`] builds every routing table up front and is
+/// limited to [`dht_overlay::MAX_OVERLAY_BITS`]-bit spaces;
+/// [`Backend::Implicit`] regenerates rows on demand and routes full
+/// populations up to [`dht_overlay::MAX_IMPLICIT_OVERLAY_BITS`] bits.
+/// Families other than `static_resilience` currently ignore the field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Precomputed tables in memory (the default).
+    #[default]
+    Materialized,
+    /// Rows regenerated from the construction seed on demand.
+    Implicit,
+}
+
+impl Backend {
+    /// Stable lowercase name (the spec-file form).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Materialized => "materialized",
+            Backend::Implicit => "implicit",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Hand-written (rather than derived) so the spec-file form is lowercase and
+// a missing field reads as the materialized default, keeping every spec
+// written before the field existed parseable.
+impl Serialize for Backend {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for Backend {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::Null => Ok(Backend::Materialized),
+            Value::Str(name) if name == "materialized" => Ok(Backend::Materialized),
+            Value::Str(name) if name == "implicit" => Ok(Backend::Implicit),
+            other => Err(serde::Error::custom(format!(
+                "unknown backend {other:?} (expected \"materialized\" or \"implicit\")"
+            ))),
+        }
+    }
 }
 
 /// A fully-serializable description of one experiment run.
@@ -258,6 +321,18 @@ pub enum ExperimentSpec {
         /// Independent failure patterns averaged per grid point.
         trials: u32,
     },
+    /// Static resilience beyond the materialized ceiling: the implicit
+    /// backend at sizes up to `2^30` nodes, with resident-memory accounting.
+    ImplicitScale {
+        /// Geometry name (`ring`, `xor`, `tree`, `hypercube`, `symphony`).
+        geometry: String,
+        /// Identifier lengths to sweep (full populations).
+        bits_list: Vec<u32>,
+        /// Node failure probability applied at every size.
+        failure_probability: f64,
+        /// Survivor pairs routed per size.
+        pairs: u64,
+    },
 }
 
 /// The experiment families, used to key binaries and reports.
@@ -278,10 +353,11 @@ pub enum Family {
     LiveChurn,
     FailureCampaign,
     StaticResilience,
+    ImplicitScale,
 }
 
 /// All families, in the order the docs list them.
-pub const FAMILIES: [Family; 14] = [
+pub const FAMILIES: [Family; 15] = [
     Family::Fig3,
     Family::Fig6a,
     Family::Fig6b,
@@ -296,6 +372,7 @@ pub const FAMILIES: [Family; 14] = [
     Family::LiveChurn,
     Family::FailureCampaign,
     Family::StaticResilience,
+    Family::ImplicitScale,
 ];
 
 impl Family {
@@ -317,6 +394,7 @@ impl Family {
             Family::LiveChurn => "live_churn",
             Family::FailureCampaign => "failure_campaigns",
             Family::StaticResilience => "static_resilience",
+            Family::ImplicitScale => "implicit_scale",
         }
     }
 
@@ -389,6 +467,7 @@ impl Family {
                     },
                     execution: Some(ExecutionSpec {
                         threads: config.threads,
+                        backend: Backend::Materialized,
                     }),
                 };
                 return seeded;
@@ -484,6 +563,16 @@ impl Family {
                 pairs: if smoke { 2_000 } else { 20_000 },
                 trials: 1,
             },
+            Family::ImplicitScale => {
+                let config = if smoke {
+                    ImplicitScaleConfig::smoke()
+                } else {
+                    ImplicitScaleConfig::paper_scale()
+                };
+                let mut spec: ScenarioSpec = config.into();
+                spec.name = self.output_stem().to_owned();
+                return spec;
+            }
         };
         ScenarioSpec::new(self.output_stem(), 2006, experiment)
     }
@@ -514,6 +603,7 @@ impl ExperimentSpec {
             ExperimentSpec::LiveChurn { .. } => Family::LiveChurn,
             ExperimentSpec::FailureCampaign { .. } => Family::FailureCampaign,
             ExperimentSpec::StaticResilience { .. } => Family::StaticResilience,
+            ExperimentSpec::ImplicitScale { .. } => Family::ImplicitScale,
         }
     }
 }
@@ -569,6 +659,15 @@ impl ScenarioSpec {
         self.execution
             .as_ref()
             .map_or(1, |execution| execution.threads.max(1))
+    }
+
+    /// The effective routing-table backend: the execution block's, or
+    /// [`Backend::Materialized`].
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.execution
+            .as_ref()
+            .map_or(Backend::Materialized, |execution| execution.backend)
     }
 
     /// Checks the schema tag and basic well-formedness.
@@ -689,6 +788,7 @@ impl From<Fig6Config> for ScenarioSpec {
             },
             execution: Some(ExecutionSpec {
                 threads: config.threads,
+                backend: Backend::Materialized,
             }),
         }
     }
@@ -807,6 +907,7 @@ impl From<SparsePopulationConfig> for ScenarioSpec {
             },
             execution: Some(ExecutionSpec {
                 threads: config.threads,
+                backend: Backend::Materialized,
             }),
         }
     }
@@ -858,6 +959,7 @@ impl From<LiveChurnGridConfig> for ScenarioSpec {
             },
             execution: Some(ExecutionSpec {
                 threads: config.threads,
+                backend: Backend::Materialized,
             }),
         }
     }
@@ -912,6 +1014,7 @@ impl From<FailureCampaignConfig> for ScenarioSpec {
             },
             execution: Some(ExecutionSpec {
                 threads: config.threads,
+                backend: Backend::Materialized,
             }),
         }
     }
@@ -941,6 +1044,54 @@ impl TryFrom<&ScenarioSpec> for FailureCampaignConfig {
             }),
             other => Err(SpecError::Invalid(format!(
                 "expected a failure_campaigns spec, found {}",
+                other.family()
+            ))),
+        }
+    }
+}
+
+impl From<ImplicitScaleConfig> for ScenarioSpec {
+    /// Lossless: seed and threads move to the spec's root fields; the
+    /// execution block records the implicit backend the family always uses.
+    fn from(config: ImplicitScaleConfig) -> Self {
+        ScenarioSpec {
+            schema: SPEC_SCHEMA.to_owned(),
+            name: Family::ImplicitScale.output_stem().to_owned(),
+            seed: config.seed,
+            experiment: ExperimentSpec::ImplicitScale {
+                geometry: config.geometry,
+                bits_list: config.bits_list,
+                failure_probability: config.failure_probability,
+                pairs: config.pairs,
+            },
+            execution: Some(ExecutionSpec {
+                threads: config.threads,
+                backend: Backend::Implicit,
+            }),
+        }
+    }
+}
+
+impl TryFrom<&ScenarioSpec> for ImplicitScaleConfig {
+    type Error = SpecError;
+
+    fn try_from(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        match &spec.experiment {
+            ExperimentSpec::ImplicitScale {
+                geometry,
+                bits_list,
+                failure_probability,
+                pairs,
+            } => Ok(ImplicitScaleConfig {
+                geometry: geometry.clone(),
+                bits_list: bits_list.clone(),
+                failure_probability: *failure_probability,
+                pairs: *pairs,
+                seed: spec.seed,
+                threads: spec.threads(),
+            }),
+            other => Err(SpecError::Invalid(format!(
+                "expected an implicit_scale spec, found {}",
                 other.family()
             ))),
         }
@@ -1244,6 +1395,23 @@ pub fn run_spec(
             let table = render_failure_campaign_table(&points);
             (points.to_value(), headline, table, None)
         }
+        ExperimentSpec::ImplicitScale { .. } => {
+            let mut config = ImplicitScaleConfig::try_from(spec)?;
+            config.threads = threads;
+            let points = crate::implicit_scale::run(&config)?;
+            let sizes = config
+                .bits_list
+                .iter()
+                .map(|bits| format!("2^{bits}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let headline = format!(
+                "Implicit-table static resilience: {} at q = {}, sizes {sizes}",
+                config.geometry, config.failure_probability
+            );
+            let table = render_implicit_scale_table(&points);
+            (points.to_value(), headline, table, None)
+        }
         ExperimentSpec::StaticResilience {
             geometry,
             bits,
@@ -1251,7 +1419,16 @@ pub fn run_spec(
             pairs,
             trials,
         } => {
-            let overlay = build_full_overlay(geometry, *bits, spec.seed)?;
+            let overlay = match spec.backend() {
+                Backend::Materialized => build_full_overlay(geometry, *bits, spec.seed)?,
+                // Same construction stream (SeedSequence child 0) as the
+                // materialized builders, so the backends agree bit for bit.
+                Backend::Implicit => crate::implicit_scale::build_implicit_overlay(
+                    geometry,
+                    *bits,
+                    SeedSequence::new(spec.seed).child(0),
+                )?,
+            };
             let report = static_resilience_report_with(
                 geometry,
                 *bits,
@@ -1802,7 +1979,10 @@ mod tests {
         let spec = Family::Fig6a.default_spec(true);
         let mut renamed = spec.clone();
         renamed.name = "anything-else".to_owned();
-        renamed.execution = Some(ExecutionSpec { threads: 64 });
+        renamed.execution = Some(ExecutionSpec {
+            threads: 64,
+            backend: Backend::Implicit,
+        });
         assert_eq!(spec.content_hash(), renamed.content_hash());
 
         let mut reseeded = spec.clone();
@@ -1989,5 +2169,91 @@ mod tests {
         ));
         let mut fig6 = Family::Fig6a.default_spec(true);
         assert!(apply_legacy_positionals(&mut fig6, Family::Fig6a, &["1".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn backend_serializes_lowercase_and_defaults_to_materialized() {
+        let mut spec = Family::StaticResilience.default_spec(true);
+        spec.execution = Some(ExecutionSpec {
+            threads: 2,
+            backend: Backend::Implicit,
+        });
+        let json = spec.to_json();
+        assert!(json.contains("\"implicit\""), "{json}");
+        assert_eq!(
+            ScenarioSpec::from_json(&json).unwrap().backend(),
+            Backend::Implicit
+        );
+
+        // Specs written before the field existed (no "backend" key) parse
+        // as the materialized default.
+        let legacy = format!(
+            r#"{{"schema": "{SPEC_SCHEMA}", "name": "legacy", "seed": 1,
+                "experiment": {{"ScalabilityTable": {{"failure_probabilities": [0.1]}}}},
+                "execution": {{"threads": 2}}}}"#
+        );
+        let parsed = ScenarioSpec::from_json(&legacy).unwrap();
+        assert_eq!(parsed.backend(), Backend::Materialized);
+        assert_eq!(parsed.threads(), 2);
+
+        let bogus = legacy.replace("\"threads\": 2", "\"threads\": 2, \"backend\": \"magic\"");
+        assert!(matches!(
+            ScenarioSpec::from_json(&bogus),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn implicit_scale_config_round_trips_losslessly() {
+        for config in [
+            ImplicitScaleConfig::smoke(),
+            ImplicitScaleConfig::paper_scale(),
+        ] {
+            let spec: ScenarioSpec = config.clone().into();
+            assert_eq!(spec.backend(), Backend::Implicit);
+            assert_eq!(ImplicitScaleConfig::try_from(&spec).unwrap(), config);
+        }
+        assert!(ImplicitScaleConfig::try_from(&Family::Fig3.default_spec(true)).is_err());
+    }
+
+    #[test]
+    fn static_resilience_backends_produce_byte_identical_reports() {
+        // Geometries whose construction draws randomness (xor) and whose
+        // tables are closed-form (ring) both agree across the backends —
+        // and the backend never enters the cache key.
+        for geometry in ["ring", "xor"] {
+            let mut spec = ScenarioSpec::static_resilience(geometry, 8, 0.25, 600, 1, 9);
+            spec.execution = Some(ExecutionSpec {
+                threads: 2,
+                backend: Backend::Materialized,
+            });
+            let materialized = run_spec(&spec, None).unwrap();
+            spec.execution = Some(ExecutionSpec {
+                threads: 2,
+                backend: Backend::Implicit,
+            });
+            let implicit = run_spec(&spec, None).unwrap();
+            assert_eq!(
+                serde_json::to_string(&materialized.report).unwrap(),
+                serde_json::to_string(&implicit.report).unwrap(),
+                "{geometry}: backends must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn run_spec_implicit_scale_reports_memory_accounting() {
+        let mut config = ImplicitScaleConfig::smoke();
+        config.bits_list = vec![10];
+        config.pairs = 400;
+        let spec: ScenarioSpec = config.into();
+        let outcome = run_spec(&spec, None).unwrap();
+        assert_eq!(outcome.report.family, "implicit_scale");
+        assert!(outcome.headline.contains("2^10"));
+        assert!(outcome.table.contains("mask bytes"));
+        let points: Vec<crate::implicit_scale::ImplicitScalePoint> =
+            Deserialize::from_value(&outcome.report.payload).unwrap();
+        assert_eq!(points.len(), 1);
+        assert!(points[0].overlay_resident_bytes < 1024);
     }
 }

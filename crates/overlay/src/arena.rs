@@ -100,6 +100,15 @@ impl RoutingArena {
         self.node_count() == 0
     }
 
+    /// Bytes of heap the arena keeps resident: the entry slab plus the
+    /// offsets prefix-sum (counted at `len`, not capacity — construction
+    /// pre-sizes both exactly).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<NodeId>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+
     /// The routing table of the node with the given rank, as a slice into the
     /// arena.
     ///

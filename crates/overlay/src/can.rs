@@ -69,6 +69,11 @@ impl GeometryStrategy for CanStrategy {
         Some(crate::kernel::KernelRule::HypercubeBit)
     }
 
+    fn implicit_stream_words(&self, population: &Population) -> Option<u64> {
+        // Hypercube links are fully determined by the identifier: no draws.
+        population.is_full().then_some(0)
+    }
+
     fn supports_live(&self) -> bool {
         true
     }
@@ -153,7 +158,8 @@ impl CanOverlay {
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
-    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    /// than [`crate::traits::MAX_OVERLAY_BITS`] (the materialized ceiling —
+    /// [`crate::ImplicitOverlay::hypercube`] routes larger full populations).
     pub fn build(bits: u32) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
         Self::build_over(Population::full(space))

@@ -96,6 +96,23 @@ impl GeometryStrategy for ChordStrategy {
         Some(crate::kernel::KernelRule::RingAdvance)
     }
 
+    fn implicit_stream_words(&self, population: &Population) -> Option<u64> {
+        if !population.is_full() {
+            return None;
+        }
+        match self.variant {
+            // Deterministic fingers draw nothing.
+            ChordVariant::Deterministic => Some(0),
+            // Every finger above the first draws one `gen_range` over a
+            // power-of-two span — exactly one `next_u64` (two words) with the
+            // vendored Lemire sampler, which never rejects on power-of-two
+            // spans. Finger 1 has span 1 and draws nothing.
+            ChordVariant::Randomized => {
+                Some(2 * u64::from(population.space().bits().saturating_sub(1)))
+            }
+        }
+    }
+
     fn supports_live(&self) -> bool {
         true
     }
@@ -213,7 +230,8 @@ impl ChordOverlay {
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
-    /// than [`crate::traits::MAX_OVERLAY_BITS`], or
+    /// than [`crate::traits::MAX_OVERLAY_BITS`] (the materialized ceiling —
+    /// [`crate::ImplicitOverlay::ring`] routes larger full populations), or
     /// [`OverlayError::InvalidParameter`] for the randomised variant (which
     /// needs an RNG; use [`ChordOverlay::build_randomized`]).
     pub fn build(bits: u32, variant: ChordVariant) -> Result<Self, OverlayError> {
@@ -234,7 +252,8 @@ impl ChordOverlay {
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
-    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    /// than [`crate::traits::MAX_OVERLAY_BITS`] (the materialized ceiling —
+    /// [`crate::ImplicitOverlay::ring`] routes larger full populations).
     pub fn build_randomized<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
         Self::build_over(Population::full(space), ChordVariant::Randomized, rng)

@@ -65,6 +65,28 @@ pub trait GeometryStrategy: Send + Sync {
         None
     }
 
+    /// The exact number of 32-bit RNG words [`GeometryStrategy::build_table`]
+    /// consumes per node, when that count is a constant — the contract the
+    /// implicit backend ([`crate::ImplicitOverlay`]) is built on.
+    ///
+    /// During a materialized build every node's table is drawn from one
+    /// shared sequential stream. When the per-node draw count is fixed, the
+    /// stream offset of rank `r` is simply `r * words`, so any single row can
+    /// be regenerated bit-identically by seeking a counter-mode RNG — no
+    /// table ever needs to stay resident. Returning `Some(words)` asserts
+    /// exactly that: *every* node consumes exactly `words` 32-bit words, in
+    /// rank order, independent of what the draws produce. The cross-backend
+    /// equivalence suite holds implementations to this bit-for-bit.
+    ///
+    /// The default is `None`: the geometry (or this population shape) cannot
+    /// be routed implicitly. Implementations typically return `Some` only for
+    /// full populations, where table construction never branches on
+    /// occupancy.
+    fn implicit_stream_words(&self, population: &Population) -> Option<u64> {
+        let _ = population;
+        None
+    }
+
     /// Whether the geometry implements the live-churn maintenance hooks
     /// below ([`crate::LiveOverlay`] refuses strategies that do not).
     ///
@@ -189,7 +211,9 @@ impl<S: GeometryStrategy> GeometryOverlay<S> {
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if the identifier space is
-    /// unsupported (see [`crate::traits::MAX_OVERLAY_BITS`]), or
+    /// unsupported (see [`crate::traits::MAX_OVERLAY_BITS`], the
+    /// materialized ceiling; full populations beyond it can route through
+    /// [`crate::ImplicitOverlay`] instead), or
     /// [`OverlayError::InvalidParameter`] if fewer than two identifiers are
     /// occupied.
     pub fn build<R: Rng + ?Sized>(
@@ -287,6 +311,10 @@ impl<S: GeometryStrategy> Overlay for GeometryOverlay<S> {
 
     fn kernel(&self) -> Option<&RoutingKernel> {
         self.routing_kernel()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.arena.resident_bytes() + self.kernel.get().map_or(0, RoutingKernel::plan_bytes)
     }
 }
 

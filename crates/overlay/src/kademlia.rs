@@ -186,6 +186,16 @@ impl GeometryStrategy for KademliaStrategy {
         Some(crate::kernel::KernelRule::PrefixXor)
     }
 
+    fn implicit_stream_words(&self, population: &Population) -> Option<u64> {
+        // Full-population buckets draw one `random_id` (one `next_u64`, two
+        // words) per bucket, unconditionally. Sparse bucket sampling draws a
+        // variable number of words (rejection against occupancy), so only the
+        // full construction has a fixed stream offset per rank.
+        population
+            .is_full()
+            .then(|| 2 * u64::from(population.space().bits()))
+    }
+
     fn supports_live(&self) -> bool {
         true
     }
@@ -252,7 +262,8 @@ impl KademliaOverlay {
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
-    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    /// than [`crate::traits::MAX_OVERLAY_BITS`] (the materialized ceiling —
+    /// [`crate::ImplicitOverlay::xor`] routes larger full populations).
     pub fn build<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
         Self::build_over(Population::full(space), rng)

@@ -57,6 +57,7 @@
 //! ```
 
 pub mod batch;
+pub mod implicit;
 
 use crate::arena::RoutingArena;
 use crate::failure::FailureMask;
@@ -65,6 +66,7 @@ use dht_id::{KeySpace, NodeId, Population};
 use std::sync::{Arc, Mutex};
 
 pub use batch::{RouteBatch, DEFAULT_BATCH_WIDTH};
+pub use implicit::{ImplicitKernel, ImplicitOverlay, ImplicitRowCache};
 
 /// Sentinel rank for an absent entry (the sparse self-placeholder of an empty
 /// bucket or tree level).
@@ -217,8 +219,10 @@ impl Clone for RoutingKernel {
 /// One packed plan entry: the precomputed hop key and the neighbour's
 /// occupied rank, interleaved so the key compare and the follow-up alive
 /// probe share a cache line. Both fields fit `u32` because executable
-/// identifier spaces are capped at [`crate::traits::MAX_OVERLAY_BITS`] bits:
-/// the whole entry is 8 bytes, half the scalar arena's `NodeId`.
+/// identifier spaces are capped at [`crate::traits::MAX_OVERLAY_BITS`] bits
+/// ([`crate::traits::MAX_IMPLICIT_OVERLAY_BITS`] for the implicit backend,
+/// still within `u32`): the whole entry is 8 bytes, half the scalar arena's
+/// `NodeId`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PlanEntry {
     /// The hop key (meaning depends on the [`KernelRule`]).
@@ -776,96 +780,32 @@ impl RoutingKernel {
         }
     }
 
-    /// One ring hop: the largest advance `<=` remaining whose entry is alive.
-    /// Returns the advance taken and the new rank.
-    ///
-    /// Entries are stored largest-advance first, so a forward scan over the
-    /// row finds the answer: overshooting advances and dead probes are both
-    /// skipped by the same walk. The scan is expected O(1) probes — the
-    /// number of advances above the remaining distance is geometrically
-    /// distributed (one per phase above the current one), which beats a
-    /// branchy O(log d) binary search on real tables.
+    /// One ring hop over the plan row of `rank` — see [`ring_hop_row`].
     #[inline]
     fn ring_hop(&self, words: &[u64], rank: u32, remaining: u64) -> Option<(u64, u32)> {
         let (start, end) = self.bounds(rank);
-        for entry in &self.entries[start..end] {
-            // Live plans keep zero-advance self entries at the row tail
-            // (fixed-width rows, sorted descending); a zero advance never
-            // makes greedy progress, so reaching the tail means the hop
-            // fails. Static plans drop zero advances at compile time, so the
-            // guard is inert there.
-            if entry.key == 0 {
-                return None;
-            }
-            let advance = u64::from(entry.key);
-            if advance <= remaining && alive_bit(words, entry.target) {
-                return Some((advance, entry.target));
-            }
-        }
-        None
+        ring_hop_row(&self.entries[start..end], words, remaining)
     }
 
-    /// One tree hop: probe the level of the highest differing bit, no
-    /// fallback. Returns the entry's value and rank.
+    /// One tree hop over the plan row of `rank` — see [`tree_hop_row`].
     #[inline]
     fn tree_hop(&self, words: &[u64], rank: u32, current: u64, target: u64) -> Option<(u64, u32)> {
-        let level = self.leading_level(current ^ target);
-        let entry = self.entries[self.bounds(rank).0 + level];
-        (entry.target != NO_ENTRY && alive_bit(words, entry.target))
-            .then(|| (u64::from(entry.key), entry.target))
+        let (start, end) = self.bounds(rank);
+        tree_hop_row(&self.entries[start..end], words, self.bits, current, target)
     }
 
-    /// One XOR hop: the bucket of the highest differing bit when alive (the
-    /// provable minimum), else the XOR-closest alive contact among the
-    /// lower-order buckets. Returns the contact's value and rank.
+    /// One XOR hop over the plan row of `rank` — see [`xor_hop_row`].
     #[inline]
     fn xor_hop(&self, words: &[u64], rank: u32, current: u64, target: u64) -> Option<(u64, u32)> {
-        let diff = current ^ target;
-        let level = self.leading_level(diff);
-        let base = self.bounds(rank).0;
-        let primary = self.entries[base + level];
-        if primary.target != NO_ENTRY && alive_bit(words, primary.target) {
-            return Some((u64::from(primary.key), primary.target));
-        }
-        // Fallback: buckets above `level` can never beat the current
-        // distance; buckets below compete on their (precomputed) contact
-        // values' XOR distance to the target. Strictly-smaller keeps the
-        // scalar path's first-minimum tie behaviour.
-        let mut best: Option<(u64, u64, u32)> = None;
-        for slot in base + level + 1..base + self.bits as usize {
-            let entry = self.entries[slot];
-            if entry.target == NO_ENTRY || !alive_bit(words, entry.target) {
-                continue;
-            }
-            let value = u64::from(entry.key);
-            let distance = value ^ target;
-            if distance < diff && best.is_none_or(|(d, _, _)| distance < d) {
-                best = Some((distance, value, entry.target));
-            }
-        }
-        best.map(|(_, value, next)| (value, next))
+        let (start, end) = self.bounds(rank);
+        xor_hop_row(&self.entries[start..end], words, self.bits, current, target)
     }
 
-    /// One hypercube hop: the first (highest-weight) entry whose bit is still
-    /// set in `diff` and alive. Returns the corrected bit weight and the new
-    /// rank.
+    /// One hypercube hop over the plan row of `rank` — see [`cube_hop_row`].
     #[inline]
     fn cube_hop(&self, words: &[u64], rank: u32, diff: u64) -> Option<(u64, u32)> {
         let (start, end) = self.bounds(rank);
-        for entry in &self.entries[start..end] {
-            if diff & u64::from(entry.key) != 0 && alive_bit(words, entry.target) {
-                return Some((u64::from(entry.key), entry.target));
-            }
-        }
-        None
-    }
-
-    /// The bucket/level (0 = most significant) of the highest set bit of a
-    /// non-zero `diff` — the leading-zero dispatch.
-    #[inline]
-    fn leading_level(&self, diff: u64) -> usize {
-        debug_assert_ne!(diff, 0);
-        (diff.leading_zeros() - (64 - self.bits)) as usize
+        cube_hop_row(&self.entries[start..end], words, diff)
     }
 
     fn route_ring(
@@ -996,6 +936,110 @@ impl RoutingKernel {
         }
         RouteOutcome::Delivered { hops }
     }
+}
+
+/// One ring hop over a single plan row: the largest advance `<=` remaining
+/// whose entry is alive. Returns the advance taken and the new rank.
+///
+/// Entries are stored largest-advance first, so a forward scan over the
+/// row finds the answer: overshooting advances and dead probes are both
+/// skipped by the same walk. The scan is expected O(1) probes — the
+/// number of advances above the remaining distance is geometrically
+/// distributed (one per phase above the current one), which beats a
+/// branchy O(log d) binary search on real tables.
+///
+/// Shared by [`RoutingKernel`] (rows sliced out of the compiled plan) and
+/// [`ImplicitKernel`] (rows regenerated on demand), which is what makes the
+/// two backends' hop decisions identical by construction.
+#[inline]
+fn ring_hop_row(row: &[PlanEntry], words: &[u64], remaining: u64) -> Option<(u64, u32)> {
+    for entry in row {
+        // Live plans keep zero-advance self entries at the row tail
+        // (fixed-width rows, sorted descending); a zero advance never
+        // makes greedy progress, so reaching the tail means the hop
+        // fails. Static plans drop zero advances at compile time, so the
+        // guard is inert there.
+        if entry.key == 0 {
+            return None;
+        }
+        let advance = u64::from(entry.key);
+        if advance <= remaining && alive_bit(words, entry.target) {
+            return Some((advance, entry.target));
+        }
+    }
+    None
+}
+
+/// One tree hop over a single plan row: probe the level of the highest
+/// differing bit, no fallback. Returns the entry's value and rank.
+#[inline]
+fn tree_hop_row(
+    row: &[PlanEntry],
+    words: &[u64],
+    bits: u32,
+    current: u64,
+    target: u64,
+) -> Option<(u64, u32)> {
+    let level = leading_level(bits, current ^ target);
+    let entry = row[level];
+    (entry.target != NO_ENTRY && alive_bit(words, entry.target))
+        .then(|| (u64::from(entry.key), entry.target))
+}
+
+/// One XOR hop over a single plan row: the bucket of the highest differing
+/// bit when alive (the provable minimum), else the XOR-closest alive contact
+/// among the lower-order buckets. Returns the contact's value and rank.
+#[inline]
+fn xor_hop_row(
+    row: &[PlanEntry],
+    words: &[u64],
+    bits: u32,
+    current: u64,
+    target: u64,
+) -> Option<(u64, u32)> {
+    let diff = current ^ target;
+    let level = leading_level(bits, diff);
+    let primary = row[level];
+    if primary.target != NO_ENTRY && alive_bit(words, primary.target) {
+        return Some((u64::from(primary.key), primary.target));
+    }
+    // Fallback: buckets above `level` can never beat the current
+    // distance; buckets below compete on their (precomputed) contact
+    // values' XOR distance to the target. Strictly-smaller keeps the
+    // scalar path's first-minimum tie behaviour.
+    let mut best: Option<(u64, u64, u32)> = None;
+    for entry in &row[level + 1..bits as usize] {
+        if entry.target == NO_ENTRY || !alive_bit(words, entry.target) {
+            continue;
+        }
+        let value = u64::from(entry.key);
+        let distance = value ^ target;
+        if distance < diff && best.is_none_or(|(d, _, _)| distance < d) {
+            best = Some((distance, value, entry.target));
+        }
+    }
+    best.map(|(_, value, next)| (value, next))
+}
+
+/// One hypercube hop over a single plan row: the first (highest-weight) entry
+/// whose bit is still set in `diff` and alive. Returns the corrected bit
+/// weight and the new rank.
+#[inline]
+fn cube_hop_row(row: &[PlanEntry], words: &[u64], diff: u64) -> Option<(u64, u32)> {
+    for entry in row {
+        if diff & u64::from(entry.key) != 0 && alive_bit(words, entry.target) {
+            return Some((u64::from(entry.key), entry.target));
+        }
+    }
+    None
+}
+
+/// The bucket/level (0 = most significant) of the highest set bit of a
+/// non-zero `diff` in a `bits`-wide space — the leading-zero dispatch.
+#[inline]
+fn leading_level(bits: u32, diff: u64) -> usize {
+    debug_assert_ne!(diff, 0);
+    (diff.leading_zeros() - (64 - bits)) as usize
 }
 
 /// Lowers one fixed-width live table row into plan entries.

@@ -59,20 +59,20 @@ pub const DEFAULT_BATCH_WIDTH: usize = 128;
 #[derive(Debug, Clone)]
 pub struct RouteBatch {
     /// Lane → occupied rank currently holding the message.
-    current_rank: Vec<u32>,
+    pub(super) current_rank: Vec<u32>,
     /// Lane → rule-dependent progress cursor: remaining clockwise distance
     /// (ring), current identifier value (XOR/tree), remaining XOR diff
     /// (hypercube).
-    current: Vec<u64>,
+    pub(super) current: Vec<u64>,
     /// Lane → target identifier value (arrival test for the prefix rules,
     /// `stuck_at` reconstruction for the hypercube).
-    target: Vec<u64>,
+    pub(super) target: Vec<u64>,
     /// Lane → hops taken so far.
-    hops: Vec<u32>,
+    pub(super) hops: Vec<u32>,
     /// Lane → index of this lookup's slot in the caller's outcome buffer.
-    slot: Vec<u32>,
+    pub(super) slot: Vec<u32>,
     /// Maximum number of in-flight lanes.
-    width: usize,
+    pub(super) width: usize,
 }
 
 impl RouteBatch {
@@ -109,7 +109,7 @@ impl RouteBatch {
 
     /// Drops any in-flight lanes (a batch is always drained on return from
     /// `route_batch`; this is a belt-and-braces reset at entry).
-    fn clear(&mut self) {
+    pub(super) fn clear(&mut self) {
         self.current_rank.clear();
         self.current.clear();
         self.target.clear();
@@ -118,7 +118,7 @@ impl RouteBatch {
     }
 
     /// Admits a lookup into a fresh lane.
-    fn push(&mut self, rank: u32, cursor: u64, target: u64, slot: u32) {
+    pub(super) fn push(&mut self, rank: u32, cursor: u64, target: u64, slot: u32) {
         self.current_rank.push(rank);
         self.current.push(cursor);
         self.target.push(target);
@@ -131,7 +131,12 @@ impl RouteBatch {
     /// yet in the current pass (passes walk lanes in ascending order), so the
     /// caller re-processes the same index.
     #[inline]
-    fn retire(&mut self, lane: usize, outcome: RouteOutcome, outcomes: &mut [RouteOutcome]) {
+    pub(super) fn retire(
+        &mut self,
+        lane: usize,
+        outcome: RouteOutcome,
+        outcomes: &mut [RouteOutcome],
+    ) {
         outcomes[self.slot[lane] as usize] = outcome;
         self.current_rank.swap_remove(lane);
         self.current.swap_remove(lane);

@@ -1,0 +1,1294 @@
+//! The implicit (generative) routing backend: rank-space routing without
+//! materialized tables.
+//!
+//! A materialized overlay pays memory proportional to its edge count — the
+//! CSR [`RoutingArena`](crate::RoutingArena) plus the compiled
+//! [`RoutingKernel`](super::RoutingKernel) plan — which is what caps it at
+//! [`MAX_OVERLAY_BITS`](crate::traits::MAX_OVERLAY_BITS) bits. But over a
+//! **full population** every routing table is a pure function of the node
+//! identifier and the construction RNG: the deterministic geometries (Chord's
+//! deterministic fingers, the hypercube) are closed-form in the id, and the
+//! randomized ones (randomized Chord, Kademlia/Plaxton buckets, Symphony
+//! shortcuts) draw a *fixed* number of RNG words per node from one shared
+//! sequential stream ([`GeometryStrategy::implicit_stream_words`]). Because
+//! the workspace's ChaCha generator is a counter-mode cipher, the draws of
+//! rank `r` live at stream offset `r × words` and can be replayed in O(1)
+//! with [`ChaCha8Rng::set_word_pos`] — no predecessor's table is ever
+//! generated.
+//!
+//! [`ImplicitKernel`] exploits exactly that: it stores a constant-size
+//! descriptor (seed, rule, stream stride) and regenerates any plan row on
+//! demand, lowering it with the same per-rule lowering as
+//! [`RoutingKernel`](super::RoutingKernel)'s compiler and dispatching hops through the *same*
+//! row-slice hop helpers. Outcomes — [`RouteOutcome`] variants, hop counts,
+//! `stuck_at` identifiers, batch orderings — are therefore **bit-identical**
+//! to the materialized kernel built from the same seed, which the
+//! `implicit_equivalence` property suite asserts across every geometry.
+//!
+//! Regeneration cost is amortized by an [`ImplicitRowCache`]: a direct-mapped
+//! cache of lowered rows, owned by the *caller* (one per worker thread), so
+//! the kernel itself stays shareable and its resident set stays constant.
+//! Routes concentrate near targets, so hot rows hit the cache even at 2^30.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dht_overlay::{ChordVariant, FailureMask, ImplicitOverlay, Overlay};
+//!
+//! // A 2^26-node ring: far beyond the materialized ceiling, ~0 bytes of
+//! // routing state.
+//! let overlay = ImplicitOverlay::ring(26, ChordVariant::Deterministic, 7)?;
+//! let kernel = overlay.implicit_kernel().expect("implicit backend");
+//! let mut cache = kernel.row_cache();
+//! let space = overlay.key_space();
+//! let mask = FailureMask::none(space);
+//! let lowered = kernel.compile_mask(&mask);
+//! let outcome = kernel.route(&mut cache, &lowered, space.wrap(3), space.wrap(1 << 25), 64);
+//! assert!(outcome.is_delivered());
+//! assert!(overlay.resident_bytes() < 1024);
+//! # Ok::<(), dht_overlay::OverlayError>(())
+//! ```
+
+use super::{
+    alive_bit, cube_hop_row, ring_distance_raw, ring_hop_row, tree_hop_row, xor_hop_row,
+    KernelMask, KernelRule, PlanEntry, RouteBatch, NO_ENTRY,
+};
+use crate::failure::FailureMask;
+use crate::generic::GeometryStrategy;
+use crate::router::RouteOutcome;
+use crate::traits::{validate_implicit_bits, Overlay, OverlayError};
+use dht_id::{KeySpace, NodeId, Population};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default slot count of [`ImplicitKernel::row_cache`]: at 8 bytes per entry
+/// and `d ≤ 30` entries per row the cache tops out around 250 KiB — resident
+/// in L2, negligible against the failure mask.
+pub const DEFAULT_ROW_CACHE_SLOTS: usize = 1024;
+
+/// Regenerates one node's raw routing table into the scratch vector, drawing
+/// from the stream-positioned RNG.
+type RowFn = dyn Fn(NodeId, &mut ChaCha8Rng, &mut Vec<NodeId>) + Send + Sync;
+
+/// A routing kernel that computes plan rows on the fly instead of storing
+/// them.
+///
+/// Constant-size by design: the only state is the construction descriptor
+/// (key space, rule, stream seed and stride, and the boxed row generator).
+/// All mutable scratch — the RNG being seeked, the regenerated row, the
+/// lowered entries — lives in a caller-owned [`ImplicitRowCache`], so one
+/// kernel serves any number of threads, each with its own cache.
+///
+/// Obtain one through [`ImplicitOverlay`] (or [`ImplicitKernel::from_strategy`]
+/// directly) and drive it exactly like a [`RoutingKernel`](super::RoutingKernel): lower the failure
+/// mask once with [`ImplicitKernel::compile_mask`], then route with
+/// [`ImplicitKernel::route`] / [`ImplicitKernel::route_batch`].
+pub struct ImplicitKernel {
+    rule: KernelRule,
+    space: KeySpace,
+    bits: u32,
+    population: Arc<Population>,
+    stream_seed: u64,
+    /// 32-bit words of the shared construction stream each node consumes —
+    /// rank `r`'s draws start at word `r × words_per_node`.
+    words_per_node: u64,
+    /// Entries per regenerated table row (fixed over a full population).
+    row_width: usize,
+    row_fn: Box<RowFn>,
+}
+
+impl fmt::Debug for ImplicitKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImplicitKernel")
+            .field("rule", &self.rule)
+            .field("space", &self.space)
+            .field("stream_seed", &self.stream_seed)
+            .field("words_per_node", &self.words_per_node)
+            .field("row_width", &self.row_width)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ImplicitKernel {
+    /// Builds an implicit kernel for `strategy` over a full population,
+    /// replaying the shared construction stream seeded by `stream_seed`.
+    ///
+    /// `stream_seed` must be the `seed_from_u64` seed a materialized build
+    /// would hand its construction RNG; the kernel's rows are then
+    /// bit-identical to that build's.
+    ///
+    /// # Errors
+    ///
+    /// * [`OverlayError::UnsupportedBits`] if the space exceeds
+    ///   [`MAX_IMPLICIT_OVERLAY_BITS`](crate::traits::MAX_IMPLICIT_OVERLAY_BITS)
+    ///   bits (or is zero bits).
+    /// * [`OverlayError::InvalidParameter`] if the population is sparse, the
+    ///   strategy exports no [`KernelRule`], or it declares no fixed
+    ///   per-node stream stride
+    ///   ([`GeometryStrategy::implicit_stream_words`]).
+    pub fn from_strategy<S: GeometryStrategy + Clone + 'static>(
+        population: &Arc<Population>,
+        strategy: &S,
+        stream_seed: u64,
+    ) -> Result<Self, OverlayError> {
+        validate_implicit_bits(population.space().bits())?;
+        if !population.is_full() {
+            return Err(OverlayError::InvalidParameter {
+                message: format!(
+                    "the implicit backend requires a full population; geometry `{}` was given \
+                     {} of {} identifiers",
+                    strategy.geometry_name(),
+                    population.node_count(),
+                    population.space().population(),
+                ),
+            });
+        }
+        let Some(rule) = strategy.kernel_rule() else {
+            return Err(OverlayError::InvalidParameter {
+                message: format!(
+                    "geometry `{}` exports no kernel rule and cannot be routed implicitly",
+                    strategy.geometry_name()
+                ),
+            });
+        };
+        let Some(words_per_node) = strategy.implicit_stream_words(population) else {
+            return Err(OverlayError::InvalidParameter {
+                message: format!(
+                    "geometry `{}` declares no fixed per-node stream stride",
+                    strategy.geometry_name()
+                ),
+            });
+        };
+        let row_width = strategy.table_len_hint(population);
+        let space = population.space();
+        let generator = strategy.clone();
+        let generator_population = Arc::clone(population);
+        Ok(ImplicitKernel {
+            rule,
+            space,
+            bits: space.bits(),
+            population: Arc::clone(population),
+            stream_seed,
+            words_per_node,
+            row_width,
+            row_fn: Box::new(move |node, rng, table| {
+                generator.build_table(&generator_population, node, rng, table);
+            }),
+        })
+    }
+
+    /// The dispatch rule the kernel routes with.
+    #[must_use]
+    pub fn rule(&self) -> KernelRule {
+        self.rule
+    }
+
+    /// The identifier space the kernel routes in.
+    #[must_use]
+    pub fn key_space(&self) -> KeySpace {
+        self.space
+    }
+
+    /// The (full) population the kernel routes over.
+    #[must_use]
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The `seed_from_u64` seed of the replayed construction stream.
+    #[must_use]
+    pub fn stream_seed(&self) -> u64 {
+        self.stream_seed
+    }
+
+    /// 32-bit stream words consumed per node (the seek stride).
+    #[must_use]
+    pub fn words_per_node(&self) -> u64 {
+        self.words_per_node
+    }
+
+    /// Entries per regenerated table row.
+    #[must_use]
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Bytes the kernel keeps resident: its own constant-size descriptor.
+    ///
+    /// The counterpart of [`RoutingKernel::plan_bytes`](super::RoutingKernel::plan_bytes)
+    /// — except there is no plan. Row caches are caller-owned scratch and
+    /// accounted by [`ImplicitRowCache::resident_bytes`]; the failure mask is
+    /// the caller's as on every backend.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+
+    /// A fresh row cache sized at [`DEFAULT_ROW_CACHE_SLOTS`].
+    #[must_use]
+    pub fn row_cache(&self) -> ImplicitRowCache {
+        self.row_cache_with_slots(DEFAULT_ROW_CACHE_SLOTS)
+    }
+
+    /// A fresh row cache with `slots` direct-mapped slots (rounded up to a
+    /// power of two, at least 1).
+    #[must_use]
+    pub fn row_cache_with_slots(&self, slots: usize) -> ImplicitRowCache {
+        let slots = slots.max(1).next_power_of_two();
+        ImplicitRowCache {
+            stream_seed: self.stream_seed,
+            row_width: self.row_width,
+            slot_mask: (slots - 1) as u32,
+            ranks: vec![NO_ENTRY; slots],
+            lens: vec![0; slots],
+            entries: vec![
+                PlanEntry {
+                    key: 0,
+                    target: NO_ENTRY
+                };
+                slots * self.row_width
+            ],
+            rng: ChaCha8Rng::seed_from_u64(self.stream_seed),
+            ids: Vec::with_capacity(self.row_width),
+            ring_scratch: Vec::with_capacity(self.row_width),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Regenerates the raw routing table of `node` (exactly what the
+    /// materialized build stores for it), replacing `table`'s contents.
+    pub fn table_of(&self, node: NodeId, table: &mut Vec<NodeId>) {
+        table.clear();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.stream_seed);
+        rng.set_word_pos(node.value() * self.words_per_node);
+        (self.row_fn)(node, &mut rng, table);
+    }
+
+    /// Lowers `mask` into the kernel's rank space — over the full population
+    /// ranks coincide with values, so the mask's bitset is borrowed as-is.
+    ///
+    /// Same contract (and panics) as [`RoutingKernel::compile_mask`](super::RoutingKernel::compile_mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` covers a different key space or population size than
+    /// the kernel.
+    #[must_use]
+    pub fn compile_mask<'mask>(&self, mask: &'mask FailureMask) -> KernelMask<'mask> {
+        assert_eq!(
+            mask.key_space().bits(),
+            self.bits,
+            "mask is from a different key space"
+        );
+        assert_eq!(
+            mask.population_size(),
+            self.population.node_count(),
+            "mask covers a different population"
+        );
+        KernelMask::Full(mask)
+    }
+
+    /// The lowered plan row of `rank`, regenerated on a cache miss.
+    #[inline]
+    fn row<'c>(&self, cache: &'c mut ImplicitRowCache, rank: u32) -> &'c [PlanEntry] {
+        debug_assert_eq!(
+            cache.stream_seed, self.stream_seed,
+            "row cache belongs to a different kernel"
+        );
+        debug_assert_eq!(
+            cache.row_width, self.row_width,
+            "row cache belongs to a different kernel"
+        );
+        let slot = (rank & cache.slot_mask) as usize;
+        let start = slot * cache.row_width;
+        if cache.ranks[slot] != rank {
+            cache.misses += 1;
+            let node = self.space.wrap(u64::from(rank));
+            cache
+                .rng
+                .set_word_pos(u64::from(rank) * self.words_per_node);
+            cache.ids.clear();
+            (self.row_fn)(node, &mut cache.rng, &mut cache.ids);
+            let len = lower_row(
+                self.rule,
+                self.space,
+                node,
+                &cache.ids,
+                &mut cache.ring_scratch,
+                &mut cache.entries[start..start + cache.row_width],
+            );
+            cache.lens[slot] = len as u32;
+            cache.ranks[slot] = rank;
+        } else {
+            cache.hits += 1;
+        }
+        &cache.entries[start..start + cache.lens[slot] as usize]
+    }
+
+    /// `Some(rank)` when `value` survived (full population: rank == value).
+    #[inline]
+    fn alive_rank_of(&self, words: &[u64], value: u64) -> Option<u32> {
+        let rank = value as u32;
+        alive_bit(words, rank).then_some(rank)
+    }
+
+    /// Routes `source` → `target` under the lowered `mask`, giving up after
+    /// `hop_limit` hops — bit-identical to [`RoutingKernel::route`](super::RoutingKernel::route) on the
+    /// materialized build of the same stream seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `target` do not belong to the kernel's key
+    /// space.
+    #[must_use]
+    pub fn route(
+        &self,
+        cache: &mut ImplicitRowCache,
+        mask: &KernelMask<'_>,
+        source: NodeId,
+        target: NodeId,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        assert_eq!(
+            source.bits(),
+            self.bits,
+            "source is from a different key space"
+        );
+        assert_eq!(
+            target.bits(),
+            self.bits,
+            "target is from a different key space"
+        );
+        self.route_values(cache, mask, source.value(), target.value(), hop_limit)
+    }
+
+    /// [`ImplicitKernel::route`] over raw identifier values (the key-space
+    /// validation hoisted to [`ImplicitKernel::compile_mask`]).
+    #[must_use]
+    pub fn route_values(
+        &self,
+        cache: &mut ImplicitRowCache,
+        mask: &KernelMask<'_>,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        self.route_ranked(cache, mask.words(), source, target, hop_limit)
+    }
+
+    /// [`ImplicitKernel::route_values`] over a caller-held rank-indexed alive
+    /// bitset — the [`RoutingKernel::route_ranked`](super::RoutingKernel::route_ranked) counterpart.
+    #[must_use]
+    pub fn route_ranked(
+        &self,
+        cache: &mut ImplicitRowCache,
+        words: &[u64],
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        debug_assert!(source <= self.space.max_value(), "source outside the space");
+        debug_assert!(target <= self.space.max_value(), "target outside the space");
+        // Mirrors the materialized kernel exactly: source first, then target,
+        // then the per-rule greedy loop.
+        let Some(source_rank) = self.alive_rank_of(words, source) else {
+            return RouteOutcome::SourceFailed;
+        };
+        if self.alive_rank_of(words, target).is_none() {
+            return RouteOutcome::TargetFailed;
+        }
+        match self.rule {
+            KernelRule::RingAdvance => {
+                self.route_ring(cache, words, source_rank, source, target, hop_limit)
+            }
+            KernelRule::PrefixXor => {
+                self.route_xor(cache, words, source_rank, source, target, hop_limit)
+            }
+            KernelRule::PrefixTree => {
+                self.route_tree(cache, words, source_rank, source, target, hop_limit)
+            }
+            KernelRule::HypercubeBit => {
+                self.route_hypercube(cache, words, source_rank, source, target, hop_limit)
+            }
+        }
+    }
+
+    /// The greedy next hop from `current` towards `target`, or `None` when no
+    /// alive entry makes progress — equivalent to
+    /// [`RoutingKernel::next_hop`](super::RoutingKernel::next_hop) on the materialized build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` or `target` do not belong to the kernel's key
+    /// space.
+    #[must_use]
+    pub fn next_hop(
+        &self,
+        cache: &mut ImplicitRowCache,
+        mask: &KernelMask<'_>,
+        current: NodeId,
+        target: NodeId,
+    ) -> Option<NodeId> {
+        assert_eq!(
+            current.bits(),
+            self.bits,
+            "current is from a different key space"
+        );
+        assert_eq!(
+            target.bits(),
+            self.bits,
+            "target is from a different key space"
+        );
+        let words = mask.words();
+        let current = current.value();
+        let target = target.value();
+        let rank = current as u32;
+        let value = match self.rule {
+            KernelRule::RingAdvance => {
+                let remaining = ring_distance_raw(current, target, self.space);
+                let (_, next) = ring_hop_row(self.row(cache, rank), words, remaining)?;
+                u64::from(next)
+            }
+            KernelRule::PrefixXor => {
+                if current == target {
+                    return None;
+                }
+                xor_hop_row(self.row(cache, rank), words, self.bits, current, target)?.0
+            }
+            KernelRule::PrefixTree => {
+                if current == target {
+                    return None;
+                }
+                tree_hop_row(self.row(cache, rank), words, self.bits, current, target)?.0
+            }
+            KernelRule::HypercubeBit => {
+                let (weight, _) = cube_hop_row(self.row(cache, rank), words, current ^ target)?;
+                current ^ weight
+            }
+        };
+        Some(self.space.wrap(value))
+    }
+
+    fn route_ring(
+        &self,
+        cache: &mut ImplicitRowCache,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        let mut remaining = ring_distance_raw(source, target, self.space);
+        let mut hops = 0u32;
+        while remaining != 0 {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match ring_hop_row(self.row(cache, rank), words, remaining) {
+                Some((advance, next)) => {
+                    remaining -= advance;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(u64::from(rank)),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+
+    fn route_tree(
+        &self,
+        cache: &mut ImplicitRowCache,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        let mut current = source;
+        let mut hops = 0u32;
+        while current != target {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match tree_hop_row(self.row(cache, rank), words, self.bits, current, target) {
+                Some((value, next)) => {
+                    current = value;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(current),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+
+    fn route_xor(
+        &self,
+        cache: &mut ImplicitRowCache,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        let mut current = source;
+        let mut hops = 0u32;
+        while current != target {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match xor_hop_row(self.row(cache, rank), words, self.bits, current, target) {
+                Some((value, next)) => {
+                    current = value;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(current),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+
+    fn route_hypercube(
+        &self,
+        cache: &mut ImplicitRowCache,
+        words: &[u64],
+        mut rank: u32,
+        source: u64,
+        target: u64,
+        hop_limit: u32,
+    ) -> RouteOutcome {
+        let mut diff = source ^ target;
+        let mut hops = 0u32;
+        while diff != 0 {
+            if hops >= hop_limit {
+                return RouteOutcome::HopLimitExceeded { limit: hop_limit };
+            }
+            match cube_hop_row(self.row(cache, rank), words, diff) {
+                Some((weight, next)) => {
+                    diff ^= weight;
+                    rank = next;
+                    hops += 1;
+                }
+                None => {
+                    return RouteOutcome::Dropped {
+                        hops,
+                        stuck_at: self.space.wrap(target ^ diff),
+                    }
+                }
+            }
+        }
+        RouteOutcome::Delivered { hops }
+    }
+
+    /// Routes every `(source, target)` pair through the lockstep
+    /// [`RouteBatch`] frontier — the [`RoutingKernel::route_batch`](super::RoutingKernel::route_batch)
+    /// counterpart, with identical admission order, per-rule hops, lane
+    /// compaction and therefore identical `outcomes`.
+    ///
+    /// `alive_words` follows the [`RoutingKernel::route_ranked`](super::RoutingKernel::route_ranked) contract.
+    /// The implicit pass performs no software prefetch (row regeneration is
+    /// compute-bound, not latency-bound); the frontier still amortizes the
+    /// row cache, because consecutive lanes near the same target reuse rows.
+    pub fn route_batch(
+        &self,
+        batch: &mut RouteBatch,
+        cache: &mut ImplicitRowCache,
+        alive_words: &[u64],
+        pairs: &[(u64, u64)],
+        hop_limit: u32,
+        outcomes: &mut Vec<RouteOutcome>,
+    ) {
+        assert!(
+            u32::try_from(pairs.len()).is_ok(),
+            "route_batch slices are indexed by u32 slots"
+        );
+        outcomes.clear();
+        outcomes.resize(pairs.len(), RouteOutcome::SourceFailed);
+        batch.clear();
+        let mut next = 0usize;
+        loop {
+            while batch.in_flight() < batch.width && next < pairs.len() {
+                let (source, target) = pairs[next];
+                if let Some(done) = self.admit(batch, alive_words, source, target, next as u32) {
+                    outcomes[next] = done;
+                }
+                next += 1;
+            }
+            if batch.in_flight() == 0 {
+                break;
+            }
+            self.batch_pass(batch, cache, alive_words, hop_limit, outcomes);
+        }
+    }
+
+    /// The admission prelude of one pair, byte-for-byte the materialized
+    /// batch's: endpoint aliveness source-then-target, then the rule's
+    /// trivial-arrival check.
+    #[inline]
+    fn admit(
+        &self,
+        batch: &mut RouteBatch,
+        words: &[u64],
+        source: u64,
+        target: u64,
+        slot: u32,
+    ) -> Option<RouteOutcome> {
+        debug_assert!(source <= self.space.max_value(), "source outside the space");
+        debug_assert!(target <= self.space.max_value(), "target outside the space");
+        let Some(source_rank) = self.alive_rank_of(words, source) else {
+            return Some(RouteOutcome::SourceFailed);
+        };
+        if self.alive_rank_of(words, target).is_none() {
+            return Some(RouteOutcome::TargetFailed);
+        }
+        let cursor = match self.rule {
+            KernelRule::RingAdvance => {
+                let remaining = ring_distance_raw(source, target, self.space);
+                if remaining == 0 {
+                    return Some(RouteOutcome::Delivered { hops: 0 });
+                }
+                remaining
+            }
+            KernelRule::PrefixXor | KernelRule::PrefixTree => {
+                if source == target {
+                    return Some(RouteOutcome::Delivered { hops: 0 });
+                }
+                source
+            }
+            KernelRule::HypercubeBit => {
+                let diff = source ^ target;
+                if diff == 0 {
+                    return Some(RouteOutcome::Delivered { hops: 0 });
+                }
+                diff
+            }
+        };
+        batch.push(source_rank, cursor, target, slot);
+        None
+    }
+
+    /// One lockstep pass: every lane takes the hop the scalar loop would
+    /// take, in lane order, retiring and compacting resolved lanes exactly
+    /// like the materialized passes.
+    fn batch_pass(
+        &self,
+        batch: &mut RouteBatch,
+        cache: &mut ImplicitRowCache,
+        words: &[u64],
+        hop_limit: u32,
+        outcomes: &mut [RouteOutcome],
+    ) {
+        let mut lane = 0usize;
+        while lane < batch.in_flight() {
+            let hops = batch.hops[lane];
+            if hops >= hop_limit {
+                batch.retire(
+                    lane,
+                    RouteOutcome::HopLimitExceeded { limit: hop_limit },
+                    outcomes,
+                );
+                continue;
+            }
+            let rank = batch.current_rank[lane];
+            let cursor = batch.current[lane];
+            let target = batch.target[lane];
+            // (new cursor, next rank) when the lane advances, or the drop
+            // outcome's stuck_at identifier value.
+            let hop = match self.rule {
+                KernelRule::RingAdvance => ring_hop_row(self.row(cache, rank), words, cursor)
+                    .map(|(advance, next)| (cursor - advance, next)),
+                KernelRule::PrefixXor => {
+                    xor_hop_row(self.row(cache, rank), words, self.bits, cursor, target)
+                }
+                KernelRule::PrefixTree => {
+                    tree_hop_row(self.row(cache, rank), words, self.bits, cursor, target)
+                }
+                KernelRule::HypercubeBit => cube_hop_row(self.row(cache, rank), words, cursor)
+                    .map(|(weight, next)| (cursor ^ weight, next)),
+            };
+            match hop {
+                Some((cursor, next)) => {
+                    let arrived = match self.rule {
+                        KernelRule::RingAdvance | KernelRule::HypercubeBit => cursor == 0,
+                        KernelRule::PrefixXor | KernelRule::PrefixTree => cursor == target,
+                    };
+                    if arrived {
+                        batch.retire(lane, RouteOutcome::Delivered { hops: hops + 1 }, outcomes);
+                        continue;
+                    }
+                    batch.current[lane] = cursor;
+                    batch.current_rank[lane] = next;
+                    batch.hops[lane] = hops + 1;
+                    lane += 1;
+                }
+                None => {
+                    let stuck_at = match self.rule {
+                        KernelRule::RingAdvance => u64::from(rank),
+                        KernelRule::PrefixXor | KernelRule::PrefixTree => cursor,
+                        KernelRule::HypercubeBit => target ^ cursor,
+                    };
+                    batch.retire(
+                        lane,
+                        RouteOutcome::Dropped {
+                            hops,
+                            stuck_at: self.space.wrap(stuck_at),
+                        },
+                        outcomes,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A direct-mapped cache of lowered plan rows for one [`ImplicitKernel`].
+///
+/// Caller-owned scratch (the trial engine keeps one per worker thread): the
+/// kernel stays immutable and shareable while the cache holds the seeking
+/// RNG, the regenerated identifier row, and `slots × row_width` lowered
+/// entries. Collisions simply overwrite — routing correctness never depends
+/// on a hit, only regeneration cost does.
+#[derive(Debug, Clone)]
+pub struct ImplicitRowCache {
+    /// Stamp of the owning kernel (checked in debug builds).
+    stream_seed: u64,
+    row_width: usize,
+    /// `slots - 1` for the power-of-two slot count.
+    slot_mask: u32,
+    /// Slot → cached rank, [`NO_ENTRY`] when empty (ranks stay below 2^30).
+    ranks: Vec<u32>,
+    /// Slot → lowered row length (ring rows dedup below `row_width`).
+    lens: Vec<u32>,
+    /// Slot-major lowered entries, `row_width` per slot.
+    entries: Vec<PlanEntry>,
+    /// The seeking stream replayer, seeded once from the kernel's seed.
+    rng: ChaCha8Rng,
+    /// Scratch for the regenerated identifier table.
+    ids: Vec<NodeId>,
+    /// Scratch for the ring lowering's advance sort.
+    ring_scratch: Vec<(u32, u32)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ImplicitRowCache {
+    /// Number of direct-mapped slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Row lookups served without regeneration since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Row lookups that regenerated (and lowered) their row.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Bytes of heap the cache keeps resident (entry slab, tag arrays and
+    /// scratch, counted at capacity).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<PlanEntry>()
+            + self.ranks.capacity() * std::mem::size_of::<u32>()
+            + self.lens.capacity() * std::mem::size_of::<u32>()
+            + self.ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.ring_scratch.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+/// Lowers one freshly regenerated full-population table row into `out`,
+/// returning the lowered length — the single-row counterpart of
+/// [`RoutingKernel::compile`](super::RoutingKernel::compile)'s per-rank lowering, with `rank == value`.
+fn lower_row(
+    rule: KernelRule,
+    space: KeySpace,
+    node: NodeId,
+    table: &[NodeId],
+    ring_scratch: &mut Vec<(u32, u32)>,
+    out: &mut [PlanEntry],
+) -> usize {
+    match rule {
+        KernelRule::RingAdvance => {
+            // Sorted by greedy preference, zero advances dropped, duplicate
+            // advances deduplicated — exactly the static compile's lowering.
+            ring_scratch.clear();
+            for &entry in table {
+                let advance = ring_distance_raw(node.value(), entry.value(), space);
+                if advance > 0 {
+                    ring_scratch.push((advance as u32, entry.value() as u32));
+                }
+            }
+            ring_scratch.sort_unstable();
+            ring_scratch.dedup_by_key(|&mut (advance, _)| advance);
+            for (slot, &(advance, target)) in ring_scratch.iter().rev().enumerate() {
+                out[slot] = PlanEntry {
+                    key: advance,
+                    target,
+                };
+            }
+            ring_scratch.len()
+        }
+        KernelRule::PrefixXor | KernelRule::PrefixTree => {
+            for (slot, &entry) in table.iter().enumerate() {
+                out[slot] = if entry == node {
+                    PlanEntry {
+                        key: 0,
+                        target: NO_ENTRY,
+                    }
+                } else {
+                    PlanEntry {
+                        key: entry.value() as u32,
+                        target: entry.value() as u32,
+                    }
+                };
+            }
+            table.len()
+        }
+        KernelRule::HypercubeBit => {
+            for (slot, &entry) in table.iter().enumerate() {
+                let weight = node.value() ^ entry.value();
+                debug_assert_eq!(weight.count_ones(), 1, "hypercube links flip one bit");
+                out[slot] = PlanEntry {
+                    key: weight as u32,
+                    target: entry.value() as u32,
+                };
+            }
+            table.len()
+        }
+    }
+}
+
+/// A full-population overlay served entirely by an [`ImplicitKernel`]: no
+/// table is ever materialized, so the identifier-space ceiling rises from
+/// [`MAX_OVERLAY_BITS`](crate::traits::MAX_OVERLAY_BITS) to
+/// [`MAX_IMPLICIT_OVERLAY_BITS`](crate::traits::MAX_IMPLICIT_OVERLAY_BITS)
+/// bits while [`Overlay::resident_bytes`] stays constant.
+///
+/// Construct through the typed per-geometry constructors
+/// ([`ImplicitOverlay::ring`], [`ImplicitOverlay::xor`],
+/// [`ImplicitOverlay::tree`], [`ImplicitOverlay::hypercube`],
+/// [`ImplicitOverlay::symphony`]) or [`ImplicitOverlay::over`] for a custom
+/// strategy. The `stream_seed` is the `seed_from_u64` seed the equivalent
+/// materialized build would hand its construction RNG — same seed, same
+/// overlay, bit for bit.
+///
+/// As an [`Overlay`], [`Overlay::next_hop`] regenerates the current node's
+/// table per call (the scalar reference path); batch drivers pick up
+/// [`Overlay::implicit_kernel`] instead. [`Overlay::neighbors`] cannot return
+/// a borrowed slice from a table that does not exist and **panics** — use
+/// [`ImplicitOverlay::table_of`].
+#[derive(Debug)]
+pub struct ImplicitOverlay<S: GeometryStrategy> {
+    population: Arc<Population>,
+    strategy: S,
+    kernel: ImplicitKernel,
+}
+
+impl<S: GeometryStrategy + Clone + 'static> ImplicitOverlay<S> {
+    /// Builds the implicit overlay over the full `bits`-bit population.
+    ///
+    /// # Errors
+    ///
+    /// As [`ImplicitKernel::from_strategy`].
+    pub fn over(bits: u32, strategy: S, stream_seed: u64) -> Result<Self, OverlayError> {
+        let space = validate_implicit_bits(bits)?;
+        let population = Arc::new(Population::full(space));
+        let kernel = ImplicitKernel::from_strategy(&population, &strategy, stream_seed)?;
+        Ok(ImplicitOverlay {
+            population,
+            strategy,
+            kernel,
+        })
+    }
+}
+
+impl<S: GeometryStrategy> ImplicitOverlay<S> {
+    /// The geometry strategy driving this overlay.
+    #[must_use]
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// The implicit kernel (also reachable through
+    /// [`Overlay::implicit_kernel`]).
+    #[must_use]
+    pub fn routing_kernel(&self) -> &ImplicitKernel {
+        &self.kernel
+    }
+
+    /// The `seed_from_u64` seed of the replayed construction stream.
+    #[must_use]
+    pub fn stream_seed(&self) -> u64 {
+        self.kernel.stream_seed()
+    }
+
+    /// The routing table of `node`, regenerated on the spot — the owning
+    /// counterpart of [`Overlay::neighbors`], bit-identical to the
+    /// materialized build's stored row.
+    #[must_use]
+    pub fn table_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut table = Vec::with_capacity(self.kernel.row_width());
+        self.kernel.table_of(node, &mut table);
+        table
+    }
+}
+
+impl ImplicitOverlay<crate::chord::ChordStrategy> {
+    /// An implicit ring overlay — [`crate::ChordOverlay`] beyond the
+    /// materialized ceiling.
+    ///
+    /// # Errors
+    ///
+    /// As [`ImplicitOverlay::over`].
+    pub fn ring(
+        bits: u32,
+        variant: crate::chord::ChordVariant,
+        stream_seed: u64,
+    ) -> Result<Self, OverlayError> {
+        Self::over(bits, crate::chord::ChordStrategy::new(variant), stream_seed)
+    }
+}
+
+impl ImplicitOverlay<crate::kademlia::KademliaStrategy> {
+    /// An implicit XOR overlay — [`crate::KademliaOverlay`] beyond the
+    /// materialized ceiling.
+    ///
+    /// # Errors
+    ///
+    /// As [`ImplicitOverlay::over`].
+    pub fn xor(bits: u32, stream_seed: u64) -> Result<Self, OverlayError> {
+        Self::over(bits, crate::kademlia::KademliaStrategy, stream_seed)
+    }
+}
+
+impl ImplicitOverlay<crate::plaxton::PlaxtonStrategy> {
+    /// An implicit tree overlay — [`crate::PlaxtonOverlay`] beyond the
+    /// materialized ceiling.
+    ///
+    /// # Errors
+    ///
+    /// As [`ImplicitOverlay::over`].
+    pub fn tree(bits: u32, stream_seed: u64) -> Result<Self, OverlayError> {
+        Self::over(bits, crate::plaxton::PlaxtonStrategy, stream_seed)
+    }
+}
+
+impl ImplicitOverlay<crate::can::CanStrategy> {
+    /// An implicit hypercube overlay — [`crate::CanOverlay`] beyond the
+    /// materialized ceiling (link structure is closed-form; no stream).
+    ///
+    /// # Errors
+    ///
+    /// As [`ImplicitOverlay::over`].
+    pub fn hypercube(bits: u32) -> Result<Self, OverlayError> {
+        Self::over(bits, crate::can::CanStrategy, 0)
+    }
+}
+
+impl ImplicitOverlay<crate::symphony::SymphonyStrategy> {
+    /// An implicit small-world overlay — [`crate::SymphonyOverlay`] beyond
+    /// the materialized ceiling.
+    ///
+    /// # Errors
+    ///
+    /// As [`ImplicitOverlay::over`], plus
+    /// [`OverlayError::InvalidParameter`] for zero connection counts or
+    /// `near_neighbors >= 2^bits` (mirroring
+    /// [`crate::SymphonyOverlay::build`]).
+    pub fn symphony(
+        bits: u32,
+        near_neighbors: u32,
+        shortcuts: u32,
+        stream_seed: u64,
+    ) -> Result<Self, OverlayError> {
+        if near_neighbors == 0 || shortcuts == 0 {
+            return Err(OverlayError::InvalidParameter {
+                message: format!(
+                    "Symphony needs at least one near neighbour and one shortcut, got \
+                     k_n={near_neighbors}, k_s={shortcuts}"
+                ),
+            });
+        }
+        let space = validate_implicit_bits(bits)?;
+        if u64::from(near_neighbors) >= space.population() {
+            return Err(OverlayError::InvalidParameter {
+                message: format!(
+                    "{near_neighbors} near neighbours do not fit a population of {}",
+                    space.population()
+                ),
+            });
+        }
+        Self::over(
+            bits,
+            crate::symphony::SymphonyStrategy::new(near_neighbors, shortcuts),
+            stream_seed,
+        )
+    }
+}
+
+impl<S: GeometryStrategy> Overlay for ImplicitOverlay<S> {
+    fn geometry_name(&self) -> &'static str {
+        self.strategy.geometry_name()
+    }
+
+    fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// # Panics
+    ///
+    /// Always: implicit overlays do not materialise neighbour tables (there
+    /// is no stored row to borrow). Use [`ImplicitOverlay::table_of`].
+    fn neighbors(&self, _node: NodeId) -> &[NodeId] {
+        panic!("implicit overlays do not materialise neighbour tables; use table_of");
+    }
+
+    fn next_hop(&self, current: NodeId, target: NodeId, alive: &FailureMask) -> Option<NodeId> {
+        let table = self.table_of(current);
+        self.strategy.next_hop(&table, current, target, alive)
+    }
+
+    fn edge_count(&self) -> u64 {
+        // Full-population rows are fixed-width, so the conceptual edge count
+        // matches the materialized arena's entry count.
+        self.population.node_count() * self.kernel.row_width() as u64
+    }
+
+    fn implicit_kernel(&self) -> Option<&ImplicitKernel> {
+        Some(&self.kernel)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chord::{ChordStrategy, ChordVariant};
+    use crate::router::{default_route_hop_limit, route_with_limit};
+    use crate::{ChordOverlay, KademliaOverlay, SymphonyOverlay};
+
+    /// The materialized twin of an implicit overlay: same geometry, same
+    /// stream seed, built the way the experiment layer builds it (one fresh
+    /// shared RNG, word 0).
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn regenerated_tables_match_the_materialized_build() {
+        let bits = 8;
+        let seed = 42;
+        let implicit = ImplicitOverlay::ring(bits, ChordVariant::Randomized, seed).unwrap();
+        let materialized = ChordOverlay::build_randomized(bits, &mut rng(seed)).unwrap();
+        let space = implicit.key_space();
+        for node in space.iter_ids() {
+            assert_eq!(
+                implicit.table_of(node),
+                materialized.neighbors(node),
+                "row of {node} must replay the shared stream"
+            );
+        }
+    }
+
+    #[test]
+    fn symphony_rows_replay_the_harmonic_draws() {
+        let bits = 7;
+        let seed = 9;
+        let implicit = ImplicitOverlay::symphony(bits, 2, 3, seed).unwrap();
+        let materialized = SymphonyOverlay::build(bits, 2, 3, &mut rng(seed)).unwrap();
+        let space = implicit.key_space();
+        for node in space.iter_ids() {
+            assert_eq!(implicit.table_of(node), materialized.neighbors(node));
+        }
+    }
+
+    #[test]
+    fn routes_match_the_materialized_kernel_under_failures() {
+        let bits = 10;
+        let seed = 5;
+        let implicit = ImplicitOverlay::xor(bits, seed).unwrap();
+        let materialized = KademliaOverlay::build(bits, &mut rng(seed)).unwrap();
+        let kernel = implicit.implicit_kernel().unwrap();
+        let mut cache = kernel.row_cache_with_slots(64);
+        let space = implicit.key_space();
+        let mut sampler = rng(77);
+        let mask = FailureMask::sample(space, 0.3, &mut sampler);
+        let lowered = kernel.compile_mask(&mask);
+        let limit = default_route_hop_limit(&materialized);
+        for _ in 0..500 {
+            let source = space.random_id(&mut sampler);
+            let target = space.random_id(&mut sampler);
+            assert_eq!(
+                kernel.route(&mut cache, &lowered, source, target, limit),
+                route_with_limit(&materialized, source, target, &mask, limit),
+            );
+        }
+        assert!(cache.hits() > 0, "repeated rows must hit the cache");
+    }
+
+    #[test]
+    fn batch_outcomes_match_the_scalar_implicit_path() {
+        let bits = 9;
+        let seed = 3;
+        let implicit = ImplicitOverlay::ring(bits, ChordVariant::Randomized, seed).unwrap();
+        let kernel = implicit.implicit_kernel().unwrap();
+        let space = implicit.key_space();
+        let mut sampler = rng(13);
+        let mask = FailureMask::sample(space, 0.3, &mut sampler);
+        let lowered = kernel.compile_mask(&mask);
+        let words: Vec<u64> = lowered.words().to_vec();
+        let pairs: Vec<(u64, u64)> = (0..256)
+            .map(|_| {
+                (
+                    space.random_id(&mut sampler).value(),
+                    space.random_id(&mut sampler).value(),
+                )
+            })
+            .collect();
+        let mut batch = RouteBatch::new(32);
+        let mut batch_cache = kernel.row_cache_with_slots(32);
+        let mut outcomes = Vec::new();
+        kernel.route_batch(
+            &mut batch,
+            &mut batch_cache,
+            &words,
+            &pairs,
+            64,
+            &mut outcomes,
+        );
+        assert_eq!(batch.in_flight(), 0);
+        let mut scalar_cache = kernel.row_cache_with_slots(32);
+        for (i, &(source, target)) in pairs.iter().enumerate() {
+            assert_eq!(
+                outcomes[i],
+                kernel.route_ranked(&mut scalar_cache, &words, source, target, 64),
+                "pair {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_hop_matches_the_scalar_strategy() {
+        let bits = 8;
+        let seed = 21;
+        let implicit = ImplicitOverlay::tree(bits, seed).unwrap();
+        let kernel = implicit.implicit_kernel().unwrap();
+        let mut cache = kernel.row_cache();
+        let space = implicit.key_space();
+        let mut sampler = rng(31);
+        let mask = FailureMask::sample(space, 0.2, &mut sampler);
+        let lowered = kernel.compile_mask(&mask);
+        for _ in 0..200 {
+            let current = space.random_id(&mut sampler);
+            let target = space.random_id(&mut sampler);
+            assert_eq!(
+                kernel.next_hop(&mut cache, &lowered, current, target),
+                implicit.next_hop(current, target, &mask),
+            );
+        }
+    }
+
+    #[test]
+    fn resident_bytes_stay_constant_in_the_space_size() {
+        let small = ImplicitOverlay::ring(10, ChordVariant::Deterministic, 0).unwrap();
+        let large = ImplicitOverlay::ring(26, ChordVariant::Deterministic, 0).unwrap();
+        assert_eq!(small.resident_bytes(), large.resident_bytes());
+        assert!(large.resident_bytes() < 1024);
+        assert_eq!(
+            large.edge_count(),
+            (1u64 << 26) * 26,
+            "conceptual edges still scale"
+        );
+    }
+
+    #[test]
+    fn ceiling_is_raised_to_thirty_bits() {
+        assert!(ImplicitOverlay::hypercube(30).is_ok());
+        assert!(matches!(
+            ImplicitOverlay::hypercube(31),
+            Err(OverlayError::UnsupportedBits {
+                bits: 31,
+                max_bits: 30
+            })
+        ));
+    }
+
+    #[test]
+    fn sparse_populations_are_rejected() {
+        let space = KeySpace::new(8).unwrap();
+        let population =
+            Arc::new(Population::sparse(space, [space.wrap(1), space.wrap(2)]).unwrap());
+        let err = ImplicitKernel::from_strategy(
+            &population,
+            &ChordStrategy::new(ChordVariant::Deterministic),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OverlayError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("full population"));
+    }
+
+    #[test]
+    fn symphony_parameters_are_validated() {
+        assert!(ImplicitOverlay::symphony(8, 0, 1, 0).is_err());
+        assert!(ImplicitOverlay::symphony(8, 1, 0, 0).is_err());
+        assert!(ImplicitOverlay::symphony(2, 4, 1, 0).is_err());
+        assert!(ImplicitOverlay::symphony(8, 1, 1, 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not materialise")]
+    fn neighbors_panics_with_guidance() {
+        let overlay = ImplicitOverlay::hypercube(6).unwrap();
+        let space = overlay.key_space();
+        let _ = overlay.neighbors(space.wrap(0));
+    }
+
+    #[test]
+    fn row_cache_accounts_hits_misses_and_bytes() {
+        let overlay = ImplicitOverlay::ring(12, ChordVariant::Randomized, 4).unwrap();
+        let kernel = overlay.implicit_kernel().unwrap();
+        let mut cache = kernel.row_cache_with_slots(3);
+        assert_eq!(cache.slots(), 4, "slot counts round up to powers of two");
+        let mask = FailureMask::none(overlay.key_space());
+        let lowered = kernel.compile_mask(&mask);
+        let space = overlay.key_space();
+        let _ = kernel.next_hop(&mut cache, &lowered, space.wrap(0), space.wrap(100));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let _ = kernel.next_hop(&mut cache, &lowered, space.wrap(0), space.wrap(200));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Same slot, different rank: the collision evicts.
+        let _ = kernel.next_hop(&mut cache, &lowered, space.wrap(4), space.wrap(200));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert!(cache.resident_bytes() > 0);
+    }
+}

@@ -97,11 +97,14 @@ pub use failure::{select_in_word, FailureMask};
 pub use faults::{FailurePlan, MAX_SUBTREE_PREFIX_BITS};
 pub use generic::{GeometryOverlay, GeometryStrategy};
 pub use kademlia::KademliaOverlay;
-pub use kernel::{KernelMask, KernelRule, RouteBatch, RoutingKernel, DEFAULT_BATCH_WIDTH};
+pub use kernel::{
+    ImplicitKernel, ImplicitOverlay, ImplicitRowCache, KernelMask, KernelRule, RouteBatch,
+    RoutingKernel, DEFAULT_BATCH_WIDTH,
+};
 pub use live::LiveOverlay;
 pub use plaxton::PlaxtonOverlay;
 pub use router::{
     default_route_hop_limit, route, route_prevalidated, route_with_limit, RouteOutcome,
 };
 pub use symphony::SymphonyOverlay;
-pub use traits::{Overlay, OverlayError};
+pub use traits::{Overlay, OverlayError, MAX_IMPLICIT_OVERLAY_BITS, MAX_OVERLAY_BITS};

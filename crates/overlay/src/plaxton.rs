@@ -58,6 +58,14 @@ impl GeometryStrategy for PlaxtonStrategy {
         Some(crate::kernel::KernelRule::PrefixTree)
     }
 
+    fn implicit_stream_words(&self, population: &Population) -> Option<u64> {
+        // Same construction family as the XOR geometry: one `random_id` (two
+        // words) per level over a full population.
+        population
+            .is_full()
+            .then(|| 2 * u64::from(population.space().bits()))
+    }
+
     fn supports_live(&self) -> bool {
         true
     }
@@ -126,7 +134,8 @@ impl PlaxtonOverlay {
     /// # Errors
     ///
     /// Returns [`OverlayError::UnsupportedBits`] if `bits` is zero or larger
-    /// than [`crate::traits::MAX_OVERLAY_BITS`].
+    /// than [`crate::traits::MAX_OVERLAY_BITS`] (the materialized ceiling —
+    /// [`crate::ImplicitOverlay::tree`] routes larger full populations).
     pub fn build<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, OverlayError> {
         let space = validate_bits(bits)?;
         Self::build_over(Population::full(space), rng)

@@ -93,6 +93,15 @@ impl GeometryStrategy for SymphonyStrategy {
         Some(crate::kernel::KernelRule::RingAdvance)
     }
 
+    fn implicit_stream_words(&self, population: &Population) -> Option<u64> {
+        // Near neighbours are positional (no draws); each shortcut draws one
+        // `gen::<f64>()` — one `next_u64`, two words — inside
+        // `harmonic_distance`. Fixed per node only over full populations
+        // (sparse successor chains consume no randomness either, but the
+        // implicit backend is full-population by contract).
+        population.is_full().then(|| 2 * u64::from(self.shortcuts))
+    }
+
     fn supports_live(&self) -> bool {
         true
     }
@@ -192,7 +201,9 @@ impl SymphonyOverlay {
     /// # Errors
     ///
     /// * [`OverlayError::UnsupportedBits`] if `bits` is zero or larger than
-    ///   [`crate::traits::MAX_OVERLAY_BITS`].
+    ///   [`crate::traits::MAX_OVERLAY_BITS`] (the materialized ceiling —
+    ///   [`crate::ImplicitOverlay::symphony`] routes larger full
+    ///   populations).
     /// * [`OverlayError::InvalidParameter`] if either connection count is
     ///   zero, or `near_neighbors >= 2^bits`.
     pub fn build<R: Rng + ?Sized>(

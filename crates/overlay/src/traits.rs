@@ -10,12 +10,17 @@ use std::fmt;
 pub enum OverlayError {
     /// The identifier length is outside the supported range.
     ///
-    /// Overlays materialise every occupied node of the identifier space, so
-    /// the practical ceiling is well below the 64-bit limit of [`dht_id`].
+    /// There are two ceilings, one per backend: materialized overlays store
+    /// every table row in the CSR arena and stop at [`MAX_OVERLAY_BITS`];
+    /// the implicit backend regenerates rows on demand and extends full
+    /// populations to [`MAX_IMPLICIT_OVERLAY_BITS`]. `max_bits` records
+    /// which ceiling the failed construction was checked against.
     UnsupportedBits {
         /// The rejected identifier length.
         bits: u32,
-        /// The largest supported identifier length for this overlay.
+        /// The ceiling of the backend that rejected it: [`MAX_OVERLAY_BITS`]
+        /// for materialized builds, [`MAX_IMPLICIT_OVERLAY_BITS`] for
+        /// implicit ones.
         max_bits: u32,
     },
     /// A node identifier does not belong to the overlay's key space.
@@ -35,7 +40,9 @@ impl fmt::Display for OverlayError {
         match self {
             OverlayError::UnsupportedBits { bits, max_bits } => write!(
                 f,
-                "overlay construction supports at most {max_bits}-bit identifier spaces, got {bits}"
+                "this backend supports at most {max_bits}-bit identifier spaces, got {bits} \
+                 (materialized tables stop at {MAX_OVERLAY_BITS} bits; the implicit backend \
+                 routes full populations up to {MAX_IMPLICIT_OVERLAY_BITS} bits)"
             ),
             OverlayError::UnknownNode { value } => {
                 write!(f, "node {value} does not belong to this overlay")
@@ -49,13 +56,27 @@ impl fmt::Display for OverlayError {
 
 impl std::error::Error for OverlayError {}
 
-/// Largest identifier length an executable overlay will materialise.
+/// Largest identifier length an executable overlay will **materialise**.
 ///
 /// The CSR [`crate::RoutingArena`] stores all routing tables in one flat
 /// allocation (no per-node `Vec` headers or allocator slop), which is what
-/// lets this sit at `2^24`; anything larger belongs to the analytical crates,
-/// not a simulator.
+/// lets this sit at `2^24`. This is the ceiling of the *materialized*
+/// backend only: full populations can go up to
+/// [`MAX_IMPLICIT_OVERLAY_BITS`] through the implicit backend
+/// ([`crate::ImplicitOverlay`]), which regenerates each row from the seed on
+/// demand instead of storing it.
 pub const MAX_OVERLAY_BITS: u32 = 24;
+
+/// Largest identifier length the **implicit** backend will route.
+///
+/// [`crate::ImplicitOverlay`] keeps no per-node state — a table row is
+/// recomputed from `(seed, rank)` whenever routing needs it — so its ceiling
+/// is set by the structures that *must* stay resident: the
+/// [`FailureMask`] bitset (2^30 nodes = 128 MiB) and the trial engine's
+/// pair-sampling index of the same order. The `dht_id` layer itself asserts
+/// `bits <= 32` for full-population enumeration, so 30 leaves headroom while
+/// keeping worst-case resident sets in the hundreds of megabytes.
+pub const MAX_IMPLICIT_OVERLAY_BITS: u32 = 30;
 
 /// An executable DHT overlay over the occupied identifiers of a
 /// [`Population`] — fully populated (`N = 2^d`, the paper's model) or sparse
@@ -128,9 +149,33 @@ pub trait Overlay: Send + Sync {
     fn kernel(&self) -> Option<&crate::kernel::RoutingKernel> {
         None
     }
+
+    /// The implicit (generative) routing kernel, when the overlay computes
+    /// table rows on demand instead of storing them (see
+    /// [`crate::ImplicitOverlay`]).
+    ///
+    /// Batch drivers prefer [`Overlay::kernel`] when present, then fall back
+    /// to this, then to scalar [`Overlay::next_hop`] routing. Implicit
+    /// outcomes are bit-identical to the materialized kernel built from the
+    /// same seed. The default is `None`.
+    fn implicit_kernel(&self) -> Option<&crate::kernel::ImplicitKernel> {
+        None
+    }
+
+    /// Bytes of routing state this overlay keeps resident in memory.
+    ///
+    /// Materialized overlays count their CSR arena plus any compiled kernel
+    /// plan; the implicit backend counts only its constant-size descriptor
+    /// (row caches are caller-owned scratch and accounted separately, as is
+    /// the [`FailureMask`]). The default approximates a materialized table
+    /// as one [`NodeId`] per directed edge.
+    fn resident_bytes(&self) -> usize {
+        self.edge_count() as usize * std::mem::size_of::<NodeId>()
+    }
 }
 
-/// Validates an identifier length against [`MAX_OVERLAY_BITS`].
+/// Validates an identifier length against [`MAX_OVERLAY_BITS`] (the
+/// materialized-backend ceiling).
 pub(crate) fn validate_bits(bits: u32) -> Result<KeySpace, OverlayError> {
     if bits == 0 || bits > MAX_OVERLAY_BITS {
         return Err(OverlayError::UnsupportedBits {
@@ -141,6 +186,21 @@ pub(crate) fn validate_bits(bits: u32) -> Result<KeySpace, OverlayError> {
     KeySpace::new(bits).map_err(|_| OverlayError::UnsupportedBits {
         bits,
         max_bits: MAX_OVERLAY_BITS,
+    })
+}
+
+/// Validates an identifier length against [`MAX_IMPLICIT_OVERLAY_BITS`]
+/// (the implicit-backend ceiling).
+pub(crate) fn validate_implicit_bits(bits: u32) -> Result<KeySpace, OverlayError> {
+    if bits == 0 || bits > MAX_IMPLICIT_OVERLAY_BITS {
+        return Err(OverlayError::UnsupportedBits {
+            bits,
+            max_bits: MAX_IMPLICIT_OVERLAY_BITS,
+        });
+    }
+    KeySpace::new(bits).map_err(|_| OverlayError::UnsupportedBits {
+        bits,
+        max_bits: MAX_IMPLICIT_OVERLAY_BITS,
     })
 }
 
@@ -181,6 +241,20 @@ mod tests {
         );
         assert!(validate_bits(MAX_OVERLAY_BITS + 1).is_err());
         assert!(validate_bits(64).is_err());
+    }
+
+    #[test]
+    fn validate_implicit_bits_extends_the_ceiling_to_30() {
+        assert!(validate_implicit_bits(MAX_OVERLAY_BITS + 1).is_ok());
+        assert!(validate_implicit_bits(MAX_IMPLICIT_OVERLAY_BITS).is_ok());
+        assert_eq!(
+            validate_implicit_bits(MAX_IMPLICIT_OVERLAY_BITS + 1),
+            Err(OverlayError::UnsupportedBits {
+                bits: MAX_IMPLICIT_OVERLAY_BITS + 1,
+                max_bits: MAX_IMPLICIT_OVERLAY_BITS
+            })
+        );
+        assert!(validate_implicit_bits(0).is_err());
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //! reports over stdin or TCP, or hash specs without running them.
 //!
 //! ```text
-//! scenario run <spec-dir> [--out DIR] [--threads N] [--pretty]
+//! scenario run <spec-dir> [--out DIR] [--threads N] [--backend B] [--pretty]
 //! scenario serve [--tcp ADDR] [--threads N]
 //! scenario hash <spec-file>...
 //! scenario init <dir> [--paper]
 //! ```
+//!
+//! `--backend materialized|implicit` overrides every spec's routing-table
+//! backend; reports are byte-identical either way.
 
 use dht_experiments::output::ReportMode;
-use dht_experiments::spec::{ScenarioSpec, FAMILIES};
+use dht_experiments::spec::{Backend, ScenarioSpec, FAMILIES};
 use dht_scenario::{run_directory, BatchOptions, ReportServer};
 use std::io::BufReader;
 use std::path::PathBuf;
@@ -23,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("init") => init(&args[1..]),
         _ => {
             eprintln!(
-                "usage: scenario run <spec-dir> [--out DIR] [--threads N] [--pretty]\n\
+                "usage: scenario run <spec-dir> [--out DIR] [--threads N] [--backend B] [--pretty]\n\
                  \u{20}      scenario serve [--tcp ADDR] [--threads N]\n\
                  \u{20}      scenario hash <spec-file>...\n\
                  \u{20}      scenario init <dir> [--paper]"
@@ -44,6 +47,20 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--threads" => {
                 options.threads = Some(iter.next().ok_or("--threads needs a count")?.parse()?);
+            }
+            "--backend" => {
+                options.backend = Some(
+                    match iter.next().ok_or("--backend needs a name")?.as_str() {
+                        "materialized" => Backend::Materialized,
+                        "implicit" => Backend::Implicit,
+                        other => {
+                            return Err(format!(
+                                "unknown backend {other:?} (expected materialized or implicit)"
+                            )
+                            .into())
+                        }
+                    },
+                );
             }
             "--pretty" => options.mode = ReportMode::Pretty,
             other => spec_dir = Some(PathBuf::from(other)),

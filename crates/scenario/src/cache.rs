@@ -1,24 +1,29 @@
 //! The server's cross-query caches: built overlays (with their compiled
 //! routing kernels) and observable hit counters.
 
-use dht_experiments::spec::{build_full_overlay, SpecError};
+use dht_experiments::implicit_scale::build_implicit_overlay;
+use dht_experiments::spec::{build_full_overlay, Backend, SpecError};
 use dht_overlay::Overlay;
+use dht_sim::SeedSequence;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Caches fully built overlays keyed by `(geometry, bits, seed)` so the
+/// Caches built overlays keyed by `(geometry, bits, seed, backend)` so the
 /// expensive parts of a static-resilience query — overlay construction and
 /// the lazy [`dht_overlay::RoutingKernel`] compile — happen once per
 /// distinct key, not once per query.
 ///
-/// The kernel is forced at insert time (where available), so a cache hit
-/// hands back an overlay whose plan is already compiled: routing it never
-/// pays the lowering again, which [`ServerStats::kernel_compiles`] makes
-/// observable.
+/// For the materialized backend the kernel is forced at insert time (where
+/// available), so a cache hit hands back an overlay whose plan is already
+/// compiled: routing it never pays the lowering again, which
+/// [`ServerStats::kernel_compiles`] makes observable. Implicit overlays
+/// ([`Backend::Implicit`]) carry no materialized plan — their cache entry is
+/// a few hundred bytes of generator state — but caching them still saves the
+/// construction-parameter validation and keeps the two backends symmetric.
 #[derive(Default)]
 pub struct OverlayCache {
-    overlays: HashMap<(String, u32, u64), Arc<dyn Overlay>>,
+    overlays: HashMap<(String, u32, u64, Backend), Arc<dyn Overlay>>,
     builds: u64,
     hits: u64,
     kernel_compiles: u64,
@@ -31,8 +36,10 @@ impl OverlayCache {
         OverlayCache::default()
     }
 
-    /// Returns the cached overlay for `(geometry, bits, seed)`, building
-    /// (and compiling the kernel of) a new one on first use.
+    /// Returns the cached overlay for `(geometry, bits, seed, backend)`,
+    /// building (and compiling the kernel of) a new one on first use. Both
+    /// backends consume the same construction stream (`SeedSequence` child 0
+    /// of `seed`), so they route bit-identically.
     ///
     /// # Errors
     ///
@@ -43,13 +50,21 @@ impl OverlayCache {
         geometry: &str,
         bits: u32,
         seed: u64,
+        backend: Backend,
     ) -> Result<Arc<dyn Overlay>, SpecError> {
-        let key = (geometry.to_owned(), bits, seed);
+        let key = (geometry.to_owned(), bits, seed, backend);
         if let Some(overlay) = self.overlays.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(overlay));
         }
-        let overlay: Arc<dyn Overlay> = Arc::from(build_full_overlay(geometry, bits, seed)?);
+        let overlay: Arc<dyn Overlay> = match backend {
+            Backend::Materialized => Arc::from(build_full_overlay(geometry, bits, seed)?),
+            Backend::Implicit => Arc::from(build_implicit_overlay(
+                geometry,
+                bits,
+                SeedSequence::new(seed).child(0),
+            )?),
+        };
         if overlay.kernel().is_some() {
             self.kernel_compiles += 1;
         }
@@ -123,8 +138,12 @@ mod tests {
     #[test]
     fn repeated_keys_hit_without_rebuilding() {
         let mut cache = OverlayCache::new();
-        let first = cache.get_or_build("ring", 6, 1).unwrap();
-        let second = cache.get_or_build("ring", 6, 1).unwrap();
+        let first = cache
+            .get_or_build("ring", 6, 1, Backend::Materialized)
+            .unwrap();
+        let second = cache
+            .get_or_build("ring", 6, 1, Backend::Materialized)
+            .unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.builds(), 1);
         assert_eq!(cache.hits(), 1);
@@ -135,18 +154,30 @@ mod tests {
     #[test]
     fn distinct_keys_build_distinct_overlays() {
         let mut cache = OverlayCache::new();
-        cache.get_or_build("ring", 6, 1).unwrap();
-        cache.get_or_build("ring", 7, 1).unwrap();
-        cache.get_or_build("xor", 6, 1).unwrap();
-        cache.get_or_build("ring", 6, 2).unwrap();
-        assert_eq!(cache.builds(), 4);
+        cache
+            .get_or_build("ring", 6, 1, Backend::Materialized)
+            .unwrap();
+        cache
+            .get_or_build("ring", 7, 1, Backend::Materialized)
+            .unwrap();
+        cache
+            .get_or_build("xor", 6, 1, Backend::Materialized)
+            .unwrap();
+        cache
+            .get_or_build("ring", 6, 2, Backend::Materialized)
+            .unwrap();
+        // The backend is part of the key: the implicit twin is a new build.
+        cache.get_or_build("ring", 6, 1, Backend::Implicit).unwrap();
+        assert_eq!(cache.builds(), 5);
         assert_eq!(cache.hits(), 0);
     }
 
     #[test]
     fn unknown_geometries_error_and_are_not_cached() {
         let mut cache = OverlayCache::new();
-        assert!(cache.get_or_build("moebius", 6, 1).is_err());
+        for backend in [Backend::Materialized, Backend::Implicit] {
+            assert!(cache.get_or_build("moebius", 6, 1, backend).is_err());
+        }
         assert!(cache.is_empty());
         assert_eq!(cache.builds(), 0);
     }
@@ -154,8 +185,22 @@ mod tests {
     #[test]
     fn cached_overlays_come_back_with_kernels_compiled() {
         let mut cache = OverlayCache::new();
-        let overlay = cache.get_or_build("hypercube", 6, 1).unwrap();
+        let overlay = cache
+            .get_or_build("hypercube", 6, 1, Backend::Materialized)
+            .unwrap();
         assert!(overlay.kernel().is_some());
         assert_eq!(cache.kernel_compiles(), 1);
+    }
+
+    #[test]
+    fn implicit_builds_carry_the_implicit_kernel_and_stay_tiny() {
+        let mut cache = OverlayCache::new();
+        let overlay = cache.get_or_build("xor", 10, 1, Backend::Implicit).unwrap();
+        assert!(overlay.kernel().is_none());
+        assert!(overlay.implicit_kernel().is_some());
+        assert!(overlay.resident_bytes() < 1024);
+        // No materialized plan means no kernel compile to count.
+        assert_eq!(cache.kernel_compiles(), 0);
+        assert_eq!(cache.builds(), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! The batch runner: execute a directory of spec files reproducibly.
 
 use dht_experiments::output::{ReportMode, ReportWriter};
-use dht_experiments::spec::{run_spec, ScenarioSpec, SpecError};
+use dht_experiments::spec::{run_spec, Backend, ExecutionSpec, ScenarioSpec, SpecError};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -13,6 +13,11 @@ pub struct BatchOptions {
     /// Thread-budget override applied to every spec (results are identical
     /// for any value — the engines are thread-count invariant).
     pub threads: Option<usize>,
+    /// Routing-table-backend override applied to every spec (results are
+    /// identical either way — the backends are bit-identical wherever both
+    /// can run — so, like `threads`, this never changes a report or its
+    /// hash).
+    pub backend: Option<Backend>,
     /// Report serialization mode.
     pub mode: ReportMode,
 }
@@ -24,6 +29,7 @@ impl BatchOptions {
         BatchOptions {
             output_dir: output_dir.into(),
             threads: None,
+            backend: None,
             mode: ReportMode::Compact,
         }
     }
@@ -105,7 +111,7 @@ pub fn run_directory(
             .unwrap_or_default();
         let text = std::fs::read_to_string(path)
             .map_err(|err| SpecError::Io(format!("reading {}: {err}", path.display())))?;
-        let spec = match ScenarioSpec::from_json(&text) {
+        let mut spec = match ScenarioSpec::from_json(&text) {
             Ok(spec) => spec,
             Err(err) => {
                 let err = SpecError::Invalid(format!("{}: {err}", path.display()));
@@ -113,6 +119,12 @@ pub fn run_directory(
                 continue;
             }
         };
+        if let Some(backend) = options.backend {
+            spec.execution = Some(ExecutionSpec {
+                threads: spec.threads(),
+                backend,
+            });
+        }
         let outcome = match run_spec(&spec, options.threads) {
             Ok(outcome) => outcome,
             Err(err) => {

@@ -19,8 +19,8 @@
 
 use crate::cache::{OverlayCache, ServerStats};
 use dht_experiments::spec::{
-    run_spec, static_resilience_report_with, ExperimentSpec, ScenarioReport, ScenarioSpec,
-    SpecError, REPORT_SCHEMA,
+    run_spec, static_resilience_report_with, Backend, ExecutionSpec, ExperimentSpec,
+    ScenarioReport, ScenarioSpec, SpecError, REPORT_SCHEMA,
 };
 use dht_markov::ChainCache;
 use serde::{Deserialize, Serialize, Value};
@@ -46,20 +46,32 @@ pub struct Query {
     pub trials: Option<u32>,
     /// Root seed (default 2006).
     pub seed: Option<u64>,
+    /// Routing-table backend (default materialized). The backend never
+    /// enters the cache key — both backends answer byte-identically — so an
+    /// implicit query can be answered from a materialized memo and vice
+    /// versa.
+    pub backend: Option<Backend>,
 }
 
 impl Query {
     /// The canonical spec this query desugars to.
     #[must_use]
     pub fn to_spec(&self) -> ScenarioSpec {
-        ScenarioSpec::static_resilience(
+        let mut spec = ScenarioSpec::static_resilience(
             &self.geometry,
             self.bits,
             self.failure_probability,
             self.pairs.unwrap_or(20_000),
             self.trials.unwrap_or(1),
             self.seed.unwrap_or(2006),
-        )
+        );
+        if let Some(backend) = self.backend {
+            spec.execution = Some(ExecutionSpec {
+                threads: 1,
+                backend,
+            });
+        }
+        spec
     }
 }
 
@@ -187,7 +199,9 @@ impl ReportServer {
             trials,
         } = &spec.experiment
         {
-            let overlay = self.overlays.get_or_build(geometry, *bits, spec.seed)?;
+            let overlay = self
+                .overlays
+                .get_or_build(geometry, *bits, spec.seed, spec.backend())?;
             let chains = &mut self.chains;
             let report = static_resilience_report_with(
                 geometry,
@@ -434,6 +448,60 @@ mod tests {
             )
         );
         assert_eq!(server.stats().trial_runs, 0);
+    }
+
+    #[test]
+    fn implicit_queries_share_the_materialized_memo() {
+        let mut server = ReportServer::new(1);
+        let query = Query {
+            geometry: "xor".to_owned(),
+            bits: 8,
+            failure_probability: 0.2,
+            pairs: Some(400),
+            trials: Some(1),
+            seed: Some(7),
+            backend: None,
+        };
+        let materialized = server.report_json(&query.to_spec()).unwrap();
+        // The implicit twin desugars to the same content hash, so it is
+        // answered verbatim from the memo without running anything.
+        let implicit = Query {
+            backend: Some(Backend::Implicit),
+            ..query
+        };
+        assert_eq!(implicit.to_spec().backend(), Backend::Implicit);
+        let answer = server.report_json(&implicit.to_spec()).unwrap();
+        assert_eq!(answer, materialized);
+        let stats = server.stats();
+        assert_eq!(stats.report_hits, 1);
+        assert_eq!(stats.trial_runs, 1);
+        assert_eq!(stats.overlay_builds, 1);
+    }
+
+    #[test]
+    fn implicit_backend_runs_answer_byte_identically() {
+        // Force the run (fresh server per backend) rather than the memo:
+        // the executed reports themselves must match byte for byte.
+        let query = Query {
+            geometry: "ring".to_owned(),
+            bits: 8,
+            failure_probability: 0.25,
+            pairs: Some(400),
+            trials: Some(1),
+            seed: Some(7),
+            backend: None,
+        };
+        let materialized = ReportServer::new(2).report_json(&query.to_spec()).unwrap();
+        let implicit_query = Query {
+            backend: Some(Backend::Implicit),
+            ..query
+        };
+        let mut implicit_server = ReportServer::new(2);
+        let implicit = implicit_server
+            .report_json(&implicit_query.to_spec())
+            .unwrap();
+        assert_eq!(materialized, implicit);
+        assert_eq!(implicit_server.stats().kernel_compiles, 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn repeated_identical_query_is_answered_from_cache() {
         pairs: Some(600),
         trials: Some(1),
         seed: Some(7),
+        backend: None,
     };
 
     let first = server.handle_line(&line(

@@ -30,13 +30,20 @@
 //! [`RouteBatch`] width of lookups in flight, and recorded in draw order —
 //! so the batched engine's tallies are bit-identical to the per-route
 //! engine's, which are bit-identical to the scalar path's.
+//!
+//! Overlays with no materialized kernel but an **implicit** one
+//! ([`dht_overlay::ImplicitOverlay`], beyond the materialized ceiling) run
+//! the same lockstep scheme through [`ImplicitKernel::route_batch`]: each
+//! worker carries one [`ImplicitRowCache`] in its scratch, so plan rows are
+//! regenerated per worker and the engine's resident set stays mask +
+//! O(cache) bytes regardless of the overlay size.
 
 use crate::pair_sampler::PairSampler;
 use crate::rng::SeedSequence;
 use dht_mathkit::stats::RunningStats;
 use dht_overlay::{
-    default_route_hop_limit, route_prevalidated, FailureMask, Overlay, RouteBatch, RouteOutcome,
-    RoutingKernel,
+    default_route_hop_limit, route_prevalidated, FailureMask, ImplicitKernel, ImplicitRowCache,
+    Overlay, RouteBatch, RouteOutcome, RoutingKernel,
 };
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -239,28 +246,41 @@ impl TrialEngine {
             "mask is from a different key space than the overlay"
         );
         let hop_limit = default_route_hop_limit(overlay);
-        let tally = match overlay.kernel() {
-            Some(kernel) => {
-                let lowered = kernel.compile_mask(mask);
-                // Resolve the mask representation to its bitset words once
-                // per trial; shards route against the bare slice.
-                let words = lowered.words();
-                self.run_shards(
-                    pairs,
-                    pair_seed,
-                    BatchScratch::new,
-                    |budget, rng, tally: &mut TrialTally, scratch: &mut BatchScratch| {
-                        scratch.route_shard(kernel, words, &sampler, budget, hop_limit, rng);
-                        // Draw order, not retirement order: the tally's
-                        // floating-point hop statistics must fold exactly as
-                        // the per-route path folds them.
-                        for &outcome in &scratch.outcomes {
-                            tally.record(outcome);
-                        }
-                    },
-                )
-            }
-            None => self.run_shards(
+        let tally = if let Some(kernel) = overlay.kernel() {
+            let lowered = kernel.compile_mask(mask);
+            // Resolve the mask representation to its bitset words once
+            // per trial; shards route against the bare slice.
+            let words = lowered.words();
+            self.run_shards(
+                pairs,
+                pair_seed,
+                BatchScratch::new,
+                |budget, rng, tally: &mut TrialTally, scratch: &mut BatchScratch| {
+                    scratch.route_shard(kernel, words, &sampler, budget, hop_limit, rng);
+                    // Draw order, not retirement order: the tally's
+                    // floating-point hop statistics must fold exactly as
+                    // the per-route path folds them.
+                    for &outcome in &scratch.outcomes {
+                        tally.record(outcome);
+                    }
+                },
+            )
+        } else if let Some(kernel) = overlay.implicit_kernel() {
+            let lowered = kernel.compile_mask(mask);
+            let words = lowered.words();
+            self.run_shards(
+                pairs,
+                pair_seed,
+                || ImplicitScratch::new(kernel),
+                |budget, rng, tally: &mut TrialTally, scratch: &mut ImplicitScratch| {
+                    scratch.route_shard(kernel, words, &sampler, budget, hop_limit, rng);
+                    for &outcome in &scratch.outcomes {
+                        tally.record(outcome);
+                    }
+                },
+            )
+        } else {
+            self.run_shards(
                 pairs,
                 pair_seed,
                 || (),
@@ -276,7 +296,7 @@ impl TrialEngine {
                         ));
                     }
                 },
-            ),
+            )
         };
         Some(tally)
     }
@@ -401,6 +421,50 @@ impl BatchScratch {
     }
 }
 
+/// Per-worker scratch of the implicit backend: the batched path's frontier
+/// and buffers plus one [`ImplicitRowCache`] — row regeneration state stays
+/// worker-local, so the shared kernel never synchronises and the engine's
+/// resident set is bounded by threads × cache size, not the overlay size.
+pub(crate) struct ImplicitScratch {
+    batch: RouteBatch,
+    cache: ImplicitRowCache,
+    pairs: Vec<(u64, u64)>,
+    pub(crate) outcomes: Vec<RouteOutcome>,
+}
+
+impl ImplicitScratch {
+    pub(crate) fn new(kernel: &ImplicitKernel) -> Self {
+        ImplicitScratch {
+            batch: RouteBatch::default(),
+            cache: kernel.row_cache(),
+            pairs: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The implicit counterpart of [`BatchScratch::route_shard`]: identical
+    /// draw stream, identical lockstep admission, outcomes in draw order.
+    pub(crate) fn route_shard(
+        &mut self,
+        kernel: &ImplicitKernel,
+        alive_words: &[u64],
+        sampler: &PairSampler<'_>,
+        budget: u64,
+        hop_limit: u32,
+        rng: &mut ChaCha8Rng,
+    ) {
+        sampler.sample_values_into(budget, rng, &mut self.pairs);
+        kernel.route_batch(
+            &mut self.batch,
+            &mut self.cache,
+            alive_words,
+            &self.pairs,
+            hop_limit,
+            &mut self.outcomes,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,6 +575,54 @@ mod tests {
                 scalar,
                 "kernel and scalar paths diverge on {}",
                 overlay.geometry_name()
+            );
+        }
+    }
+
+    /// The implicit arm must reproduce the materialized kernel arm exactly:
+    /// same stream seed, same mask, same pair seed → bit-identical tallies
+    /// (the backend is not observable in the numbers).
+    #[test]
+    fn implicit_path_tallies_identically_to_the_materialized_path() {
+        use dht_overlay::{ImplicitOverlay, PlaxtonOverlay};
+
+        let stream_seed = 41;
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mask = FailureMask::sample(KeySpace::new(10).unwrap(), 0.3, &mut rng);
+        let engine = TrialEngine::new(3);
+
+        let materialized =
+            ChordOverlay::build_randomized(10, &mut ChaCha8Rng::seed_from_u64(stream_seed))
+                .unwrap();
+        let implicit = ImplicitOverlay::ring(10, ChordVariant::Randomized, stream_seed).unwrap();
+        assert!(implicit.kernel().is_none() && implicit.implicit_kernel().is_some());
+        assert_eq!(
+            engine.run_trial(&materialized, &mask, 6_000, 23),
+            engine.run_trial(&implicit, &mask, 6_000, 23),
+        );
+
+        let materialized =
+            PlaxtonOverlay::build(10, &mut ChaCha8Rng::seed_from_u64(stream_seed)).unwrap();
+        let implicit = ImplicitOverlay::tree(10, stream_seed).unwrap();
+        assert_eq!(
+            engine.run_trial(&materialized, &mask, 6_000, 23),
+            engine.run_trial(&implicit, &mask, 6_000, 23),
+        );
+    }
+
+    #[test]
+    fn implicit_path_is_invariant_under_thread_count() {
+        use dht_overlay::ImplicitOverlay;
+
+        let overlay = ImplicitOverlay::xor(10, 29).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mask = FailureMask::sample(overlay.key_space(), 0.3, &mut rng);
+        let reference = TrialEngine::new(1).run_trial(&overlay, &mask, 10_000, 11);
+        for threads in [2, 5, 16] {
+            assert_eq!(
+                reference,
+                TrialEngine::new(threads).run_trial(&overlay, &mask, 10_000, 11),
+                "threads = {threads}"
             );
         }
     }

@@ -68,13 +68,14 @@ pub use dht_sim as sim;
 /// import in applications, examples and tests.
 pub mod prelude {
     pub use dht_experiments::spec::{
-        run_spec, ExperimentSpec, Family, ScenarioReport, ScenarioSpec,
+        run_spec, Backend, ExecutionSpec, ExperimentSpec, Family, ScenarioReport, ScenarioSpec,
     };
     pub use dht_id::{KeySpace, NodeId, Population};
     pub use dht_overlay::{
         route, CanOverlay, ChordOverlay, ChordVariant, FailureMask, FailurePlan, GeometryOverlay,
-        KademliaOverlay, LiveOverlay, Overlay, PlaxtonOverlay, RouteBatch, RouteOutcome,
-        RoutingArena, RoutingKernel, SymphonyOverlay, DEFAULT_BATCH_WIDTH,
+        ImplicitKernel, ImplicitOverlay, ImplicitRowCache, KademliaOverlay, LiveOverlay, Overlay,
+        PlaxtonOverlay, RouteBatch, RouteOutcome, RoutingArena, RoutingKernel, SymphonyOverlay,
+        DEFAULT_BATCH_WIDTH, MAX_IMPLICIT_OVERLAY_BITS, MAX_OVERLAY_BITS,
     };
     pub use dht_percolation::{connected_components, percolation_threshold, reachable_component};
     pub use dht_rcm_core::prelude::*;

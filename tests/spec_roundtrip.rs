@@ -1,7 +1,9 @@
 //! Property tests of the scenario-spec front door: serde round-trips and
 //! content-hash stability.
 
-use dht_rcm::experiments::spec::{ExecutionSpec, ExperimentSpec, ScenarioSpec, SPEC_SCHEMA};
+use dht_rcm::experiments::spec::{
+    Backend, ExecutionSpec, ExperimentSpec, ScenarioSpec, SPEC_SCHEMA,
+};
 use proptest::prelude::*;
 
 /// A failure-probability grid of 1..=4 points (the vendored proptest has no
@@ -68,7 +70,16 @@ fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
     (0u32..1_000, 0u64..u64::MAX, any_experiment(), 0usize..33).prop_map(
         |(label, seed, experiment, threads)| {
             let mut spec = ScenarioSpec::new(format!("spec-{label}"), seed, experiment);
-            spec.execution = (threads > 0).then_some(ExecutionSpec { threads });
+            // Odd thread budgets ride the implicit backend, so the serde and
+            // hash properties cover both variants of the execution block.
+            spec.execution = (threads > 0).then_some(ExecutionSpec {
+                threads,
+                backend: if threads % 2 == 0 {
+                    Backend::Materialized
+                } else {
+                    Backend::Implicit
+                },
+            });
             spec
         },
     )
@@ -96,7 +107,10 @@ proptest! {
 
         let mut relabeled = spec.clone();
         relabeled.name = format!("{}-x", relabeled.name);
-        relabeled.execution = Some(ExecutionSpec { threads: 61 });
+        relabeled.execution = Some(ExecutionSpec {
+            threads: 61,
+            backend: Backend::Implicit,
+        });
         prop_assert_eq!(relabeled.content_hash(), hash);
 
         prop_assert_eq!(spec.content_hash_hex(), format!("{hash:016x}"));

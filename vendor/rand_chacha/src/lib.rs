@@ -96,6 +96,23 @@ macro_rules! chacha_rng {
                 self.counter = self.counter.wrapping_add(1);
                 self.index = 0;
             }
+
+            /// Repositions the stream so the next [`RngCore::next_u32`] call
+            /// returns the `pos`-th 32-bit word of the keystream (counting
+            /// from zero at construction).
+            ///
+            /// ChaCha is a block cipher in counter mode, so seeking costs one
+            /// block computation regardless of distance. After
+            /// `set_word_pos(p)` the generator produces exactly the words a
+            /// fresh generator would produce after discarding `p` words —
+            /// this is what lets consumers replay the middle of a shared
+            /// stream (e.g. regenerate one node's routing-table draws without
+            /// generating every predecessor's).
+            pub fn set_word_pos(&mut self, pos: u64) {
+                self.counter = pos / 16;
+                self.refill();
+                self.index = (pos % 16) as usize;
+            }
         }
 
         impl RngCore for $name {
@@ -167,6 +184,26 @@ mod tests {
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn set_word_pos_replays_the_stream_from_any_offset() {
+        let mut reference = ChaCha8Rng::seed_from_u64(42);
+        let words: Vec<u32> = (0..200).map(|_| reference.next_u32()).collect();
+        let mut seeking = ChaCha8Rng::seed_from_u64(42);
+        // Probe offsets inside, at, and across block boundaries.
+        for &pos in &[0u64, 1, 15, 16, 17, 31, 32, 100, 160, 199] {
+            seeking.set_word_pos(pos);
+            assert_eq!(
+                seeking.next_u32(),
+                words[pos as usize],
+                "word at offset {pos}"
+            );
+        }
+        // Seeking backwards works too, and the stream continues naturally.
+        seeking.set_word_pos(10);
+        let tail: Vec<u32> = (0..30).map(|_| seeking.next_u32()).collect();
+        assert_eq!(&tail[..], &words[10..40]);
     }
 
     #[test]
